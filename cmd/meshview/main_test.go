@@ -1,0 +1,110 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFixtureList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fixture", "list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"section3", "figure1", "figure2a", "figure2b"} {
+		if !strings.Contains(b.String(), name) {
+			t.Fatalf("fixture %s missing from list: %q", name, b.String())
+		}
+	}
+}
+
+func TestSectionThreeRendering(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fixture", "section3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"5x5 mesh, 3 faults, def2b",
+		".#++.",
+		"block [1..3]x[1..3]",
+		"2 disabled region(s)",
+		"ratio 1.000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1UnderBothDefinitions(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-fixture", "figure1", "-def", "2a"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fixture", "figure1", "-def", "2b"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.String(), "1 faulty block(s)") {
+		t.Fatalf("2a should merge into one block:\n%s", a.String())
+	}
+	if !strings.Contains(b.String(), "2 faulty block(s)") {
+		t.Fatalf("2b should split into two blocks:\n%s", b.String())
+	}
+}
+
+func TestRandomConfiguration(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "12", "-f", "8", "-seed", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "12x12 mesh, 8 faults") {
+		t.Fatalf("header wrong:\n%s", b.String())
+	}
+	if strings.Contains(b.String(), "bug!") {
+		t.Fatalf("non-convex region rendered:\n%s", b.String())
+	}
+}
+
+func TestTorusFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "8", "-f", "4", "-torus"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "torus") {
+		t.Fatalf("torus marker missing:\n%s", b.String())
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fixture", "bogus"}, &b); err == nil {
+		t.Fatal("unknown fixture must fail")
+	}
+	if err := run([]string{"-def", "2c"}, &b); err == nil {
+		t.Fatal("unknown definition must fail")
+	}
+	if err := run([]string{"-n", "0"}, &b); err == nil {
+		t.Fatal("invalid size must fail")
+	}
+	if err := run([]string{"-notaflag"}, &b); err == nil {
+		t.Fatal("unknown flag must fail")
+	}
+}
+
+func TestTraceMode(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fixture", "section3", "-trace"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "phase 1 (unsafe spreading), round 1") {
+		t.Fatalf("missing phase 1 frames:\n%s", out)
+	}
+	if !strings.Contains(out, "phase 2 (enabling shrinks regions), round 1") {
+		t.Fatalf("missing phase 2 frames:\n%s", out)
+	}
+	// The final summary still follows the trace.
+	if !strings.Contains(out, "2 disabled region(s)") {
+		t.Fatalf("missing summary after trace:\n%s", out)
+	}
+}

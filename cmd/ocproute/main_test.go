@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRouteDefaults(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "12", "-f", "6", "-seed", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "delivered in") && !strings.Contains(out, "routing failed") {
+		t.Fatalf("no outcome reported:\n%s", out)
+	}
+	if !strings.Contains(out, "S") || !strings.Contains(out, "D") {
+		t.Fatalf("endpoints not rendered:\n%s", out)
+	}
+}
+
+func TestAllRoutersAndModels(t *testing.T) {
+	for _, router := range []string{"xy", "adaptive", "detour", "oracle", "safety"} {
+		for _, model := range []string{"blocks", "regions", "faults"} {
+			var b strings.Builder
+			err := run([]string{"-n", "10", "-f", "5", "-seed", "3",
+				"-router", router, "-model", model}, &b)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", router, model, err)
+			}
+		}
+	}
+}
+
+func TestExplicitEndpoints(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-n", "10", "-f", "0", "-src", "1,1", "-dst", "8,8", "-router", "xy"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "delivered in 14 hops (minimal)") {
+		t.Fatalf("XY on a fault-free mesh must be minimal:\n%s", b.String())
+	}
+}
+
+func TestFixtureRouting(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-fixture", "figure1", "-src", "0,3", "-dst", "9,3", "-router", "oracle"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "delivered in") {
+		t.Fatalf("oracle must deliver on figure1:\n%s", b.String())
+	}
+}
+
+func TestBlockedXYReportsOracleAlternative(t *testing.T) {
+	// A fault dead ahead on the default row blocks XY; the tool must
+	// explain that a path exists.
+	var b strings.Builder
+	err := run([]string{"-fixture", "section3", "-src", "0,1", "-dst", "4,1", "-router", "xy",
+		"-model", "blocks"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "routing failed") || !strings.Contains(out, "the oracle finds it") {
+		t.Fatalf("expected failure with oracle hint:\n%s", out)
+	}
+}
+
+func TestRejectsBadFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-model", "bogus"}, &b); err == nil {
+		t.Fatal("bad model must fail")
+	}
+	if err := run([]string{"-router", "bogus"}, &b); err == nil {
+		t.Fatal("bad router must fail")
+	}
+	if err := run([]string{"-src", "nope"}, &b); err == nil {
+		t.Fatal("bad src must fail")
+	}
+	if err := run([]string{"-src", "99,99"}, &b); err == nil {
+		t.Fatal("out-of-machine src must fail")
+	}
+	if err := run([]string{"-fixture", "bogus"}, &b); err == nil {
+		t.Fatal("bad fixture must fail")
+	}
+	if err := run([]string{"-n", "0"}, &b); err == nil {
+		t.Fatal("bad size must fail")
+	}
+}
+
+func TestTorusRoute(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-n", "8", "-f", "0", "-torus", "-src", "0,0", "-dst", "7,7", "-router", "xy"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "delivered in 2 hops") {
+		t.Fatalf("torus wrap must give a 2-hop route:\n%s", b.String())
+	}
+}

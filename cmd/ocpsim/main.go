@@ -1,0 +1,113 @@
+// Command ocpsim reproduces the paper's simulation study (Figure 5) and
+// the extension experiments from DESIGN.md.
+//
+// Usage:
+//
+//	ocpsim -figure 5a                      # one panel, paper parameters
+//	ocpsim -figure all -format csv         # everything, machine readable
+//	ocpsim -figure x2 -n 40 -reps 5        # routing payoff, smaller sweep
+//
+// Figures: 5a, 5b (convergence rounds), 5c, 5d (enabled ratio),
+// x1 (sacrificed nodes per definition), x2 (routing payoff),
+// x4 (mesh vs torus), x5 (uniform vs clustered faults), or "all".
+//
+// With paper parameters (-n 100 -maxf 100 -reps 20) a full "all" run
+// takes a few minutes; reduce -n/-reps for a quick look.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ocpmesh/internal/core"
+	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/stats"
+	"ocpmesh/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ocpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ocpsim", flag.ContinueOnError)
+	var (
+		figure  = fs.String("figure", "5a", "figure id ("+strings.Join(sweep.FigureIDs(), ", ")+" or all)")
+		n       = fs.Int("n", 100, "mesh side length (paper: 100)")
+		maxf    = fs.Int("maxf", 100, "maximum number of faults (paper: 100)")
+		step    = fs.Int("step", 5, "fault-count step between sweep points")
+		reps    = fs.Int("reps", 20, "replications per sweep point")
+		seed    = fs.Int64("seed", 1, "base random seed")
+		torus   = fs.Bool("torus", false, "use a 2-D torus instead of a mesh")
+		chans   = fs.Bool("channels", false, "use the goroutine-per-node engine (slower, same results)")
+		workers = fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+		format  = fs.String("format", "ascii", "output format: ascii or csv")
+		width   = fs.Int("width", 60, "ascii plot width")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 {
+		return fmt.Errorf("mesh side must be >= 1, got %d", *n)
+	}
+
+	cfg := sweep.Config{
+		Width: *n, Height: *n, MaxFaults: *maxf, Step: *step,
+		Replications: *reps, Seed: *seed, Workers: *workers,
+	}
+	if *torus {
+		cfg.Kind = mesh.Torus2D
+	}
+	if *chans {
+		cfg.Engine = core.EngineChannels
+	}
+	runner, err := sweep.NewRunner(cfg)
+	if err != nil {
+		return err
+	}
+
+	ids := []string{*figure}
+	if *figure == "all" {
+		ids = sweep.FigureIDs()
+	}
+	for _, id := range ids {
+		series, err := runner.Figure(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== figure %s (%dx%d %s, f=0..%d step %d, %d reps, seed %d) ==\n",
+			id, cfg.Width, cfg.Height, kindName(*torus), cfg.MaxFaults, cfg.Step,
+			cfg.Replications, cfg.Seed)
+		for _, s := range series {
+			if err := emit(out, s, *format, *width); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func kindName(torus bool) string {
+	if torus {
+		return "torus"
+	}
+	return "mesh"
+}
+
+func emit(out io.Writer, s *stats.Series, format string, width int) error {
+	switch format {
+	case "csv":
+		fmt.Fprintf(out, "# %s\n%s\n", s.Label, s.CSV())
+	case "ascii":
+		fmt.Fprintln(out, s.ASCII(width))
+	default:
+		return fmt.Errorf("unknown format %q (want ascii or csv)", format)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ocpmesh/internal/sweep"
+)
+
+func TestRunSmallFigure(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-figure", "5a", "-n", "15", "-maxf", "10", "-step", "10", "-reps", "2"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "== figure 5a (15x15 mesh") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "rounds to faulty blocks (def2a)") ||
+		!strings.Contains(out, "rounds to faulty blocks (def2b)") {
+		t.Fatalf("missing series: %q", out)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-figure", "5d", "-n", "15", "-maxf", "10", "-step", "10", "-reps", "2", "-format", "csv"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "faults,enabled/unsafe-nonfaulty,ci95,n") {
+		t.Fatalf("missing CSV header: %q", b.String())
+	}
+}
+
+func TestRunTorusAndChannels(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-figure", "5b", "-n", "10", "-maxf", "5", "-step", "5", "-reps", "1",
+		"-torus", "-channels"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "torus") {
+		t.Fatalf("missing torus marker: %q", b.String())
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-figure", "bogus", "-n", "10", "-maxf", "5", "-reps", "1"}, &b); err == nil {
+		t.Fatal("unknown figure must fail")
+	}
+	if err := run([]string{"-figure", "5a", "-n", "10", "-maxf", "5", "-reps", "1",
+		"-format", "xml"}, &b); err == nil {
+		t.Fatal("unknown format must fail")
+	}
+	if err := run([]string{"-n", "0"}, &b); err == nil {
+		t.Fatal("invalid mesh size must fail")
+	}
+	if err := run([]string{"-bogusflag"}, &b); err == nil {
+		t.Fatal("unknown flag must fail")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("all figures on a tiny sweep still costs a second")
+	}
+	var b strings.Builder
+	err := run([]string{"-figure", "all", "-n", "12", "-maxf", "6", "-step", "6", "-reps", "1"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range sweep.FigureIDs() {
+		if !strings.Contains(b.String(), "== figure "+id+" ") {
+			t.Fatalf("figure %s missing from -figure all output", id)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package ocpmesh reproduces Jie Wu's "A Distributed Formation of
+// Orthogonal Convex Polygons in Mesh-Connected Multicomputers"
+// (IPPS 2001): a two-phase distributed labeling algorithm that shrinks
+// the rectangular faulty blocks of a 2-D mesh (or torus) to orthogonal
+// convex polygons covering the same faults, activating as many nonfaulty
+// nodes as possible for fault-tolerant routing.
+//
+// The public API lives in internal/core (Form, FormSet, FormOn, Result);
+// see README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package ocpmesh

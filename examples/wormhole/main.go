@@ -1,0 +1,102 @@
+// Wormhole drives the cycle-accurate wormhole simulators: it reproduces
+// the classic single-virtual-channel ring deadlock on a torus, fixes it
+// with a dateline VC policy, and then measures latency under rising
+// offered load for the block model vs the refined region model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ocpmesh/internal/core"
+	"ocpmesh/internal/fault"
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/routing"
+	"ocpmesh/internal/status"
+	"ocpmesh/internal/wormhole"
+)
+
+func main() {
+	ringDeadlockDemo()
+	fmt.Println()
+	loadSweep()
+}
+
+func ringDeadlockDemo() {
+	fmt.Println("== ring deadlock on a 4x4 torus (flit level) ==")
+	res, err := core.Form(core.Config{Width: 4, Height: 4, Kind: mesh.Torus2D}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := routing.NewGraph(res, routing.ModelRegions)
+	flows := []wormhole.Flow{
+		{Src: grid.Pt(0, 0), Dst: grid.Pt(2, 0)},
+		{Src: grid.Pt(1, 0), Dst: grid.Pt(3, 0)},
+		{Src: grid.Pt(2, 0), Dst: grid.Pt(0, 0)},
+		{Src: grid.Pt(3, 0), Dst: grid.Pt(1, 0)},
+	}
+
+	st, err := wormhole.SimulateFlits(g, routing.XY{}, flows, wormhole.FlitConfig{PacketLen: 3, BufDepth: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  one VC:      deadlocked=%t delivered=%d/%d after %d cycles\n",
+		st.Deadlocked, st.Delivered, st.Injected, st.Cycles)
+
+	dateline := func(p routing.Path, hop int) int {
+		for i := 1; i <= hop; i++ {
+			if p[i].X == 0 {
+				return 1
+			}
+		}
+		return 0
+	}
+	st2, err := wormhole.SimulateFlits(g, routing.XY{}, flows,
+		wormhole.FlitConfig{PacketLen: 3, BufDepth: 1, Policy: dateline})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  dateline VC: deadlocked=%t delivered=%d/%d avg latency %.1f cycles\n",
+		st2.Deadlocked, st2.Delivered, st2.Injected, st2.AvgLatency())
+}
+
+func loadSweep() {
+	fmt.Println("== latency vs offered load, 16x16 mesh with 2 fault clusters ==")
+	topo := mesh.MustNew(16, 16, mesh.Mesh2D)
+	rng := rand.New(rand.NewSource(8))
+	faults := fault.Clustered{Count: 14, Clusters: 2, Spread: 2}.Generate(topo, rng)
+	res, err := core.FormOn(core.Config{Width: 16, Height: 16, Safety: status.Def2a}, topo, faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("  %-10s %-8s %24s %24s\n", "packets", "window",
+		"blocks lat/delivered", "regions lat/delivered")
+	for _, load := range []struct{ packets, window int }{
+		{20, 200}, {40, 200}, {80, 200}, {160, 200},
+	} {
+		pairs := routing.SamplePairs(res, load.packets, rng)
+		flows := make([]wormhole.Flow, len(pairs))
+		for i, pr := range pairs {
+			flows[i] = wormhole.Flow{Src: pr[0], Dst: pr[1], InjectCycle: rng.Intn(load.window)}
+		}
+		var cell [2]string
+		for i, m := range []routing.Model{routing.ModelBlocks, routing.ModelRegions} {
+			g := routing.NewGraph(res, m)
+			st, err := wormhole.SimulateFlits(g, routing.Oracle{}, flows,
+				wormhole.FlitConfig{PacketLen: 4, BufDepth: 2})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if st.Deadlocked {
+				fmt.Printf("  (deadlock under %v at %d packets)\n", m, load.packets)
+			}
+			cell[i] = fmt.Sprintf("%.1f cy / %d+%d", st.AvgLatency(), st.Delivered, st.Unroutable)
+		}
+		fmt.Printf("  %-10d %-8d %24s %24s\n", load.packets, load.window, cell[0], cell[1])
+	}
+	fmt.Println("  (delivered+unroutable; the region model loses fewer packets to")
+	fmt.Println("   unroutable endpoints and its latency grows no faster under load)")
+}

@@ -1,0 +1,3 @@
+module ocpmesh
+
+go 1.22

@@ -1,0 +1,294 @@
+// Package core is the public API of the repository: the paper's two-phase
+// distributed formation of orthogonal convex polygons from rectangular
+// faulty blocks.
+//
+// Given a machine and a fault pattern, Form runs
+//
+//	phase 1  safe/unsafe labeling      (Definition 2a or 2b)
+//	phase 2  enabled/disabled labeling (Definition 3)
+//
+// to their synchronous fixpoints and extracts the faulty blocks
+// (rectangles of unsafe nodes) and the disabled regions (orthogonal
+// convex polygons of disabled nodes). Both phases can run on the
+// deterministic sequential engine or on the faithful goroutine-per-node
+// channel engine; the two produce identical results.
+//
+// A minimal use:
+//
+//	cfg := core.Config{Width: 100, Height: 100}
+//	res, err := core.Form(cfg, faults)
+//	// res.Blocks, res.Regions, res.RoundsPhase1, res.RoundsPhase2 ...
+package core
+
+import (
+	"fmt"
+
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/region"
+	"ocpmesh/internal/simnet"
+	"ocpmesh/internal/status"
+)
+
+// EngineKind selects the fixpoint engine.
+type EngineKind int
+
+const (
+	// EngineSequential is the fast deterministic double-buffered engine.
+	EngineSequential EngineKind = iota
+	// EngineChannels is the distributed simulation: one goroutine per
+	// nonfaulty node, channels for links, lock-step rounds.
+	EngineChannels
+)
+
+// String returns the engine name.
+func (e EngineKind) String() string {
+	if e == EngineChannels {
+		return "channels"
+	}
+	return "sequential"
+}
+
+func (e EngineKind) engine() simnet.Engine {
+	if e == EngineChannels {
+		return simnet.Channels()
+	}
+	return simnet.Sequential()
+}
+
+// Config describes a formation run. The zero value of every field other
+// than Width/Height is a sensible default: bounded mesh, Definition 2b,
+// 8-connected region grouping, sequential engine.
+type Config struct {
+	// Width and Height are the machine dimensions (required, positive).
+	Width, Height int
+	// Kind selects mesh or torus.
+	Kind mesh.Kind
+	// Safety selects the phase-1 definition (Def2a or Def2b).
+	Safety status.SafetyDef
+	// Connectivity selects region grouping; the paper's convention is
+	// Conn8 (corner-touching disabled nodes share a region).
+	Connectivity region.Connectivity
+	// Engine selects the fixpoint engine.
+	Engine EngineKind
+	// MaxRounds bounds each phase (0 = automatic safe bound).
+	MaxRounds int
+}
+
+// Result is the outcome of a formation run.
+type Result struct {
+	// Topo is the machine the run used.
+	Topo *mesh.Topology
+	// Faults is the input fault pattern.
+	Faults *grid.PointSet
+	// Unsafe holds the phase-1 fixpoint: Unsafe[Topo.Index(p)] reports
+	// whether p is unsafe.
+	Unsafe []bool
+	// Enabled holds the phase-2 fixpoint: Enabled[Topo.Index(p)] reports
+	// whether p is enabled (participates in routing).
+	Enabled []bool
+	// Blocks are the faulty blocks: rectangles of connected unsafe nodes.
+	Blocks []*region.Region
+	// Regions are the disabled regions: the orthogonal convex polygons
+	// left disabled after phase 2.
+	Regions []*region.Region
+	// RoundsPhase1 and RoundsPhase2 count the message-exchange rounds in
+	// which some status changed — the cost metric of the paper's
+	// Figure 5(a)/(b).
+	RoundsPhase1, RoundsPhase2 int
+}
+
+// Form runs the two-phase formation for the given fault list.
+func Form(cfg Config, faults []grid.Point) (*Result, error) {
+	return FormSet(cfg, grid.PointSetOf(faults...))
+}
+
+// FormSet is Form for a prebuilt fault set. The set is not retained or
+// mutated.
+func FormSet(cfg Config, faults *grid.PointSet) (*Result, error) {
+	topo, err := mesh.New(cfg.Width, cfg.Height, cfg.Kind)
+	if err != nil {
+		return nil, err
+	}
+	return FormOn(cfg, topo, faults)
+}
+
+// FormOn runs the two-phase formation on an existing topology.
+func FormOn(cfg Config, topo *mesh.Topology, faults *grid.PointSet) (*Result, error) {
+	if faults == nil {
+		faults = grid.NewPointSet()
+	}
+	env, err := simnet.NewEnv(topo, faults.Clone(), nil)
+	if err != nil {
+		return nil, err
+	}
+	eng := cfg.Engine.engine()
+	opts := simnet.Options{MaxRounds: cfg.MaxRounds}
+
+	p1, err := eng.Run(env, status.UnsafeRule(cfg.Safety), opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 1: %w", err)
+	}
+	env2, err := simnet.NewEnv(topo, env.Faulty, p1.Labels)
+	if err != nil {
+		return nil, err
+	}
+	p2, err := eng.Run(env2, status.EnabledRule(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 2: %w", err)
+	}
+
+	return &Result{
+		Topo:         topo,
+		Faults:       env.Faulty,
+		Unsafe:       p1.Labels,
+		Enabled:      p2.Labels,
+		Blocks:       region.FaultyBlocks(topo, env.Faulty, p1.Labels),
+		Regions:      region.DisabledRegions(topo, env.Faulty, p2.Labels, cfg.Connectivity),
+		RoundsPhase1: p1.Rounds,
+		RoundsPhase2: p2.Rounds,
+	}, nil
+}
+
+// IsFaulty reports whether p is faulty.
+func (r *Result) IsFaulty(p grid.Point) bool { return r.Faults.Has(p) }
+
+// IsUnsafe reports whether p is unsafe (phase 1).
+func (r *Result) IsUnsafe(p grid.Point) bool { return r.Unsafe[r.Topo.Index(p)] }
+
+// IsEnabled reports whether p is enabled (phase 2); only enabled nodes
+// participate in routing.
+func (r *Result) IsEnabled(p grid.Point) bool { return r.Enabled[r.Topo.Index(p)] }
+
+// UnsafeNonfaultyCount returns the number of nonfaulty nodes labeled
+// unsafe — the nodes a pure faulty-block fault model would sacrifice.
+func (r *Result) UnsafeNonfaultyCount() int {
+	n := 0
+	for i, u := range r.Unsafe {
+		if u && !r.Faults.Has(r.Topo.PointAt(i)) {
+			n++
+		}
+	}
+	return n
+}
+
+// EnabledUnsafeCount returns how many of those sacrificed nodes the
+// enabled/disabled rule reactivates.
+func (r *Result) EnabledUnsafeCount() int {
+	n := 0
+	for i, u := range r.Unsafe {
+		if u && r.Enabled[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// EnabledRatio returns EnabledUnsafeCount / UnsafeNonfaultyCount, the
+// effectiveness metric of the paper's Figure 5(c)/(d). ok is false when
+// no nonfaulty node was unsafe (the ratio is undefined; the paper only
+// averages over configurations where a faulty block can be reduced).
+func (r *Result) EnabledRatio() (ratio float64, ok bool) {
+	denom := r.UnsafeNonfaultyCount()
+	if denom == 0 {
+		return 0, false
+	}
+	return float64(r.EnabledUnsafeCount()) / float64(denom), true
+}
+
+// DisabledNonfaultyCount returns the number of nonfaulty nodes that stay
+// disabled — the residual cost after the reduction.
+func (r *Result) DisabledNonfaultyCount() int {
+	return r.UnsafeNonfaultyCount() - r.EnabledUnsafeCount()
+}
+
+// MaxBlockDiameter returns max d(B) over the faulty blocks, the paper's
+// bound on the rounds needed by both phases.
+func (r *Result) MaxBlockDiameter() int {
+	m := 0
+	for _, b := range r.Blocks {
+		if d := b.Diameter(); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Validate re-checks every structural invariant the paper proves about
+// the result. It is used by the test suite and by examples to demonstrate
+// the theorems on live data; production callers normally skip it. On a
+// torus the geometric checks run on seam-unwrapped copies of each block
+// and region; a region that wraps a full ring in both dimensions (no
+// planar embedding) is skipped, and block distances use the wraparound
+// metric.
+func (r *Result) Validate(safety status.SafetyDef) error {
+	minDist := 2
+	if safety == status.Def2a {
+		minDist = 3
+	}
+	switch r.Topo.Kind() {
+	case mesh.Mesh2D:
+		if err := region.CheckBlockInvariants(r.Blocks, minDist); err != nil {
+			return err
+		}
+		if err := region.CheckDisabledRegionInvariants(r.Regions); err != nil {
+			return err
+		}
+		if err := region.CheckRegionsInsideBlocks(r.Regions, r.Blocks); err != nil {
+			return err
+		}
+	case mesh.Torus2D:
+		for _, b := range r.Blocks {
+			flat, ok := region.UnwrapRegion(r.Topo, b)
+			if !ok {
+				continue // wraps both dimensions; no planar embedding
+			}
+			if err := region.CheckBlockInvariants([]*region.Region{flat}, minDist); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < len(r.Blocks); i++ {
+			for j := i + 1; j < len(r.Blocks); j++ {
+				if d := torusSetDist(r.Topo, r.Blocks[i].Nodes, r.Blocks[j].Nodes); d < minDist {
+					return fmt.Errorf("core: torus blocks %d and %d at distance %d < %d", i, j, d, minDist)
+				}
+			}
+		}
+		for _, reg := range r.Regions {
+			flat, ok := region.UnwrapRegion(r.Topo, reg)
+			if !ok {
+				continue
+			}
+			if err := region.CheckDisabledRegionInvariants([]*region.Region{flat}); err != nil {
+				return err
+			}
+		}
+		if err := region.CheckRegionsInsideBlocks(r.Regions, r.Blocks); err != nil {
+			return err
+		}
+	}
+	for i := range r.Unsafe {
+		p := r.Topo.PointAt(i)
+		switch {
+		case r.Faults.Has(p) && (!r.Unsafe[i] || r.Enabled[i]):
+			return fmt.Errorf("core: faulty node %v must be unsafe and disabled", p)
+		case !r.Unsafe[i] && !r.Enabled[i]:
+			return fmt.Errorf("core: safe node %v must be enabled", p)
+		}
+	}
+	return nil
+}
+
+// torusSetDist returns the minimum wraparound distance between two node
+// sets.
+func torusSetDist(topo *mesh.Topology, a, b *grid.PointSet) int {
+	best := topo.Diameter() + 1
+	for _, p := range a.Points() {
+		for _, q := range b.Points() {
+			if d := topo.Dist(p, q); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}

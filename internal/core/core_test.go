@@ -1,0 +1,263 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ocpmesh/internal/fault"
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/region"
+	"ocpmesh/internal/status"
+)
+
+func TestFormSectionThreeExample(t *testing.T) {
+	fix := fault.SectionThreeExample()
+	cfg := Config{Width: 5, Height: 5, Safety: status.Def2b, Connectivity: region.Conn8}
+	res, err := FormSet(cfg, fix.Faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) != 1 || res.Blocks[0].Bounds() != grid.NewRect(1, 1, 3, 3) {
+		t.Fatalf("blocks = %v", res.Blocks)
+	}
+	if len(res.Regions) != 2 {
+		t.Fatalf("regions = %v", res.Regions)
+	}
+	if res.UnsafeNonfaultyCount() != 6 || res.EnabledUnsafeCount() != 6 {
+		t.Fatalf("counts: unsafe-nonfaulty=%d enabled=%d",
+			res.UnsafeNonfaultyCount(), res.EnabledUnsafeCount())
+	}
+	ratio, ok := res.EnabledRatio()
+	if !ok || ratio != 1 {
+		t.Fatalf("ratio = %g, %t (paper: all nonfaulty nodes enabled)", ratio, ok)
+	}
+	if res.DisabledNonfaultyCount() != 0 {
+		t.Fatal("no nonfaulty node should stay disabled")
+	}
+	if res.MaxBlockDiameter() != 4 {
+		t.Fatalf("max block diameter = %d", res.MaxBlockDiameter())
+	}
+	if err := res.Validate(status.Def2b); err != nil {
+		t.Fatal(err)
+	}
+	if !res.IsFaulty(grid.Pt(1, 3)) || res.IsFaulty(grid.Pt(0, 0)) {
+		t.Fatal("IsFaulty wrong")
+	}
+	if !res.IsUnsafe(grid.Pt(2, 2)) || res.IsUnsafe(grid.Pt(0, 0)) {
+		t.Fatal("IsUnsafe wrong")
+	}
+	if !res.IsEnabled(grid.Pt(2, 2)) || res.IsEnabled(grid.Pt(1, 3)) {
+		t.Fatal("IsEnabled wrong")
+	}
+}
+
+func TestFormValidatesConfig(t *testing.T) {
+	if _, err := Form(Config{Width: 0, Height: 5}, nil); err == nil {
+		t.Fatal("invalid dimensions must fail")
+	}
+	if _, err := FormSet(Config{Width: 3, Height: 3},
+		grid.PointSetOf(grid.Pt(9, 9))); err == nil {
+		t.Fatal("fault outside machine must fail")
+	}
+}
+
+func TestFormNilAndEmptyFaults(t *testing.T) {
+	res, err := Form(Config{Width: 4, Height: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) != 0 || len(res.Regions) != 0 {
+		t.Fatal("no faults must give no regions")
+	}
+	if res.RoundsPhase1 != 0 || res.RoundsPhase2 != 0 {
+		t.Fatal("no faults must stabilize immediately")
+	}
+	if _, ok := res.EnabledRatio(); ok {
+		t.Fatal("ratio undefined without unsafe nonfaulty nodes")
+	}
+	if err := res.Validate(status.Def2b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormDoesNotMutateInput(t *testing.T) {
+	faults := grid.PointSetOf(grid.Pt(1, 1))
+	if _, err := FormSet(Config{Width: 4, Height: 4}, faults); err != nil {
+		t.Fatal(err)
+	}
+	if faults.Len() != 1 || !faults.Has(grid.Pt(1, 1)) {
+		t.Fatal("input fault set mutated")
+	}
+}
+
+func TestEnginesProduceIdenticalResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		topoW, topoH := 5+rng.Intn(8), 5+rng.Intn(8)
+		faults := fault.Uniform{Count: rng.Intn(20)}.Generate(
+			mesh.MustNew(topoW, topoH, mesh.Mesh2D), rng)
+		base := Config{Width: topoW, Height: topoH, Safety: status.Def2b}
+
+		seqCfg, chanCfg := base, base
+		seqCfg.Engine = EngineSequential
+		chanCfg.Engine = EngineChannels
+		a, err := FormSet(seqCfg, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := FormSet(chanCfg, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.RoundsPhase1 != b.RoundsPhase1 || a.RoundsPhase2 != b.RoundsPhase2 {
+			t.Fatalf("trial %d: rounds differ: (%d,%d) vs (%d,%d)",
+				trial, a.RoundsPhase1, a.RoundsPhase2, b.RoundsPhase1, b.RoundsPhase2)
+		}
+		for i := range a.Unsafe {
+			if a.Unsafe[i] != b.Unsafe[i] || a.Enabled[i] != b.Enabled[i] {
+				t.Fatalf("trial %d: label mismatch at %v", trial, a.Topo.PointAt(i))
+			}
+		}
+		if len(a.Blocks) != len(b.Blocks) || len(a.Regions) != len(b.Regions) {
+			t.Fatalf("trial %d: region counts differ", trial)
+		}
+	}
+}
+
+// Round-complexity claims. The paper states both phases finish within
+// max d(B) rounds; empirically phase 1 can exceed that when the unsafe
+// closure merges blocks in a cascade (observed up to ~2.5 x d(B); see
+// EXPERIMENTS.md), and phase 2 can snake around internal faults. We
+// therefore assert the sound bound (rounds within the unsafe-node count)
+// plus the paper's
+// headline empirical claim: average rounds stay far below the mesh
+// diameter.
+func TestRoundsBoundedByBlockDiameter(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var sum1, sum2, trialsRun int
+	for trial := 0; trial < 60; trial++ {
+		cfg := Config{Width: 20, Height: 20, Safety: status.Def2b}
+		faults := fault.Uniform{Count: rng.Intn(40)}.Generate(
+			mesh.MustNew(cfg.Width, cfg.Height, mesh.Mesh2D), rng)
+		res, err := FormSet(cfg, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unsafeCount := 0
+		for _, u := range res.Unsafe {
+			if u {
+				unsafeCount++
+			}
+		}
+		if res.RoundsPhase1 > unsafeCount {
+			t.Fatalf("trial %d: phase-1 rounds %d > unsafe count %d", trial, res.RoundsPhase1, unsafeCount)
+		}
+		if res.RoundsPhase2 > unsafeCount {
+			t.Fatalf("trial %d: phase-2 rounds %d > unsafe count %d", trial, res.RoundsPhase2, unsafeCount)
+		}
+		sum1 += res.RoundsPhase1
+		sum2 += res.RoundsPhase2
+		trialsRun++
+	}
+	diam := 20 + 20 - 2
+	if avg1 := float64(sum1) / float64(trialsRun); avg1 > float64(diam)/4 {
+		t.Fatalf("average phase-1 rounds %.2f not far below mesh diameter %d", avg1, diam)
+	}
+	if avg2 := float64(sum2) / float64(trialsRun); avg2 > float64(diam)/4 {
+		t.Fatalf("average phase-2 rounds %.2f not far below mesh diameter %d", avg2, diam)
+	}
+}
+
+func TestFormOnTorus(t *testing.T) {
+	cfg := Config{Width: 8, Height: 8, Kind: mesh.Torus2D, Safety: status.Def2b}
+	// Faults wrapping around the seam.
+	res, err := Form(cfg, []grid.Point{grid.Pt(0, 0), grid.Pt(7, 0), grid.Pt(0, 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(status.Def2b); err != nil {
+		t.Fatal(err)
+	}
+	// All three faults are mutually diagonal across the seam; the unsafe
+	// closure must join them into one wrapped block.
+	if len(res.Blocks) != 1 {
+		t.Fatalf("wrapped blocks = %d, want 1 (seam-adjacent faults merge)", len(res.Blocks))
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	res, err := Form(Config{Width: 5, Height: 5}, []grid.Point{grid.Pt(2, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Enabled[res.Topo.Index(grid.Pt(2, 2))] = true // enable a faulty node
+	if err := res.Validate(status.Def2b); err == nil {
+		t.Fatal("Validate must reject an enabled faulty node")
+	}
+	res2, err := Form(Config{Width: 5, Height: 5}, []grid.Point{grid.Pt(2, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Enabled[res2.Topo.Index(grid.Pt(0, 0))] = false // disable a safe node
+	if err := res2.Validate(status.Def2b); err == nil {
+		t.Fatal("Validate must reject a disabled safe node")
+	}
+}
+
+func TestRender(t *testing.T) {
+	fix := fault.SectionThreeExample()
+	res, err := FormSet(Config{Width: 5, Height: 5, Safety: status.Def2b}, fix.Faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Render()
+	want := strings.Join([]string{
+		".....",
+		".#++.",
+		".++#.",
+		".+#+.",
+		".....",
+	}, "\n") + "\n"
+	if got != want {
+		t.Fatalf("Render:\n%s\nwant:\n%s", got, want)
+	}
+	if RenderLegend() == "" {
+		t.Fatal("legend must not be empty")
+	}
+}
+
+func TestRenderShowsDisabledGlyph(t *testing.T) {
+	fix := fault.Figure2B()
+	res, err := FormSet(Config{Width: 10, Height: 10, Safety: status.Def2b}, fix.Faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.ContainsRune(res.Render(), GlyphDisabled) {
+		t.Fatal("Figure 2(b) must render disabled nonfaulty nodes")
+	}
+}
+
+func TestEngineKindString(t *testing.T) {
+	if EngineSequential.String() != "sequential" || EngineChannels.String() != "channels" {
+		t.Fatal("engine kind names wrong")
+	}
+}
+
+// Random torus configurations pass the full (unwrapped) invariant suite.
+func TestValidateOnRandomTori(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 30; trial++ {
+		cfg := Config{Width: 9, Height: 9, Kind: mesh.Torus2D, Safety: status.Def2b}
+		faults := fault.Uniform{Count: rng.Intn(15)}.Generate(
+			mesh.MustNew(cfg.Width, cfg.Height, mesh.Torus2D), rng)
+		res, err := FormSet(cfg, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Validate(status.Def2b); err != nil {
+			t.Fatalf("trial %d: %v\nfaults=%v", trial, err, faults.Points())
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"strings"
+
+	"ocpmesh/internal/grid"
+)
+
+// Render symbols, exported so callers can document legends consistently.
+const (
+	GlyphFaulty   = '#' // faulty node
+	GlyphDisabled = 'x' // nonfaulty but disabled (sacrificed)
+	GlyphUnsafe   = '+' // unsafe but enabled (reactivated by Definition 3)
+	GlyphSafe     = '.' // safe node
+)
+
+// Render draws the machine as ASCII art, one glyph per node, row y=Height-1
+// at the top (so the picture matches the usual mathematical orientation of
+// the paper's figures). The legend: '#' faulty, 'x' nonfaulty disabled,
+// '+' unsafe but enabled, '.' safe.
+func (r *Result) Render() string {
+	var b strings.Builder
+	for y := r.Topo.Height() - 1; y >= 0; y-- {
+		for x := 0; x < r.Topo.Width(); x++ {
+			p := grid.Pt(x, y)
+			i := r.Topo.Index(p)
+			switch {
+			case r.Faults.Has(p):
+				b.WriteRune(GlyphFaulty)
+			case !r.Enabled[i]:
+				b.WriteRune(GlyphDisabled)
+			case r.Unsafe[i]:
+				b.WriteRune(GlyphUnsafe)
+			default:
+				b.WriteRune(GlyphSafe)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderLegend returns a human-readable explanation of Render's glyphs.
+func RenderLegend() string {
+	return "# faulty   x disabled (nonfaulty)   + unsafe but enabled   . safe"
+}

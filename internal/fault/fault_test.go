@@ -1,0 +1,297 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocpmesh/internal/geometry"
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+)
+
+func TestUniformGenerate(t *testing.T) {
+	m := mesh.MustNew(10, 10, mesh.Mesh2D)
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 17, 100} {
+		s := Uniform{Count: n}.Generate(m, rng)
+		if s.Len() != n {
+			t.Fatalf("uniform(%d) produced %d faults", n, s.Len())
+		}
+		for _, p := range s.Points() {
+			if !m.Contains(p) {
+				t.Fatalf("fault %v outside machine", p)
+			}
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	m := mesh.MustNew(20, 20, mesh.Mesh2D)
+	a := Uniform{Count: 30}.Generate(m, rand.New(rand.NewSource(7)))
+	b := Uniform{Count: 30}.Generate(m, rand.New(rand.NewSource(7)))
+	if !a.Equal(b) {
+		t.Fatal("same seed must give same faults")
+	}
+	c := Uniform{Count: 30}.Generate(m, rand.New(rand.NewSource(8)))
+	if a.Equal(c) {
+		t.Fatal("different seeds should (overwhelmingly) differ")
+	}
+}
+
+func TestUniformPanics(t *testing.T) {
+	m := mesh.MustNew(3, 3, mesh.Mesh2D)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("count > size must panic")
+		}
+	}()
+	Uniform{Count: 10}.Generate(m, rand.New(rand.NewSource(1)))
+}
+
+func TestUniformCoversUniformly(t *testing.T) {
+	// Sanity: with many draws, every node is selected at least once.
+	m := mesh.MustNew(5, 5, mesh.Mesh2D)
+	rng := rand.New(rand.NewSource(3))
+	seen := grid.NewPointSet()
+	for i := 0; i < 200; i++ {
+		seen.Union(Uniform{Count: 5}.Generate(m, rng))
+	}
+	if seen.Len() != m.Size() {
+		t.Fatalf("after 200 draws only %d/%d nodes seen", seen.Len(), m.Size())
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	m := mesh.MustNew(30, 30, mesh.Mesh2D)
+	rng := rand.New(rand.NewSource(5))
+	if got := (Bernoulli{P: 0}).Generate(m, rng); got.Len() != 0 {
+		t.Fatal("p=0 must give no faults")
+	}
+	if got := (Bernoulli{P: 1}).Generate(m, rng); got.Len() != m.Size() {
+		t.Fatal("p=1 must fault every node")
+	}
+	got := (Bernoulli{P: 0.1}).Generate(m, rng)
+	if got.Len() == 0 || got.Len() > m.Size()/2 {
+		t.Fatalf("p=0.1 gave implausible count %d", got.Len())
+	}
+}
+
+func TestBernoulliPanics(t *testing.T) {
+	m := mesh.MustNew(3, 3, mesh.Mesh2D)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p out of range must panic")
+		}
+	}()
+	Bernoulli{P: 1.5}.Generate(m, rand.New(rand.NewSource(1)))
+}
+
+func TestClustered(t *testing.T) {
+	m := mesh.MustNew(40, 40, mesh.Mesh2D)
+	rng := rand.New(rand.NewSource(9))
+	g := Clustered{Count: 50, Clusters: 2, Spread: 3}
+	s := g.Generate(m, rng)
+	if s.Len() != 50 {
+		t.Fatalf("clustered count = %d", s.Len())
+	}
+	for _, p := range s.Points() {
+		if !m.Contains(p) {
+			t.Fatalf("clustered fault %v outside machine", p)
+		}
+	}
+	// Clustered faults should occupy a much smaller bounding area than 50
+	// uniform faults on a 40x40 mesh would (expected ~whole mesh).
+	if area := s.Bounds().Area(); area > m.Size()/2 {
+		t.Logf("warning: clustered bounds unexpectedly large: %d", area)
+	}
+}
+
+func TestClusteredPanics(t *testing.T) {
+	m := mesh.MustNew(5, 5, mesh.Mesh2D)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero clusters must panic")
+		}
+	}()
+	Clustered{Count: 3, Clusters: 0, Spread: 1}.Generate(m, rand.New(rand.NewSource(1)))
+}
+
+func TestFixed(t *testing.T) {
+	m := mesh.MustNew(5, 5, mesh.Mesh2D)
+	g := Fixed{Points: []grid.Point{grid.Pt(1, 1), grid.Pt(2, 2)}}
+	s := g.Generate(m, nil)
+	if s.Len() != 2 || !s.Has(grid.Pt(1, 1)) {
+		t.Fatalf("fixed = %v", s.Points())
+	}
+	if g.Name() != "fixed(2)" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+	if (Fixed{Label: "x", Points: nil}).Name() != "x" {
+		t.Fatal("labeled Name wrong")
+	}
+}
+
+func TestFixedPanicsOutside(t *testing.T) {
+	m := mesh.MustNew(3, 3, mesh.Mesh2D)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("outside point must panic")
+		}
+	}()
+	Fixed{Points: []grid.Point{grid.Pt(5, 5)}}.Generate(m, nil)
+}
+
+func TestGeneratorNames(t *testing.T) {
+	tests := []struct {
+		g    Generator
+		want string
+	}{
+		{Uniform{Count: 7}, "uniform(f=7)"},
+		{Bernoulli{P: 0.25}, "bernoulli(p=0.25)"},
+		{Clustered{Count: 9, Clusters: 2, Spread: 3}, "clustered(f=9,k=2,s=3)"},
+		{Shaped{Kind: ShapeU, Arm: 2, Count: 1}, "shaped(U,arm=2,n=1)"},
+	}
+	for _, tt := range tests {
+		if got := tt.g.Name(); got != tt.want {
+			t.Errorf("Name = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestShapePointsConvexity(t *testing.T) {
+	for _, kind := range []ShapeKind{ShapeL, ShapeT, ShapePlus, ShapeU, ShapeH} {
+		for arm := 1; arm <= 3; arm++ {
+			s := grid.PointSetOf(ShapePoints(kind, grid.Pt(0, 0), arm)...)
+			if !geometry.IsConnected(s) {
+				t.Errorf("%v arm=%d not connected", kind, arm)
+			}
+			if got := geometry.IsOrthogonallyConvex(s); got != kind.OrthogonallyConvex() {
+				t.Errorf("%v arm=%d: IsOrthogonallyConvex = %t, want %t (paper classification)",
+					kind, arm, got, kind.OrthogonallyConvex())
+			}
+		}
+	}
+}
+
+func TestShapePointsNoDuplicates(t *testing.T) {
+	for _, kind := range []ShapeKind{ShapeL, ShapeT, ShapePlus, ShapeU, ShapeH} {
+		pts := ShapePoints(kind, grid.Pt(3, 3), 2)
+		s := grid.PointSetOf(pts...)
+		if s.Len() != len(pts) {
+			t.Errorf("%v: duplicate points in shape (%d unique of %d)", kind, s.Len(), len(pts))
+		}
+		b := s.Bounds()
+		if b.MinX != 3 || b.MinY != 3 {
+			t.Errorf("%v: shape not anchored at origin: %v", kind, b)
+		}
+	}
+}
+
+func TestShapedGenerate(t *testing.T) {
+	m := mesh.MustNew(20, 20, mesh.Mesh2D)
+	rng := rand.New(rand.NewSource(2))
+	s := Shaped{Kind: ShapeH, Arm: 2, Count: 3}.Generate(m, rng)
+	if s.Len() == 0 {
+		t.Fatal("shaped produced no faults")
+	}
+	for _, p := range s.Points() {
+		if !m.Contains(p) {
+			t.Fatalf("shaped fault %v outside machine", p)
+		}
+	}
+}
+
+func TestShapeKindString(t *testing.T) {
+	want := map[ShapeKind]string{ShapeL: "L", ShapeT: "T", ShapePlus: "+", ShapeU: "U", ShapeH: "H"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("String(%d) = %q", int(k), k.String())
+		}
+	}
+	if ShapeKind(99).String() != "ShapeKind(99)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestFixtures(t *testing.T) {
+	fs := Fixtures()
+	if len(fs) != 4 {
+		t.Fatalf("Fixtures len = %d", len(fs))
+	}
+	names := map[string]bool{}
+	for _, f := range fs {
+		if names[f.Name] {
+			t.Fatalf("duplicate fixture name %q", f.Name)
+		}
+		names[f.Name] = true
+		for _, p := range f.Faults.Points() {
+			if !f.Topo.Contains(p) {
+				t.Fatalf("fixture %q fault %v outside machine", f.Name, p)
+			}
+		}
+		if f.Doc == "" {
+			t.Fatalf("fixture %q missing doc", f.Name)
+		}
+	}
+	if _, ok := ByName("figure1"); !ok {
+		t.Fatal("ByName(figure1) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName(nope) should fail")
+	}
+}
+
+func TestFigure2FixtureGeometry(t *testing.T) {
+	// The faults of Figure 2(a)/(b) are the block minus a 2x2 hole; holes
+	// must be disjoint from faults and inside the block.
+	for _, tt := range []struct {
+		fix  Fixture
+		hole *grid.PointSet
+	}{
+		{Figure2A(), Figure2AHole()},
+		{Figure2B(), Figure2BHole()},
+	} {
+		block := Figure2Block()
+		if tt.fix.Faults.Len() != block.Area()-4 {
+			t.Fatalf("%s: fault count = %d", tt.fix.Name, tt.fix.Faults.Len())
+		}
+		for _, p := range tt.hole.Points() {
+			if !block.Contains(p) {
+				t.Fatalf("%s: hole %v outside block", tt.fix.Name, p)
+			}
+			if tt.fix.Faults.Has(p) {
+				t.Fatalf("%s: hole %v marked faulty", tt.fix.Name, p)
+			}
+		}
+	}
+}
+
+func TestWallsGenerate(t *testing.T) {
+	m := mesh.MustNew(20, 20, mesh.Mesh2D)
+	rng := rand.New(rand.NewSource(10))
+	s := Walls{Count: 3, Length: 6}.Generate(m, rng)
+	if s.Len() == 0 || s.Len() > 18 {
+		t.Fatalf("walls produced %d faults", s.Len())
+	}
+	for _, p := range s.Points() {
+		if !m.Contains(p) {
+			t.Fatalf("wall fault %v outside machine", p)
+		}
+	}
+	if (Walls{Count: 2, Length: 5}).Name() != "walls(n=2,len=5)" {
+		t.Fatal("walls name wrong")
+	}
+	if got := (Walls{Count: 0, Length: 3}).Generate(m, rng); got.Len() != 0 {
+		t.Fatal("zero walls must give no faults")
+	}
+}
+
+func TestWallsPanics(t *testing.T) {
+	m := mesh.MustNew(4, 4, mesh.Mesh2D)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized wall must panic")
+		}
+	}()
+	Walls{Count: 1, Length: 9}.Generate(m, rand.New(rand.NewSource(1)))
+}

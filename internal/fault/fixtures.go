@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+)
+
+// Fixture is a named fault pattern on a fixed machine, reproducing one of
+// the paper's worked examples.
+type Fixture struct {
+	Name   string
+	Topo   *mesh.Topology
+	Faults *grid.PointSet
+	// Doc summarizes what the paper says this configuration shows.
+	Doc string
+}
+
+// SectionThreeExample is the worked example at the end of the paper's
+// Section 3: a 2-D mesh with three faulty nodes (1,3), (2,1) and (3,2).
+// Under the safe/unsafe rule (Definition 2b) one faulty block
+// {(i,j) | i,j in {1,2,3}} is constructed; under the enabled/disabled rule
+// the block splits into the disabled regions {(1,3)} and {(2,1),(3,2)}
+// with every nonfaulty node of the block enabled.
+//
+// Note the paper groups the diagonally adjacent disabled nodes (2,1) and
+// (3,2) into one region — region extraction therefore supports
+// 8-connectivity (corner-touching regions merge), consistent with the
+// paper's remark that two diagonal faults are contained in a single
+// region.
+func SectionThreeExample() Fixture {
+	return Fixture{
+		Name:   "section3",
+		Topo:   mesh.MustNew(5, 5, mesh.Mesh2D),
+		Faults: grid.PointSetOf(grid.Pt(1, 3), grid.Pt(2, 1), grid.Pt(3, 2)),
+		Doc: "three faults -> one 3x3 faulty block (Def 2b) -> disabled regions " +
+			"{(1,3)} and {(2,1),(3,2)}, all nonfaulty nodes enabled",
+	}
+}
+
+// Figure1 reproduces the structure of the paper's Figure 1: a fault
+// pattern whose faulty block under Definition 2a is a single rectangle
+// containing many nonfaulty (gray) nodes, splits into two smaller blocks
+// under Definition 2b, and shrinks to two small disabled regions under the
+// enabled/disabled rule of Definition 3.
+//
+// The exact node pattern of Figure 1 is not recoverable from the paper
+// text (the figure is graphical); this fixture is a minimal pattern
+// exhibiting all the relationships the figure illustrates, with the
+// expected outcomes derivable by hand:
+//
+//   - Def 2a block: [2..5]x[2..3] (one 4x2 rectangle, 5 nonfaulty unsafe).
+//   - Def 2b blocks: [2..3]x[2..3] and {(5,3)} at distance 2.
+//   - Disabled regions (either pipeline): {(2,2),(3,3)} and {(5,3)}.
+func Figure1() Fixture {
+	return Fixture{
+		Name:   "figure1",
+		Topo:   mesh.MustNew(10, 10, mesh.Mesh2D),
+		Faults: grid.PointSetOf(grid.Pt(2, 2), grid.Pt(3, 3), grid.Pt(5, 3)),
+		Doc: "Def 2a merges all three faults into one 4x2 block; Def 2b yields " +
+			"two blocks; Def 3 keeps only the faults (plus diagonal grouping) disabled",
+	}
+}
+
+// figure2Block is the faulty block rectangle shared by both Figure 2
+// fixtures.
+var figure2Block = grid.NewRect(2, 2, 6, 5)
+
+// Figure2Block returns the faulty block rectangle of the Figure 2
+// fixtures.
+func Figure2Block() grid.Rect { return figure2Block }
+
+// Figure2A reproduces the paper's Figure 2(a): a faulty block whose upper
+// RIGHT 2x2 sub-block contains only nonfaulty nodes, all remaining block
+// nodes faulty. Starting from the corner (which sees two enabled neighbors
+// outside the block) the enabled/disabled rule iteratively enables the
+// whole nonfaulty sub-block; the disabled region is the block minus that
+// corner — still an orthogonal convex polygon.
+func Figure2A() Fixture {
+	hole := grid.PointSetOf(grid.Pt(5, 4), grid.Pt(6, 4), grid.Pt(5, 5), grid.Pt(6, 5))
+	faults := grid.NewPointSet()
+	for _, p := range figure2Block.Points() {
+		if !hole.Has(p) {
+			faults.Add(p)
+		}
+	}
+	return Fixture{
+		Name:   "figure2a",
+		Topo:   mesh.MustNew(10, 10, mesh.Mesh2D),
+		Faults: faults,
+		Doc:    "nonfaulty 2x2 sub-block in the upper right corner gets enabled",
+	}
+}
+
+// Figure2AHole returns the nonfaulty sub-block of Figure2A.
+func Figure2AHole() *grid.PointSet {
+	return grid.PointSetOf(grid.Pt(5, 4), grid.Pt(6, 4), grid.Pt(5, 5), grid.Pt(6, 5))
+}
+
+// Figure2B reproduces the paper's Figure 2(b): the nonfaulty 2x2 sub-block
+// sits at the upper CENTER of the block. Under the monotone Definition 3
+// every node of the block stays disabled (each nonfaulty node sees at most
+// one enabled neighbor — the one to the north, outside the block). Under
+// the naive recursive definition the four nonfaulty nodes admit both an
+// all-enabled and an all-disabled consistent assignment: the "double
+// status" problem that motivates Definition 3's initialization.
+func Figure2B() Fixture {
+	hole := Figure2BHole()
+	faults := grid.NewPointSet()
+	for _, p := range figure2Block.Points() {
+		if !hole.Has(p) {
+			faults.Add(p)
+		}
+	}
+	return Fixture{
+		Name:   "figure2b",
+		Topo:   mesh.MustNew(10, 10, mesh.Mesh2D),
+		Faults: faults,
+		Doc:    "nonfaulty 2x2 sub-block at the upper center has double status under the recursive rule",
+	}
+}
+
+// Figure2BHole returns the nonfaulty sub-block of Figure2B.
+func Figure2BHole() *grid.PointSet {
+	return grid.PointSetOf(grid.Pt(3, 4), grid.Pt(4, 4), grid.Pt(3, 5), grid.Pt(4, 5))
+}
+
+// Fixtures returns every named fixture.
+func Fixtures() []Fixture {
+	return []Fixture{SectionThreeExample(), Figure1(), Figure2A(), Figure2B()}
+}
+
+// ByName returns the fixture with the given name and true, or a zero
+// fixture and false.
+func ByName(name string) (Fixture, bool) {
+	for _, f := range Fixtures() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Fixture{}, false
+}

@@ -1,0 +1,195 @@
+// Package fault provides fault-pattern generators and the paper's worked
+// fixtures.
+//
+// The paper's fault model (Section 2): only node faults, fail-stop
+// (faulty nodes simply cease to work), no a-priori global knowledge of the
+// fault distribution. The simulation section samples f faults uniformly at
+// random among the n x n mesh nodes; this package additionally provides
+// clustered and shaped patterns (L, T, +, U, H — the non-rectangular
+// regions discussed in the introduction) used by the extension
+// experiments.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+)
+
+// Generator produces a fault pattern for a given machine.
+type Generator interface {
+	// Name identifies the generator in experiment output.
+	Name() string
+	// Generate returns the set of faulty nodes. Every returned point is a
+	// machine node of t. Implementations must be deterministic given rng.
+	Generate(t *mesh.Topology, rng *rand.Rand) *grid.PointSet
+}
+
+// Uniform samples Count distinct faulty nodes uniformly at random, the
+// workload of the paper's simulation study.
+type Uniform struct {
+	Count int
+}
+
+// Name implements Generator.
+func (u Uniform) Name() string { return fmt.Sprintf("uniform(f=%d)", u.Count) }
+
+// Generate implements Generator. It panics if Count exceeds the machine
+// size or is negative.
+func (u Uniform) Generate(t *mesh.Topology, rng *rand.Rand) *grid.PointSet {
+	if u.Count < 0 || u.Count > t.Size() {
+		panic(fmt.Sprintf("fault: uniform count %d out of range [0,%d]", u.Count, t.Size()))
+	}
+	// Partial Fisher-Yates over node indices.
+	idx := make([]int, t.Size())
+	for i := range idx {
+		idx[i] = i
+	}
+	s := grid.NewPointSet()
+	for i := 0; i < u.Count; i++ {
+		j := i + rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		s.Add(t.PointAt(idx[i]))
+	}
+	return s
+}
+
+// Bernoulli marks each node faulty independently with probability P.
+type Bernoulli struct {
+	P float64
+}
+
+// Name implements Generator.
+func (b Bernoulli) Name() string { return fmt.Sprintf("bernoulli(p=%g)", b.P) }
+
+// Generate implements Generator.
+func (b Bernoulli) Generate(t *mesh.Topology, rng *rand.Rand) *grid.PointSet {
+	if b.P < 0 || b.P > 1 {
+		panic(fmt.Sprintf("fault: bernoulli probability %g out of range", b.P))
+	}
+	s := grid.NewPointSet()
+	for _, p := range t.Points() {
+		if rng.Float64() < b.P {
+			s.Add(p)
+		}
+	}
+	return s
+}
+
+// Clustered samples Count faults grouped around Clusters random centers;
+// each fault is a center plus a uniform offset in [-Spread, Spread] per
+// dimension (clipped to the machine). Clustered faults model correlated
+// failures (a failing board or power domain) and stress the labeling rules
+// with large faulty blocks.
+type Clustered struct {
+	Count    int
+	Clusters int
+	Spread   int
+}
+
+// Name implements Generator.
+func (c Clustered) Name() string {
+	return fmt.Sprintf("clustered(f=%d,k=%d,s=%d)", c.Count, c.Clusters, c.Spread)
+}
+
+// Generate implements Generator.
+func (c Clustered) Generate(t *mesh.Topology, rng *rand.Rand) *grid.PointSet {
+	if c.Count < 0 || c.Count > t.Size() {
+		panic(fmt.Sprintf("fault: clustered count %d out of range [0,%d]", c.Count, t.Size()))
+	}
+	if c.Clusters < 1 || c.Spread < 0 {
+		panic("fault: clustered needs Clusters >= 1 and Spread >= 0")
+	}
+	centers := make([]grid.Point, c.Clusters)
+	for i := range centers {
+		centers[i] = t.PointAt(rng.Intn(t.Size()))
+	}
+	clip := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	s := grid.NewPointSet()
+	for s.Len() < c.Count {
+		ctr := centers[rng.Intn(len(centers))]
+		p := grid.Pt(
+			clip(ctr.X+rng.Intn(2*c.Spread+1)-c.Spread, t.Width()-1),
+			clip(ctr.Y+rng.Intn(2*c.Spread+1)-c.Spread, t.Height()-1),
+		)
+		s.Add(p)
+	}
+	return s
+}
+
+// Fixed returns a predetermined fault pattern, used by fixtures and tests.
+type Fixed struct {
+	Label  string
+	Points []grid.Point
+}
+
+// Name implements Generator.
+func (f Fixed) Name() string {
+	if f.Label != "" {
+		return f.Label
+	}
+	return fmt.Sprintf("fixed(%d)", len(f.Points))
+}
+
+// Generate implements Generator. It panics if a point lies outside the
+// machine.
+func (f Fixed) Generate(t *mesh.Topology, _ *rand.Rand) *grid.PointSet {
+	s := grid.NewPointSet()
+	for _, p := range f.Points {
+		if !t.Contains(p) {
+			panic(fmt.Sprintf("fault: fixed point %v outside %v", p, t))
+		}
+		s.Add(p)
+	}
+	return s
+}
+
+// Walls places Count straight fault segments of the given Length at
+// random positions and orientations — a failed backplane row or column.
+// Wall faults force long detours and, under Definition 2a, produce
+// elongated faulty blocks, stressing the routing experiments.
+type Walls struct {
+	Count  int
+	Length int
+}
+
+// Name implements Generator.
+func (w Walls) Name() string { return fmt.Sprintf("walls(n=%d,len=%d)", w.Count, w.Length) }
+
+// Generate implements Generator.
+func (w Walls) Generate(t *mesh.Topology, rng *rand.Rand) *grid.PointSet {
+	if w.Count < 0 || w.Length < 1 {
+		panic("fault: walls need Count >= 0 and Length >= 1")
+	}
+	if w.Length > t.Width() || w.Length > t.Height() {
+		panic(fmt.Sprintf("fault: wall of length %d does not fit in %v", w.Length, t))
+	}
+	out := grid.NewPointSet()
+	for i := 0; i < w.Count; i++ {
+		horizontal := rng.Intn(2) == 0
+		if horizontal {
+			x0 := rng.Intn(t.Width() - w.Length + 1)
+			y := rng.Intn(t.Height())
+			for x := x0; x < x0+w.Length; x++ {
+				out.Add(grid.Pt(x, y))
+			}
+		} else {
+			x := rng.Intn(t.Width())
+			y0 := rng.Intn(t.Height() - w.Length + 1)
+			for y := y0; y < y0+w.Length; y++ {
+				out.Add(grid.Pt(x, y))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+)
+
+// Link is an undirected link between two adjacent machine nodes, stored
+// with A canonically less than B.
+type Link struct {
+	A, B grid.Point
+}
+
+// NewLink returns the canonical form of the link between a and b; it
+// panics if the endpoints are not distinct points (adjacency is validated
+// by the callers against a concrete topology, since torus wrap links look
+// non-adjacent in flat coordinates).
+func NewLink(a, b grid.Point) Link {
+	if a == b {
+		panic(fmt.Sprintf("fault: degenerate link at %v", a))
+	}
+	if b.Less(a) {
+		a, b = b, a
+	}
+	return Link{A: a, B: b}
+}
+
+// UniformLinks samples Count distinct faulty links uniformly at random.
+// The paper's model considers node faults only, noting that "link faults
+// can be treated as node faults"; ConvertLinks performs that reduction.
+type UniformLinks struct {
+	Count int
+}
+
+// Name identifies the generator.
+func (u UniformLinks) Name() string { return fmt.Sprintf("uniform-links(l=%d)", u.Count) }
+
+// GenerateLinks returns Count distinct faulty links of t.
+func (u UniformLinks) GenerateLinks(t *mesh.Topology, rng *rand.Rand) []Link {
+	all := AllLinks(t)
+	if u.Count < 0 || u.Count > len(all) {
+		panic(fmt.Sprintf("fault: link count %d out of range [0,%d]", u.Count, len(all)))
+	}
+	for i := 0; i < u.Count; i++ {
+		j := i + rng.Intn(len(all)-i)
+		all[i], all[j] = all[j], all[i]
+	}
+	return all[:u.Count]
+}
+
+// Generate implements Generator by reducing the sampled link faults to
+// node faults.
+func (u UniformLinks) Generate(t *mesh.Topology, rng *rand.Rand) *grid.PointSet {
+	return ConvertLinks(u.GenerateLinks(t, rng))
+}
+
+// AllLinks enumerates every link of the machine exactly once, in
+// canonical order.
+func AllLinks(t *mesh.Topology) []Link {
+	seen := make(map[Link]bool)
+	var out []Link
+	for _, p := range t.Points() {
+		for _, d := range mesh.Directions {
+			if q, ok := t.NeighborIn(p, d); ok {
+				l := NewLink(p, q)
+				if !seen[l] {
+					seen[l] = true
+					out = append(out, l)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A.Less(out[j].A)
+		}
+		return out[i].B.Less(out[j].B)
+	})
+	return out
+}
+
+// ConvertLinks reduces link faults to node faults per the paper's remark:
+// a faulty link is modeled by treating one of its endpoints as faulty
+// (the node then never uses any of its links). The reduction is a greedy
+// vertex cover — repeatedly fault the endpoint incident to the most
+// still-uncovered faulty links — so it sacrifices few nodes and is
+// deterministic (ties break on canonical point order).
+func ConvertLinks(links []Link) *grid.PointSet {
+	uncovered := make(map[Link]bool, len(links))
+	degree := make(map[grid.Point]int)
+	for _, l := range links {
+		if !uncovered[l] {
+			uncovered[l] = true
+			degree[l.A]++
+			degree[l.B]++
+		}
+	}
+	out := grid.NewPointSet()
+	for len(uncovered) > 0 {
+		// Highest degree first; canonical order breaks ties.
+		var best grid.Point
+		bestDeg := -1
+		for p, deg := range degree {
+			if deg > bestDeg || (deg == bestDeg && p.Less(best)) {
+				best, bestDeg = p, deg
+			}
+		}
+		out.Add(best)
+		for l := range uncovered {
+			if l.A == best || l.B == best {
+				delete(uncovered, l)
+				degree[l.A]--
+				degree[l.B]--
+			}
+		}
+		delete(degree, best)
+	}
+	return out
+}

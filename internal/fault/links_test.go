@@ -1,0 +1,136 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+)
+
+func TestNewLinkCanonical(t *testing.T) {
+	l1 := NewLink(grid.Pt(1, 0), grid.Pt(0, 0))
+	l2 := NewLink(grid.Pt(0, 0), grid.Pt(1, 0))
+	if l1 != l2 {
+		t.Fatal("link canonicalization broken")
+	}
+	if !l1.A.Less(l1.B) {
+		t.Fatal("A must be the smaller endpoint")
+	}
+}
+
+func TestNewLinkPanicsOnDegenerate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self link must panic")
+		}
+	}()
+	NewLink(grid.Pt(1, 1), grid.Pt(1, 1))
+}
+
+func TestAllLinksCount(t *testing.T) {
+	// A w x h mesh has w(h-1) + h(w-1) links; a torus has 2wh.
+	m := mesh.MustNew(4, 3, mesh.Mesh2D)
+	if got, want := len(AllLinks(m)), 4*2+3*3; got != want {
+		t.Fatalf("mesh links = %d, want %d", got, want)
+	}
+	tor := mesh.MustNew(4, 3, mesh.Torus2D)
+	if got, want := len(AllLinks(tor)), 2*4*3; got != want {
+		t.Fatalf("torus links = %d, want %d", got, want)
+	}
+	// No duplicates, canonical order.
+	links := AllLinks(m)
+	seen := map[Link]bool{}
+	for _, l := range links {
+		if seen[l] {
+			t.Fatalf("duplicate link %v", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestUniformLinksGenerate(t *testing.T) {
+	m := mesh.MustNew(6, 6, mesh.Mesh2D)
+	rng := rand.New(rand.NewSource(4))
+	g := UniformLinks{Count: 10}
+	links := g.GenerateLinks(m, rng)
+	if len(links) != 10 {
+		t.Fatalf("links = %d", len(links))
+	}
+	seen := map[Link]bool{}
+	for _, l := range links {
+		if seen[l] {
+			t.Fatalf("duplicate sampled link %v", l)
+		}
+		seen[l] = true
+		if l.A.Dist(l.B) != 1 {
+			t.Fatalf("non-adjacent mesh link %v", l)
+		}
+	}
+	if g.Name() != "uniform-links(l=10)" {
+		t.Fatalf("name = %q", g.Name())
+	}
+}
+
+func TestConvertLinksCovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := mesh.MustNew(8, 8, mesh.Mesh2D)
+	for trial := 0; trial < 50; trial++ {
+		links := UniformLinks{Count: rng.Intn(20)}.GenerateLinks(m, rng)
+		nodes := ConvertLinks(links)
+		for _, l := range links {
+			if !nodes.Has(l.A) && !nodes.Has(l.B) {
+				t.Fatalf("trial %d: link %v uncovered", trial, l)
+			}
+		}
+		if nodes.Len() > len(links) {
+			t.Fatalf("trial %d: cover larger than link count", trial)
+		}
+	}
+}
+
+func TestConvertLinksGreedySharesEndpoints(t *testing.T) {
+	// A star of three links around one hub must cost exactly one node.
+	hub := grid.Pt(3, 3)
+	links := []Link{
+		NewLink(hub, grid.Pt(2, 3)),
+		NewLink(hub, grid.Pt(4, 3)),
+		NewLink(hub, grid.Pt(3, 2)),
+	}
+	nodes := ConvertLinks(links)
+	if nodes.Len() != 1 || !nodes.Has(hub) {
+		t.Fatalf("greedy cover = %v, want just the hub", nodes.Points())
+	}
+	// Duplicate links collapse.
+	dup := ConvertLinks([]Link{links[0], links[0]})
+	if dup.Len() != 1 {
+		t.Fatalf("duplicate links cover = %v", dup.Points())
+	}
+	if got := ConvertLinks(nil); got.Len() != 0 {
+		t.Fatal("empty conversion must be empty")
+	}
+}
+
+func TestUniformLinksAsNodeGenerator(t *testing.T) {
+	m := mesh.MustNew(10, 10, mesh.Mesh2D)
+	rng := rand.New(rand.NewSource(6))
+	s := UniformLinks{Count: 15}.Generate(m, rng)
+	if s.Len() == 0 || s.Len() > 15 {
+		t.Fatalf("node faults = %d", s.Len())
+	}
+	for _, p := range s.Points() {
+		if !m.Contains(p) {
+			t.Fatalf("fault %v outside machine", p)
+		}
+	}
+}
+
+func TestUniformLinksPanics(t *testing.T) {
+	m := mesh.MustNew(3, 3, mesh.Mesh2D)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized link count must panic")
+		}
+	}()
+	UniformLinks{Count: 1000}.GenerateLinks(m, rand.New(rand.NewSource(1)))
+}

@@ -1,0 +1,147 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+)
+
+// ShapeKind enumerates the non-rectangular fault-region shapes discussed
+// in the paper's introduction ([2], [8]): H-shape, L-shape, T-shape,
+// U-shape and +-shape. T, L and + are orthogonal convex polygons; U and H
+// are not.
+type ShapeKind int
+
+// The shape kinds.
+const (
+	ShapeL ShapeKind = iota
+	ShapeT
+	ShapePlus
+	ShapeU
+	ShapeH
+)
+
+// String returns the shape name.
+func (k ShapeKind) String() string {
+	switch k {
+	case ShapeL:
+		return "L"
+	case ShapeT:
+		return "T"
+	case ShapePlus:
+		return "+"
+	case ShapeU:
+		return "U"
+	case ShapeH:
+		return "H"
+	default:
+		return fmt.Sprintf("ShapeKind(%d)", int(k))
+	}
+}
+
+// OrthogonallyConvex reports whether the shape kind is an orthogonal
+// convex polygon (the paper's classification in Section 2).
+func (k ShapeKind) OrthogonallyConvex() bool {
+	switch k {
+	case ShapeL, ShapeT, ShapePlus:
+		return true
+	default:
+		return false
+	}
+}
+
+// ShapePoints returns the fault pattern of the given kind with arm length
+// arm >= 1, anchored so its bounding box has min corner at origin. Every
+// shape fits in a (2*arm+1) square or smaller.
+func ShapePoints(kind ShapeKind, origin grid.Point, arm int) []grid.Point {
+	if arm < 1 {
+		panic("fault: shape arm must be >= 1")
+	}
+	var pts []grid.Point
+	add := func(x, y int) { pts = append(pts, origin.Add(grid.Pt(x, y))) }
+	n := 2*arm + 1
+	switch kind {
+	case ShapeL:
+		// Vertical bar on the left column, horizontal bar on the bottom row.
+		for y := 0; y < n; y++ {
+			add(0, y)
+		}
+		for x := 1; x < n; x++ {
+			add(x, 0)
+		}
+	case ShapeT:
+		// Horizontal bar on the top row, stem down the middle column.
+		for x := 0; x < n; x++ {
+			add(x, n-1)
+		}
+		for y := 0; y < n-1; y++ {
+			add(arm, y)
+		}
+	case ShapePlus:
+		for x := 0; x < n; x++ {
+			add(x, arm)
+		}
+		for y := 0; y < n; y++ {
+			if y != arm {
+				add(arm, y)
+			}
+		}
+	case ShapeU:
+		// Two vertical bars joined by the bottom row.
+		for y := 0; y < n; y++ {
+			add(0, y)
+			add(n-1, y)
+		}
+		for x := 1; x < n-1; x++ {
+			add(x, 0)
+		}
+	case ShapeH:
+		// Two vertical bars joined by the middle row.
+		for y := 0; y < n; y++ {
+			add(0, y)
+			add(n-1, y)
+		}
+		for x := 1; x < n-1; x++ {
+			add(x, arm)
+		}
+	default:
+		panic(fmt.Sprintf("fault: unknown shape kind %d", int(kind)))
+	}
+	return pts
+}
+
+// Shaped places Count copies of the given shape at random origins (fully
+// inside the machine). Overlapping shapes simply merge.
+type Shaped struct {
+	Kind  ShapeKind
+	Arm   int
+	Count int
+}
+
+// Name implements Generator.
+func (s Shaped) Name() string {
+	return fmt.Sprintf("shaped(%v,arm=%d,n=%d)", s.Kind, s.Arm, s.Count)
+}
+
+// Generate implements Generator.
+func (s Shaped) Generate(t *mesh.Topology, rng *rand.Rand) *grid.PointSet {
+	if s.Count < 0 {
+		panic("fault: shaped count must be >= 0")
+	}
+	arm := s.Arm
+	if arm < 1 {
+		arm = 1
+	}
+	side := 2*arm + 1
+	if side > t.Width() || side > t.Height() {
+		panic(fmt.Sprintf("fault: shape of side %d does not fit in %v", side, t))
+	}
+	out := grid.NewPointSet()
+	for i := 0; i < s.Count; i++ {
+		origin := grid.Pt(rng.Intn(t.Width()-side+1), rng.Intn(t.Height()-side+1))
+		out.AddAll(ShapePoints(s.Kind, origin, arm)...)
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package geometry
+
+import "ocpmesh/internal/grid"
+
+// BoundaryCycle traces the outer boundary of a 4-connected region in
+// clockwise order using Moore-neighbor tracing (Jacob's stopping
+// criterion): the returned cycle starts at the region's canonical first
+// boundary cell and lists every boundary cell in traversal order;
+// consecutive entries are 8-adjacent, and cells may repeat where the
+// region is one cell thin (the walk passes a bridge twice, once per
+// side), which is exactly how a message hugs an f-ring.
+//
+// ok is false for an empty or disconnected region.
+func BoundaryCycle(s *grid.PointSet) (cycle []grid.Point, ok bool) {
+	if s.Len() == 0 || !IsConnected(s) {
+		return nil, false
+	}
+	if s.Len() == 1 {
+		return []grid.Point{s.Points()[0]}, true
+	}
+
+	// Moore neighborhood in clockwise order starting from west.
+	moore := [8]grid.Point{
+		{X: -1, Y: 0}, {X: -1, Y: 1}, {X: 0, Y: 1}, {X: 1, Y: 1},
+		{X: 1, Y: 0}, {X: 1, Y: -1}, {X: 0, Y: -1}, {X: -1, Y: -1},
+	}
+	idxOf := func(d grid.Point) int {
+		for i, m := range moore {
+			if m == d {
+				return i
+			}
+		}
+		panic("geometry: not a moore offset")
+	}
+
+	// Start at the lowest-then-leftmost cell; its west and south
+	// neighbors are outside, so entering "from the west" is valid.
+	pts := s.Points() // canonical: lowest y first, then lowest x
+	start := pts[0]
+	cycle = []grid.Point{start}
+
+	cur := start
+	// backtrack is the outside cell we entered cur from.
+	backtrack := start.Add(grid.Pt(-1, 0))
+	var second grid.Point
+	for {
+		// Scan the Moore neighborhood clockwise, starting just after the
+		// backtrack position.
+		startIdx := idxOf(backtrack.Sub(cur))
+		var next grid.Point
+		found := false
+		prevOutside := backtrack
+		for k := 1; k <= 8; k++ {
+			cand := cur.Add(moore[(startIdx+k)%8])
+			if s.Has(cand) {
+				next, found = cand, true
+				break
+			}
+			prevOutside = cand
+		}
+		if !found {
+			// Isolated cell cannot happen (Len > 1 and connected).
+			return nil, false
+		}
+		if len(cycle) == 1 {
+			second = next
+		} else if cur == start && next == second {
+			// Termination: about to repeat the initial (start -> second)
+			// step; the walk has closed. Drop the duplicated start.
+			return cycle[:len(cycle)-1], true
+		}
+		backtrack = prevOutside
+		cur = next
+		cycle = append(cycle, cur)
+		if len(cycle) > 4*s.Len()+8 {
+			// Safety bound; tracing a connected region always terminates
+			// well within this.
+			return nil, false
+		}
+	}
+}
+
+// Perimeter returns the number of unit edges between s and its
+// complement — the length of the region's rectilinear outline. For an
+// orthogonally convex polygon it equals the perimeter of the bounding
+// rectangle plus twice the staircase indentations.
+func Perimeter(s *grid.PointSet) int {
+	n := 0
+	s.Each(func(p grid.Point) {
+		for _, q := range p.Neighbors4() {
+			if !s.Has(q) {
+				n++
+			}
+		}
+	})
+	return n
+}

@@ -1,0 +1,111 @@
+package geometry
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocpmesh/internal/grid"
+)
+
+func TestPerimeter(t *testing.T) {
+	tests := []struct {
+		name string
+		s    *grid.PointSet
+		want int
+	}{
+		{"single", grid.PointSetOf(grid.Pt(0, 0)), 4},
+		{"domino", grid.PointSetOf(grid.Pt(0, 0), grid.Pt(1, 0)), 6},
+		{"2x2", rectSet(grid.NewRect(0, 0, 1, 1)), 8},
+		{"3x2", rectSet(grid.NewRect(0, 0, 2, 1)), 10},
+		{"plus", plusShape(), 12},
+		{"empty", grid.NewPointSet(), 0},
+	}
+	for _, tt := range tests {
+		if got := Perimeter(tt.s); got != tt.want {
+			t.Errorf("%s: Perimeter = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestBoundaryCycleRectangle(t *testing.T) {
+	s := rectSet(grid.NewRect(0, 0, 3, 2))
+	cycle, ok := BoundaryCycle(s)
+	if !ok {
+		t.Fatal("rectangle must trace")
+	}
+	// A 4x3 rectangle has 10 boundary cells, each visited once.
+	if len(cycle) != 10 {
+		t.Fatalf("cycle length = %d, want 10: %v", len(cycle), cycle)
+	}
+	seen := grid.NewPointSet()
+	for i, p := range cycle {
+		seen.Add(p)
+		if i > 0 && p.ChebyshevDist(cycle[i-1]) != 1 {
+			t.Fatalf("non-adjacent cycle step %v -> %v", cycle[i-1], p)
+		}
+	}
+	if cycle[0].ChebyshevDist(cycle[len(cycle)-1]) != 1 {
+		t.Fatal("cycle must close")
+	}
+	want := grid.PointSetOf(BoundaryNodes(s)...)
+	if !seen.Equal(want) {
+		t.Fatalf("cycle cells %v != boundary %v", seen.Points(), want.Points())
+	}
+}
+
+func TestBoundaryCycleSingleAndLine(t *testing.T) {
+	c, ok := BoundaryCycle(grid.PointSetOf(grid.Pt(5, 5)))
+	if !ok || len(c) != 1 {
+		t.Fatalf("singleton cycle = %v", c)
+	}
+	// A 1-wide line is traced down and back: cells repeat (bridge).
+	line := grid.PointSetOf(grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(2, 0))
+	c, ok = BoundaryCycle(line)
+	if !ok {
+		t.Fatal("line must trace")
+	}
+	if len(c) != 4 { // 0,1,2,1 — the middle cell passed twice
+		t.Fatalf("line cycle = %v", c)
+	}
+}
+
+func TestBoundaryCycleRejects(t *testing.T) {
+	if _, ok := BoundaryCycle(grid.NewPointSet()); ok {
+		t.Fatal("empty region must not trace")
+	}
+	if _, ok := BoundaryCycle(grid.PointSetOf(grid.Pt(0, 0), grid.Pt(5, 5))); ok {
+		t.Fatal("disconnected region must not trace")
+	}
+}
+
+// On random connected orthogonal convex polygons the cycle visits
+// exactly the boundary cells with 8-adjacent consecutive steps.
+func TestBoundaryCycleOnRandomPolygons(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 150; trial++ {
+		seed := grid.NewPointSet()
+		for i := 0; i < 1+rng.Intn(7); i++ {
+			seed.Add(grid.Pt(rng.Intn(9), rng.Intn(9)))
+		}
+		poly := ConnectedOrthogonalClosure(seed)
+		cycle, ok := BoundaryCycle(poly)
+		if !ok {
+			t.Fatalf("trial %d: polygon must trace: %v", trial, poly.Points())
+		}
+		seen := grid.NewPointSet()
+		for i, p := range cycle {
+			if !poly.Has(p) {
+				t.Fatalf("trial %d: cycle leaves the region at %v", trial, p)
+			}
+			seen.Add(p)
+			if i > 0 && p.ChebyshevDist(cycle[i-1]) != 1 {
+				t.Fatalf("trial %d: non-adjacent step", trial)
+			}
+		}
+		boundary := grid.PointSetOf(BoundaryNodes(poly)...)
+		if !seen.Equal(boundary) {
+			t.Fatalf("trial %d: cycle %v misses boundary cells %v",
+				trial, seen.Points(), boundary.Clone().Subtract(seen).Points())
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package geometry
+
+import "ocpmesh/internal/grid"
+
+// Components splits s into its 4-connected components. Components are
+// returned in canonical order (ordered by their smallest member), and each
+// component's points are independent copies.
+func Components(s *grid.PointSet) []*grid.PointSet {
+	seen := grid.NewPointSet()
+	var comps []*grid.PointSet
+	for _, start := range s.Points() { // canonical order => deterministic output
+		if seen.Has(start) {
+			continue
+		}
+		comp := grid.NewPointSet()
+		queue := []grid.Point{start}
+		seen.Add(start)
+		comp.Add(start)
+		for len(queue) > 0 {
+			p := queue[0]
+			queue = queue[1:]
+			for _, q := range p.Neighbors4() {
+				if s.Has(q) && !seen.Has(q) {
+					seen.Add(q)
+					comp.Add(q)
+					queue = append(queue, q)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether s is 4-connected. The empty set and
+// singletons are connected.
+func IsConnected(s *grid.PointSet) bool {
+	if s.Len() <= 1 {
+		return true
+	}
+	return len(Components(s)) == 1
+}
+
+// BoundaryNodes returns the members of s that have at least one of their
+// four mesh neighbors outside s, in canonical order.
+func BoundaryNodes(s *grid.PointSet) []grid.Point {
+	var out []grid.Point
+	for _, p := range s.Points() {
+		for _, q := range p.Neighbors4() {
+			if !s.Has(q) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// CornerNodes returns the corner nodes of s per the paper's Definition 4:
+// nodes of s that have at least one neighbor outside s along each
+// dimension (a missing west or east neighbor, and a missing south or north
+// neighbor). Lemma 1 states that in a disabled region every corner node is
+// faulty.
+func CornerNodes(s *grid.PointSet) []grid.Point {
+	var out []grid.Point
+	for _, p := range s.Points() {
+		missX := !s.Has(grid.Pt(p.X-1, p.Y)) || !s.Has(grid.Pt(p.X+1, p.Y))
+		missY := !s.Has(grid.Pt(p.X, p.Y-1)) || !s.Has(grid.Pt(p.X, p.Y+1))
+		if missX && missY {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// OpeningPoints returns the nodes of inner that have at least one neighbor
+// outside outer. In Theorem 1's case analysis inner is an enabled region
+// inside an original faulty block (outer); inner "has an opening" when
+// this list is nonempty.
+func OpeningPoints(inner, outer *grid.PointSet) []grid.Point {
+	var out []grid.Point
+	for _, p := range inner.Points() {
+		for _, q := range p.Neighbors4() {
+			if !outer.Has(q) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// HasOpening reports whether inner contains an opening point with respect
+// to outer.
+func HasOpening(inner, outer *grid.PointSet) bool {
+	opening := false
+	inner.Each(func(p grid.Point) {
+		if opening {
+			return
+		}
+		for _, q := range p.Neighbors4() {
+			if !outer.Has(q) {
+				opening = true
+				return
+			}
+		}
+	})
+	return opening
+}

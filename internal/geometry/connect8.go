@@ -1,0 +1,73 @@
+package geometry
+
+import "ocpmesh/internal/grid"
+
+// Neighbors8 returns the eight surrounding lattice points of p (the four
+// mesh neighbors plus the four diagonals), in row-major order.
+func Neighbors8(p grid.Point) [8]grid.Point {
+	return [8]grid.Point{
+		{X: p.X - 1, Y: p.Y - 1}, {X: p.X, Y: p.Y - 1}, {X: p.X + 1, Y: p.Y - 1},
+		{X: p.X - 1, Y: p.Y}, {X: p.X + 1, Y: p.Y},
+		{X: p.X - 1, Y: p.Y + 1}, {X: p.X, Y: p.Y + 1}, {X: p.X + 1, Y: p.Y + 1},
+	}
+}
+
+// Components8 splits s into its 8-connected components: corner-touching
+// cells belong to one component. The paper groups regions this way — two
+// faulty nodes at (x,y) and (x+1,y+1) "are contained in one single
+// region", and the Section 3 example reports the diagonally adjacent
+// disabled nodes (2,1) and (3,2) as one disabled region.
+func Components8(s *grid.PointSet) []*grid.PointSet {
+	seen := grid.NewPointSet()
+	var comps []*grid.PointSet
+	for _, start := range s.Points() {
+		if seen.Has(start) {
+			continue
+		}
+		comp := grid.NewPointSet()
+		queue := []grid.Point{start}
+		seen.Add(start)
+		comp.Add(start)
+		for len(queue) > 0 {
+			p := queue[0]
+			queue = queue[1:]
+			for _, q := range Neighbors8(p) {
+				if s.Has(q) && !seen.Has(q) {
+					seen.Add(q)
+					comp.Add(q)
+					queue = append(queue, q)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected8 reports whether s is 8-connected.
+func IsConnected8(s *grid.PointSet) bool {
+	if s.Len() <= 1 {
+		return true
+	}
+	return len(Components8(s)) == 1
+}
+
+// SetDist returns the minimum L1 distance between a point of a and a
+// point of b, or -1 when either set is empty. The paper's block-distance
+// results (>= 3 under Definition 2a, >= 2 under Definition 2b) are stated
+// in terms of this distance.
+func SetDist(a, b *grid.PointSet) int {
+	if a.Len() == 0 || b.Len() == 0 {
+		return -1
+	}
+	best := 1 << 30
+	ap, bp := a.Points(), b.Points()
+	for _, p := range ap {
+		for _, q := range bp {
+			if d := p.Dist(q); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}

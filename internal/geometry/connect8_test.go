@@ -1,0 +1,97 @@
+package geometry
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocpmesh/internal/grid"
+)
+
+func TestNeighbors8(t *testing.T) {
+	n := Neighbors8(grid.Pt(5, 5))
+	if len(n) != 8 {
+		t.Fatalf("Neighbors8 len = %d", len(n))
+	}
+	seen := grid.PointSetOf(n[:]...)
+	if seen.Len() != 8 || seen.Has(grid.Pt(5, 5)) {
+		t.Fatal("Neighbors8 must be 8 distinct points excluding the center")
+	}
+	for _, q := range n {
+		if q.ChebyshevDist(grid.Pt(5, 5)) != 1 {
+			t.Fatalf("%v not Chebyshev-adjacent", q)
+		}
+	}
+}
+
+func TestComponents8MergesDiagonals(t *testing.T) {
+	// The paper's example: disabled nodes (2,1) and (3,2) form ONE region.
+	s := grid.PointSetOf(grid.Pt(2, 1), grid.Pt(3, 2))
+	if got := len(Components8(s)); got != 1 {
+		t.Fatalf("diagonal pair components = %d, want 1", got)
+	}
+	if got := len(Components(s)); got != 2 {
+		t.Fatalf("under 4-connectivity the pair must split, got %d", got)
+	}
+	if !IsConnected8(s) {
+		t.Fatal("IsConnected8 wrong")
+	}
+	// Distance-2 points do not merge even under 8-connectivity.
+	far := grid.PointSetOf(grid.Pt(0, 0), grid.Pt(2, 0))
+	if IsConnected8(far) {
+		t.Fatal("distance-2 points must not be 8-connected")
+	}
+	if !IsConnected8(grid.NewPointSet()) || !IsConnected8(grid.PointSetOf(grid.Pt(1, 1))) {
+		t.Fatal("trivial sets are connected")
+	}
+}
+
+// Components8 must partition, and must be a coarsening of Components.
+func TestComponents8Partition(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		s := grid.NewPointSet()
+		for i := 0; i < rng.Intn(25); i++ {
+			s.Add(grid.Pt(rng.Intn(8), rng.Intn(8)))
+		}
+		comps8 := Components8(s)
+		total := 0
+		for _, c := range comps8 {
+			total += c.Len()
+		}
+		if total != s.Len() {
+			t.Fatalf("trial %d: 8-components do not partition", trial)
+		}
+		if len(comps8) > len(Components(s)) {
+			t.Fatalf("trial %d: 8-connectivity must merge, never split", trial)
+		}
+		// Every 4-component lies entirely inside one 8-component.
+		for _, c4 := range Components(s) {
+			inside := 0
+			for _, c8 := range comps8 {
+				if c4.SubsetOf(c8) {
+					inside++
+				}
+			}
+			if inside != 1 {
+				t.Fatalf("trial %d: 4-component split across 8-components", trial)
+			}
+		}
+	}
+}
+
+func TestSetDist(t *testing.T) {
+	a := grid.PointSetOf(grid.Pt(0, 0), grid.Pt(1, 0))
+	b := grid.PointSetOf(grid.Pt(4, 3))
+	if d := SetDist(a, b); d != 6 {
+		t.Fatalf("SetDist = %d, want 6", d)
+	}
+	if d := SetDist(b, a); d != 6 {
+		t.Fatal("SetDist must be symmetric")
+	}
+	if d := SetDist(a, a); d != 0 {
+		t.Fatalf("self distance = %d", d)
+	}
+	if d := SetDist(a, grid.NewPointSet()); d != -1 {
+		t.Fatalf("empty set distance = %d, want -1", d)
+	}
+}

@@ -1,0 +1,156 @@
+package geometry
+
+import "ocpmesh/internal/grid"
+
+// IsOrthogonallyConvex reports whether s satisfies the paper's
+// Definition 1: for any horizontal or vertical line, if two nodes on the
+// line are inside the region then all nodes between them are inside the
+// region. Equivalently, every occupied row and every occupied column of s
+// is a single contiguous run.
+//
+// Note that orthogonal convexity alone does not imply connectivity; the
+// paper's regions are additionally 4-connected (see IsOrthogonalConvexPolygon).
+func IsOrthogonallyConvex(s *grid.PointSet) bool {
+	for _, ivs := range RowIntervals(s) {
+		if len(ivs) > 1 {
+			return false
+		}
+	}
+	for _, ivs := range ColIntervals(s) {
+		if len(ivs) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsOrthogonalConvexPolygon reports whether s is an orthogonal convex
+// polygon in the paper's sense: nonempty, 4-connected and orthogonally
+// convex.
+func IsOrthogonalConvexPolygon(s *grid.PointSet) bool {
+	return s.Len() > 0 && IsConnected(s) && IsOrthogonallyConvex(s)
+}
+
+// IsRectangle reports whether s is exactly the set of lattice points of
+// its bounding rectangle. The empty set is not a rectangle.
+func IsRectangle(s *grid.PointSet) bool {
+	b := s.Bounds()
+	if b.IsEmpty() {
+		return false
+	}
+	return s.Len() == b.Area()
+}
+
+// OrthogonalClosure returns the smallest orthogonally convex superset of
+// s: the fixpoint of filling, in every row and column, the gap between the
+// extreme occupied cells. The result is the rectilinear convex hull of s
+// restricted to the lattice (connectivity is not enforced; see
+// ConnectedOrthogonalClosure).
+func OrthogonalClosure(s *grid.PointSet) *grid.PointSet {
+	out := s.Clone()
+	for {
+		changed := false
+		for y, ivs := range RowIntervals(out) {
+			if len(ivs) <= 1 {
+				continue
+			}
+			lo, hi := ivs[0].Lo, ivs[len(ivs)-1].Hi
+			for x := lo; x <= hi; x++ {
+				if out.Add(grid.Pt(x, y)) {
+					changed = true
+				}
+			}
+		}
+		for x, ivs := range ColIntervals(out) {
+			if len(ivs) <= 1 {
+				continue
+			}
+			lo, hi := ivs[0].Lo, ivs[len(ivs)-1].Hi
+			for y := lo; y <= hi; y++ {
+				if out.Add(grid.Pt(x, y)) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return out
+		}
+	}
+}
+
+// ConnectedOrthogonalClosure returns a canonical connected orthogonally
+// convex superset of s. It repeatedly applies OrthogonalClosure and, while
+// the result is disconnected, joins the two closest components with an
+// L-shaped lattice path (x-leg first, between the lexicographically
+// smallest closest pair), then closes again.
+//
+// The result is a valid "orthogonal convex polygon containing s" in the
+// sense of Theorem 2's competitor B2. It is canonical and deterministic
+// but not guaranteed minimum — the paper notes that finding the minimum
+// set of such polygons is conjectured NP-complete [3].
+func ConnectedOrthogonalClosure(s *grid.PointSet) *grid.PointSet {
+	if s.Len() == 0 {
+		return grid.NewPointSet()
+	}
+	out := OrthogonalClosure(s)
+	for {
+		comps := Components(out)
+		if len(comps) == 1 {
+			return out
+		}
+		a, b := closestPair(comps)
+		for _, p := range lPath(a, b) {
+			out.Add(p)
+		}
+		out = OrthogonalClosure(out)
+	}
+}
+
+// closestPair returns the lexicographically smallest pair of points
+// (one from each of two distinct components) realizing the minimum
+// inter-component L1 distance.
+func closestPair(comps []*grid.PointSet) (grid.Point, grid.Point) {
+	best := 1 << 30
+	var ba, bb grid.Point
+	found := false
+	for i := 0; i < len(comps); i++ {
+		pi := comps[i].Points()
+		for j := i + 1; j < len(comps); j++ {
+			pj := comps[j].Points()
+			for _, a := range pi {
+				for _, b := range pj {
+					d := a.Dist(b)
+					lexBetter := d < best ||
+						(d == best && (a.Less(ba) || (a == ba && b.Less(bb))))
+					if !found || lexBetter {
+						best, ba, bb, found = d, a, b, true
+					}
+				}
+			}
+		}
+	}
+	return ba, bb
+}
+
+// lPath returns the lattice points of the L-shaped path from a to b that
+// moves along x first, then along y, inclusive of both endpoints.
+func lPath(a, b grid.Point) []grid.Point {
+	var out []grid.Point
+	step := func(v, to int) int {
+		if v < to {
+			return v + 1
+		}
+		return v - 1
+	}
+	p := a
+	out = append(out, p)
+	for p.X != b.X {
+		p.X = step(p.X, b.X)
+		out = append(out, p)
+	}
+	for p.Y != b.Y {
+		p.Y = step(p.Y, b.Y)
+		out = append(out, p)
+	}
+	return out
+}

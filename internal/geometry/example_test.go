@@ -1,0 +1,40 @@
+package geometry_test
+
+import (
+	"fmt"
+
+	"ocpmesh/internal/geometry"
+	"ocpmesh/internal/grid"
+)
+
+// A U-shaped region is not orthogonally convex; its rectilinear convex
+// closure fills the cavity.
+func ExampleOrthogonalClosure() {
+	u := grid.PointSetOf(
+		grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(2, 0),
+		grid.Pt(0, 1), grid.Pt(2, 1),
+		grid.Pt(0, 2), grid.Pt(2, 2),
+	)
+	fmt.Println("U convex:", geometry.IsOrthogonallyConvex(u))
+	closure := geometry.OrthogonalClosure(u)
+	fmt.Println("closure convex:", geometry.IsOrthogonallyConvex(closure))
+	fmt.Println("cavity filled:", closure.Has(grid.Pt(1, 1)) && closure.Has(grid.Pt(1, 2)))
+	// Output:
+	// U convex: false
+	// closure convex: true
+	// cavity filled: true
+}
+
+// Corner nodes (Definition 4) of a rectangle are its four corners; the
+// paper's Lemma 1 proves that in a disabled region they are all faulty.
+func ExampleCornerNodes() {
+	rect := grid.PointSetOf(grid.NewRect(0, 0, 2, 1).Points()...)
+	for _, c := range geometry.CornerNodes(rect) {
+		fmt.Println(c)
+	}
+	// Output:
+	// (0,0)
+	// (2,0)
+	// (0,1)
+	// (2,1)
+}

@@ -1,0 +1,438 @@
+package geometry
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocpmesh/internal/grid"
+)
+
+// rectSet returns the full point set of a rectangle.
+func rectSet(r grid.Rect) *grid.PointSet {
+	return grid.PointSetOf(r.Points()...)
+}
+
+// lShape: a 3x3 square missing its top-right 2x2 block -> L shape.
+//
+//	X..
+//	X..
+//	XXX
+func lShape() *grid.PointSet {
+	return grid.PointSetOf(
+		grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(2, 0),
+		grid.Pt(0, 1),
+		grid.Pt(0, 2),
+	)
+}
+
+// uShape:
+//
+//	X.X
+//	X.X
+//	XXX
+func uShape() *grid.PointSet {
+	return grid.PointSetOf(
+		grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(2, 0),
+		grid.Pt(0, 1), grid.Pt(2, 1),
+		grid.Pt(0, 2), grid.Pt(2, 2),
+	)
+}
+
+// plusShape:
+//
+//	.X.
+//	XXX
+//	.X.
+func plusShape() *grid.PointSet {
+	return grid.PointSetOf(
+		grid.Pt(1, 0),
+		grid.Pt(0, 1), grid.Pt(1, 1), grid.Pt(2, 1),
+		grid.Pt(1, 2),
+	)
+}
+
+// hShape:
+//
+//	X.X
+//	XXX
+//	X.X
+func hShape() *grid.PointSet {
+	return grid.PointSetOf(
+		grid.Pt(0, 0), grid.Pt(2, 0),
+		grid.Pt(0, 1), grid.Pt(1, 1), grid.Pt(2, 1),
+		grid.Pt(0, 2), grid.Pt(2, 2),
+	)
+}
+
+// tShape:
+//
+//	XXX
+//	.X.
+//	.X.
+func tShape() *grid.PointSet {
+	return grid.PointSetOf(
+		grid.Pt(1, 0), grid.Pt(1, 1),
+		grid.Pt(0, 2), grid.Pt(1, 2), grid.Pt(2, 2),
+	)
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{2, 5}
+	if iv.Len() != 4 {
+		t.Fatalf("Len = %d", iv.Len())
+	}
+	if !iv.Contains(2) || !iv.Contains(5) || iv.Contains(6) || iv.Contains(1) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestRowColIntervals(t *testing.T) {
+	s := grid.PointSetOf(
+		grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(3, 0), // row 0: [0,1] and [3,3]
+		grid.Pt(3, 1), // col 3: [0,1]
+	)
+	rows := RowIntervals(s)
+	if got := rows[0]; len(got) != 2 || got[0] != (Interval{0, 1}) || got[1] != (Interval{3, 3}) {
+		t.Fatalf("row 0 intervals = %v", got)
+	}
+	if got := rows[1]; len(got) != 1 || got[0] != (Interval{3, 3}) {
+		t.Fatalf("row 1 intervals = %v", got)
+	}
+	cols := ColIntervals(s)
+	if got := cols[3]; len(got) != 1 || got[0] != (Interval{0, 1}) {
+		t.Fatalf("col 3 intervals = %v", got)
+	}
+	if got := cols[2]; got != nil {
+		t.Fatalf("col 2 should be absent, got %v", got)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	s := grid.PointSetOf(
+		grid.Pt(0, 0), grid.Pt(1, 0), // comp A
+		grid.Pt(3, 0), // comp B (diagonal gap from A even via (2,0)? (2,0) missing)
+		grid.Pt(3, 1),
+	)
+	comps := Components(s)
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	if comps[0].Len() != 2 || !comps[0].Has(grid.Pt(0, 0)) {
+		t.Fatalf("first component = %v", comps[0].Points())
+	}
+	if comps[1].Len() != 2 || !comps[1].Has(grid.Pt(3, 1)) {
+		t.Fatalf("second component = %v", comps[1].Points())
+	}
+	total := 0
+	for _, c := range comps {
+		total += c.Len()
+	}
+	if total != s.Len() {
+		t.Fatal("components must partition the set")
+	}
+}
+
+func TestComponentsDiagonalNotConnected(t *testing.T) {
+	s := grid.PointSetOf(grid.Pt(0, 0), grid.Pt(1, 1))
+	if len(Components(s)) != 2 {
+		t.Fatal("diagonal adjacency must not connect (4-connectivity)")
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !IsConnected(grid.NewPointSet()) {
+		t.Fatal("empty set is connected")
+	}
+	if !IsConnected(grid.PointSetOf(grid.Pt(5, 5))) {
+		t.Fatal("singleton is connected")
+	}
+	if !IsConnected(uShape()) {
+		t.Fatal("U shape is connected")
+	}
+	if IsConnected(grid.PointSetOf(grid.Pt(0, 0), grid.Pt(2, 0))) {
+		t.Fatal("gap must disconnect")
+	}
+}
+
+func TestIsOrthogonallyConvexShapes(t *testing.T) {
+	tests := []struct {
+		name string
+		s    *grid.PointSet
+		want bool
+	}{
+		{"rectangle", rectSet(grid.NewRect(0, 0, 3, 2)), true},
+		{"single", grid.PointSetOf(grid.Pt(4, 4)), true},
+		{"empty", grid.NewPointSet(), true},
+		{"L", lShape(), true},
+		{"T", tShape(), true},
+		{"plus", plusShape(), true},
+		{"U", uShape(), false}, // paper: U-shape is non-orthogonal-convex
+		{"H", hShape(), false}, // paper: H-shape is non-orthogonal-convex
+	}
+	for _, tt := range tests {
+		if got := IsOrthogonallyConvex(tt.s); got != tt.want {
+			t.Errorf("%s: IsOrthogonallyConvex = %t, want %t", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestIsOrthogonalConvexPolygon(t *testing.T) {
+	if IsOrthogonalConvexPolygon(grid.NewPointSet()) {
+		t.Fatal("empty set is not a polygon")
+	}
+	// Orthogonally convex but disconnected: two distant points in
+	// different rows and columns.
+	s := grid.PointSetOf(grid.Pt(0, 0), grid.Pt(5, 5))
+	if !IsOrthogonallyConvex(s) {
+		t.Fatal("two isolated points are vacuously orthogonally convex")
+	}
+	if IsOrthogonalConvexPolygon(s) {
+		t.Fatal("disconnected set is not a polygon")
+	}
+	if !IsOrthogonalConvexPolygon(plusShape()) {
+		t.Fatal("plus shape is an orthogonal convex polygon")
+	}
+}
+
+func TestIsRectangle(t *testing.T) {
+	if IsRectangle(grid.NewPointSet()) {
+		t.Fatal("empty set is not a rectangle")
+	}
+	if !IsRectangle(rectSet(grid.NewRect(2, 2, 5, 3))) {
+		t.Fatal("full rectangle must be a rectangle")
+	}
+	if IsRectangle(lShape()) {
+		t.Fatal("L shape is not a rectangle")
+	}
+	if !IsRectangle(grid.PointSetOf(grid.Pt(9, 9))) {
+		t.Fatal("a single point is a 1x1 rectangle")
+	}
+}
+
+func TestOrthogonalClosureFillsU(t *testing.T) {
+	c := OrthogonalClosure(uShape())
+	// Filling the U's cavity yields the full 3x3 square.
+	if !c.Equal(rectSet(grid.NewRect(0, 0, 2, 2))) {
+		t.Fatalf("closure of U = %v", c.Points())
+	}
+}
+
+func TestOrthogonalClosureIdempotentOnConvex(t *testing.T) {
+	for _, s := range []*grid.PointSet{lShape(), tShape(), plusShape(), rectSet(grid.NewRect(0, 0, 4, 4))} {
+		if !OrthogonalClosure(s).Equal(s) {
+			t.Fatalf("closure changed an already-convex set %v", s.Points())
+		}
+	}
+}
+
+func TestOrthogonalClosureProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		s := grid.NewPointSet()
+		n := 1 + rng.Intn(15)
+		for i := 0; i < n; i++ {
+			s.Add(grid.Pt(rng.Intn(10), rng.Intn(10)))
+		}
+		c := OrthogonalClosure(s)
+		if !s.SubsetOf(c) {
+			t.Fatal("closure must contain the input")
+		}
+		if !IsOrthogonallyConvex(c) {
+			t.Fatalf("closure not orthogonally convex: %v", c.Points())
+		}
+		if !OrthogonalClosure(c).Equal(c) {
+			t.Fatal("closure must be idempotent")
+		}
+		if !c.Bounds().ContainsRect(s.Bounds()) || !s.Bounds().ContainsRect(c.Bounds()) {
+			t.Fatal("closure must not grow the bounding rectangle")
+		}
+		// Minimality: every orthogonally convex superset of s contains c.
+		// Check against the bounding rectangle, always such a superset.
+		if !c.SubsetOf(rectSet(s.Bounds())) {
+			t.Fatal("closure exceeded the bounding rectangle")
+		}
+	}
+}
+
+// The closure is minimal: removing any added point breaks orthogonal
+// convexity (otherwise a smaller convex superset would exist).
+func TestOrthogonalClosureMinimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		s := grid.NewPointSet()
+		for i := 0; i < 6; i++ {
+			s.Add(grid.Pt(rng.Intn(6), rng.Intn(6)))
+		}
+		c := OrthogonalClosure(s)
+		added := c.Clone().Subtract(s)
+		for _, p := range added.Points() {
+			smaller := c.Clone()
+			smaller.Remove(p)
+			if IsOrthogonallyConvex(smaller) {
+				t.Fatalf("removing %v keeps convexity; closure of %v not minimal", p, s.Points())
+			}
+		}
+	}
+}
+
+func TestConnectedOrthogonalClosure(t *testing.T) {
+	if got := ConnectedOrthogonalClosure(grid.NewPointSet()); got.Len() != 0 {
+		t.Fatal("closure of empty set must be empty")
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		s := grid.NewPointSet()
+		n := 1 + rng.Intn(10)
+		for i := 0; i < n; i++ {
+			s.Add(grid.Pt(rng.Intn(12), rng.Intn(12)))
+		}
+		c := ConnectedOrthogonalClosure(s)
+		if !s.SubsetOf(c) {
+			t.Fatal("connected closure must contain the input")
+		}
+		if !IsOrthogonalConvexPolygon(c) {
+			t.Fatalf("connected closure is not an orthogonal convex polygon: %v", c.Points())
+		}
+	}
+}
+
+func TestConnectedOrthogonalClosureDeterministic(t *testing.T) {
+	s := grid.PointSetOf(grid.Pt(0, 0), grid.Pt(5, 3), grid.Pt(9, 0))
+	a := ConnectedOrthogonalClosure(s)
+	b := ConnectedOrthogonalClosure(s.Clone())
+	if !a.Equal(b) {
+		t.Fatal("connected closure must be deterministic")
+	}
+}
+
+func TestCornerNodes(t *testing.T) {
+	// For a full rectangle the corner nodes are exactly its 4 corners.
+	r := grid.NewRect(1, 1, 4, 3)
+	got := CornerNodes(rectSet(r))
+	if len(got) != 4 {
+		t.Fatalf("rectangle corners = %v", got)
+	}
+	want := r.Corners()
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing corner %v in %v", w, got)
+		}
+	}
+	// A 1-point region: the point is a corner.
+	if got := CornerNodes(grid.PointSetOf(grid.Pt(7, 7))); len(got) != 1 {
+		t.Fatalf("singleton corners = %v", got)
+	}
+	// L shape has 5 convex corner nodes (the reflex inner corner has both
+	// x-neighbors? no: count by definition).
+	//	X..    corners: (0,2), (0,0), (2,0); plus (1,0)? (1,0) has west&east
+	//	X..    present -> not corner. (0,1): north&south present -> not corner.
+	//	XXX    So corners: (0,0),(2,0),(0,2). Wait (0,0) has west,south missing
+	//	       and east,north present -> missing in both dims -> corner.
+	l := lShape()
+	got = CornerNodes(l)
+	wantL := map[grid.Point]bool{grid.Pt(0, 0): true, grid.Pt(2, 0): true, grid.Pt(0, 2): true}
+	if len(got) != len(wantL) {
+		t.Fatalf("L corners = %v", got)
+	}
+	for _, g := range got {
+		if !wantL[g] {
+			t.Fatalf("unexpected L corner %v", g)
+		}
+	}
+}
+
+// Lemma 2: for any node u of an orthogonal convex polygon, every closed
+// quadrant induced by u contains at least one corner node.
+func TestLemma2QuadrantsContainCorners(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 150; trial++ {
+		seed := grid.NewPointSet()
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			seed.Add(grid.Pt(rng.Intn(8), rng.Intn(8)))
+		}
+		poly := ConnectedOrthogonalClosure(seed)
+		corners := CornerNodes(poly)
+		for _, u := range poly.Points() {
+			for _, q := range grid.Quadrants {
+				found := false
+				for _, c := range corners {
+					if q.Contains(u, c) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("quadrant %v of %v has no corner; poly=%v corners=%v",
+						q, u, poly.Points(), corners)
+				}
+			}
+		}
+	}
+}
+
+func TestBoundaryNodes(t *testing.T) {
+	r := rectSet(grid.NewRect(0, 0, 4, 4))
+	b := BoundaryNodes(r)
+	if len(b) != 16 { // 5x5 square has 16 boundary cells
+		t.Fatalf("boundary count = %d, want 16", len(b))
+	}
+	for _, p := range b {
+		if p.X != 0 && p.X != 4 && p.Y != 0 && p.Y != 4 {
+			t.Fatalf("interior point %v reported as boundary", p)
+		}
+	}
+	// In the plus shape only the center has all four neighbors present.
+	got := BoundaryNodes(plusShape())
+	if len(got) != plusShape().Len()-1 {
+		t.Fatalf("plus boundary = %v", got)
+	}
+	for _, p := range got {
+		if p == grid.Pt(1, 1) {
+			t.Fatal("center of plus must not be boundary")
+		}
+	}
+}
+
+func TestOpeningPoints(t *testing.T) {
+	outer := rectSet(grid.NewRect(0, 0, 4, 4))
+	// Inner region strictly inside: no openings.
+	inner := rectSet(grid.NewRect(1, 1, 3, 3))
+	if HasOpening(inner, outer) {
+		t.Fatal("strict interior must have no opening")
+	}
+	if got := OpeningPoints(inner, outer); len(got) != 0 {
+		t.Fatalf("OpeningPoints = %v", got)
+	}
+	// Inner region touching the outer boundary: opening points are the
+	// touching cells.
+	inner2 := rectSet(grid.NewRect(0, 1, 2, 2))
+	got := OpeningPoints(inner2, outer)
+	if len(got) != 2 || got[0] != grid.Pt(0, 1) || got[1] != grid.Pt(0, 2) {
+		t.Fatalf("OpeningPoints = %v", got)
+	}
+	if !HasOpening(inner2, outer) {
+		t.Fatal("expected opening")
+	}
+}
+
+func TestLPath(t *testing.T) {
+	p := lPath(grid.Pt(0, 0), grid.Pt(2, -2))
+	want := []grid.Point{grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(2, 0), grid.Pt(2, -1), grid.Pt(2, -2)}
+	if len(p) != len(want) {
+		t.Fatalf("lPath = %v", p)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("lPath[%d] = %v, want %v", i, p[i], want[i])
+		}
+	}
+	if got := lPath(grid.Pt(3, 3), grid.Pt(3, 3)); len(got) != 1 {
+		t.Fatalf("degenerate lPath = %v", got)
+	}
+}

@@ -1,0 +1,71 @@
+// Package geometry implements the planar machinery behind the paper's
+// results: 4-connectivity, orthogonal convexity (Definition 1), the
+// rectilinear convex closure used to characterize minimal orthogonal
+// convex polygons (Theorem 2), corner nodes (Definition 4) and opening
+// points (Theorem 1's case analysis).
+//
+// All regions are represented as *grid.PointSet values; a "polygon" in the
+// paper is a 4-connected set of lattice nodes, and the two words are used
+// interchangeably, as in the paper.
+package geometry
+
+import (
+	"sort"
+
+	"ocpmesh/internal/grid"
+)
+
+// Interval is an inclusive integer interval [Lo, Hi].
+type Interval struct {
+	Lo, Hi int
+}
+
+// Len returns the number of integers in the interval.
+func (iv Interval) Len() int { return iv.Hi - iv.Lo + 1 }
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v int) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// RowIntervals returns, for every row y occupied by s, the maximal runs of
+// consecutive x values present in that row, sorted by Lo.
+func RowIntervals(s *grid.PointSet) map[int][]Interval {
+	byRow := make(map[int][]int)
+	s.Each(func(p grid.Point) {
+		byRow[p.Y] = append(byRow[p.Y], p.X)
+	})
+	out := make(map[int][]Interval, len(byRow))
+	for y, xs := range byRow {
+		out[y] = runs(xs)
+	}
+	return out
+}
+
+// ColIntervals returns, for every column x occupied by s, the maximal runs
+// of consecutive y values present in that column, sorted by Lo.
+func ColIntervals(s *grid.PointSet) map[int][]Interval {
+	byCol := make(map[int][]int)
+	s.Each(func(p grid.Point) {
+		byCol[p.X] = append(byCol[p.X], p.Y)
+	})
+	out := make(map[int][]Interval, len(byCol))
+	for x, ys := range byCol {
+		out[x] = runs(ys)
+	}
+	return out
+}
+
+// runs collapses a list of integers into maximal runs of consecutive
+// values.
+func runs(vs []int) []Interval {
+	sort.Ints(vs)
+	var out []Interval
+	for i := 0; i < len(vs); {
+		j := i
+		for j+1 < len(vs) && vs[j+1] == vs[j]+1 {
+			j++
+		}
+		out = append(out, Interval{Lo: vs[i], Hi: vs[j]})
+		i = j + 1
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package geometry
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"ocpmesh/internal/grid"
+)
+
+// smallSet is a testing/quick-generated nonempty point set in a 12x12
+// window.
+type smallSet struct {
+	pts []grid.Point
+}
+
+// Generate implements quick.Generator.
+func (smallSet) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(10)
+	pts := make([]grid.Point, n)
+	for i := range pts {
+		pts[i] = grid.Pt(r.Intn(12), r.Intn(12))
+	}
+	return reflect.ValueOf(smallSet{pts: pts})
+}
+
+func (s smallSet) set() *grid.PointSet { return grid.PointSetOf(s.pts...) }
+
+func TestQuickClosureInvariants(t *testing.T) {
+	f := func(s smallSet) bool {
+		in := s.set()
+		c := OrthogonalClosure(in)
+		return in.SubsetOf(c) &&
+			IsOrthogonallyConvex(c) &&
+			OrthogonalClosure(c).Equal(c) &&
+			c.Bounds() == in.Bounds()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickConnectedClosureInvariants(t *testing.T) {
+	f := func(s smallSet) bool {
+		in := s.set()
+		c := ConnectedOrthogonalClosure(in)
+		return in.SubsetOf(c) && IsOrthogonalConvexPolygon(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickComponentsPartition(t *testing.T) {
+	f := func(s smallSet) bool {
+		in := s.set()
+		total := 0
+		for _, comp := range Components(in) {
+			total += comp.Len()
+			if !comp.SubsetOf(in) || !IsConnected(comp) {
+				return false
+			}
+		}
+		return total == in.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCornerNodesAreBoundary(t *testing.T) {
+	f := func(s smallSet) bool {
+		in := s.set()
+		boundary := grid.PointSetOf(BoundaryNodes(in)...)
+		for _, c := range CornerNodes(in) {
+			if !boundary.Has(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPerimeterBounds(t *testing.T) {
+	// 4 <= perimeter <= 4*|S| for any set, and a connected orthogonally
+	// convex polygon has EXACTLY the perimeter of its bounding rectangle —
+	// the classic characterization of HV-convex polyominoes, and the
+	// reason routing around an OCP never backtracks.
+	f := func(s smallSet) bool {
+		in := s.set()
+		p := Perimeter(in)
+		if p < 4 || p > 4*in.Len() {
+			return false
+		}
+		c := ConnectedOrthogonalClosure(in)
+		b := c.Bounds()
+		return Perimeter(c) == 2*(b.Width()+b.Height())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

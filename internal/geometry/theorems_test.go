@@ -1,0 +1,149 @@
+package geometry
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocpmesh/internal/grid"
+)
+
+// TestTheorem1Cases walks the case analysis of the paper's Theorem 1
+// proof (illustrated by Figure 3): a horizontal line [v1,v2] through a
+// would-be-concave disabled region partitions the enabled region ER
+// containing the gap node u into ER1 and ER2, and the contradiction
+// depends on whether those enabled sub-regions have "openings" (nodes
+// with a neighbor outside the original faulty block).
+func TestTheorem1Cases(t *testing.T) {
+	// The original faulty block: a 5x5 rectangle at [0..4]x[0..4].
+	block := grid.PointSetOf(grid.NewRect(0, 0, 4, 4).Points()...)
+
+	// Case (a) of Figure 3: an enabled region strictly inside the block —
+	// neither ER1 nor ER2 has an opening.
+	er := grid.PointSetOf(grid.Pt(2, 1), grid.Pt(2, 2), grid.Pt(2, 3))
+	line := grid.PointSetOf(grid.Pt(1, 2), grid.Pt(2, 2), grid.Pt(3, 2)) // [v1,v2] with u=(2,2)
+	er1 := er.Clone().Subtract(line)                                     // below/above split
+	er1.Intersect(grid.PointSetOf(grid.Pt(2, 1)))
+	er2 := grid.PointSetOf(grid.Pt(2, 3))
+	if HasOpening(er1, block) || HasOpening(er2, block) {
+		t.Fatal("case (a): strictly interior sub-regions must have no opening")
+	}
+	// Per the enabled/disabled rule such interior enabled regions cannot
+	// exist (their nodes would all be disabled) — the contradiction the
+	// proof derives. Here we only verify the geometric predicate.
+
+	// Case (b): ER1 interior, ER2 reaching the block boundary.
+	er2b := grid.PointSetOf(grid.Pt(2, 3), grid.Pt(2, 4))
+	if !HasOpening(er2b, block) {
+		t.Fatal("case (b): a sub-region touching the block boundary has an opening")
+	}
+	if got := OpeningPoints(er2b, block); len(got) != 1 || got[0] != grid.Pt(2, 4) {
+		t.Fatalf("case (b): opening points = %v", got)
+	}
+
+	// Case (c): both ER1 and ER2 have openings; then an enabled path from
+	// opening w1 through u to opening w2 disconnects the disabled region.
+	// Build exactly that: a vertical enabled corridor through the block.
+	corridor := grid.NewPointSet()
+	for y := 0; y <= 4; y++ {
+		corridor.Add(grid.Pt(2, y))
+	}
+	if !HasOpening(corridor, block) {
+		t.Fatal("case (c): the corridor reaches the boundary on both ends")
+	}
+	disabled := block.Clone().Subtract(corridor)
+	comps := Components(disabled)
+	if len(comps) != 2 {
+		t.Fatalf("case (c): corridor must split the region in two, got %d components", len(comps))
+	}
+	// ... contradicting the assumed connectivity of the disabled region.
+}
+
+// TestTheorem2QuadrantArgument encodes the proof of Theorem 2
+// (illustrated by Figure 4): if a smaller orthogonal convex polygon B2
+// covered all faults, some region node u would lie outside B2; then some
+// closed quadrant around u contains no B2 node (Lemma 3) yet does contain
+// a corner node of the region (Lemma 2) — and corner nodes are faulty
+// (Lemma 1), so B2 misses a fault.
+func TestTheorem2QuadrantArgument(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 100; trial++ {
+		// Build a random orthogonal convex polygon B.
+		seed := grid.NewPointSet()
+		for i := 0; i < 1+rng.Intn(7); i++ {
+			seed.Add(grid.Pt(rng.Intn(9), rng.Intn(9)))
+		}
+		b := ConnectedOrthogonalClosure(seed)
+		// Candidate B2: drop one node from B (if that keeps it a polygon,
+		// it is a genuine smaller competitor).
+		pts := b.Points()
+		u := pts[rng.Intn(len(pts))]
+		b2 := b.Clone()
+		b2.Remove(u)
+		if !IsOrthogonalConvexPolygon(b2) {
+			continue // not a valid competitor; pick another trial
+		}
+		// Lemma 3: at least one quadrant of u contains no node of B2.
+		emptyQuadrant := false
+		for _, q := range grid.Quadrants {
+			hasNode := false
+			for _, p := range b2.Points() {
+				if q.Contains(u, p) {
+					hasNode = true
+					break
+				}
+			}
+			if !hasNode {
+				emptyQuadrant = true
+				// Lemma 2: that same quadrant contains a corner node of B.
+				cornerInQuadrant := false
+				for _, c := range CornerNodes(b) {
+					if q.Contains(u, c) {
+						cornerInQuadrant = true
+						break
+					}
+				}
+				if !cornerInQuadrant {
+					t.Fatalf("trial %d: empty quadrant %v of %v lacks a corner of B=%v",
+						trial, q, u, b.Points())
+				}
+			}
+		}
+		if !emptyQuadrant {
+			t.Fatalf("trial %d: Lemma 3 violated: u=%v outside B2=%v but every quadrant hits B2",
+				trial, u, b2.Points())
+		}
+	}
+}
+
+// Lemma 3 directly: for a node u outside an orthogonal convex polygon B,
+// at least one closed quadrant around u contains no node of B.
+func TestLemma3(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 200; trial++ {
+		seed := grid.NewPointSet()
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			seed.Add(grid.Pt(rng.Intn(8), rng.Intn(8)))
+		}
+		b := ConnectedOrthogonalClosure(seed)
+		u := grid.Pt(rng.Intn(10)-1, rng.Intn(10)-1)
+		if b.Has(u) {
+			continue
+		}
+		empty := 0
+		for _, q := range grid.Quadrants {
+			hasNode := false
+			b.Each(func(p grid.Point) {
+				if q.Contains(u, p) {
+					hasNode = true
+				}
+			})
+			if !hasNode {
+				empty++
+			}
+		}
+		if empty == 0 {
+			t.Fatalf("trial %d: u=%v outside B=%v but all quadrants contain B nodes",
+				trial, u, b.Points())
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package grid provides the shared lattice vocabulary for the repository:
+// integer points, inclusive rectangles, point sets and the closed quadrants
+// used by the paper's Lemma 2/3 arguments.
+//
+// Coordinates follow the paper's convention: a 2-D mesh node has an address
+// (x, y) with x growing to the east and y growing to the north. All
+// distances are Manhattan (L1) distances, the routing distance of a 2-D
+// mesh.
+package grid
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Point is a node address in the 2-D lattice.
+type Point struct {
+	X, Y int
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y int) Point { return Point{X: x, Y: y} }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p minus q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Manhattan (L1) distance between p and q, which is the
+// minimal routing distance between the two nodes in a 2-D mesh.
+func (p Point) Dist(q Point) int {
+	return abs(p.X-q.X) + abs(p.Y-q.Y)
+}
+
+// ChebyshevDist returns the L-infinity distance between p and q.
+func (p Point) ChebyshevDist(q Point) int {
+	return max(abs(p.X-q.X), abs(p.Y-q.Y))
+}
+
+// Neighbors4 returns the four mesh neighbors of p in the fixed order
+// west, east, south, north. Callers that need boundary clipping should
+// filter the result themselves (see package mesh).
+func (p Point) Neighbors4() [4]Point {
+	return [4]Point{
+		{p.X - 1, p.Y}, // west
+		{p.X + 1, p.Y}, // east
+		{p.X, p.Y - 1}, // south
+		{p.X, p.Y + 1}, // north
+	}
+}
+
+// IsNeighbor reports whether p and q are adjacent in the mesh, i.e. their
+// addresses differ by exactly one in exactly one dimension.
+func (p Point) IsNeighbor(q Point) bool { return p.Dist(q) == 1 }
+
+// SameRow reports whether p and q lie on one horizontal line.
+func (p Point) SameRow(q Point) bool { return p.Y == q.Y }
+
+// SameCol reports whether p and q lie on one vertical line.
+func (p Point) SameCol(q Point) bool { return p.X == q.X }
+
+// Less orders points by row first (y), then by column (x). It is the
+// canonical deterministic ordering used throughout the repository.
+func (p Point) Less(q Point) bool {
+	if p.Y != q.Y {
+		return p.Y < q.Y
+	}
+	return p.X < q.X
+}
+
+// String renders the point in the paper's "(x,y)" address notation.
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// SortPoints sorts points in canonical (row-major) order in place.
+func SortPoints(ps []Point) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,131 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want int
+	}{
+		{Pt(0, 0), Pt(0, 0), 0},
+		{Pt(0, 0), Pt(1, 0), 1},
+		{Pt(0, 0), Pt(0, 1), 1},
+		{Pt(2, 3), Pt(5, 7), 7},
+		{Pt(-2, -3), Pt(2, 3), 10},
+		{Pt(5, 5), Pt(1, 9), 8},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Dist(tt.q); got != tt.want {
+			t.Errorf("Dist(%v,%v) = %d, want %d", tt.p, tt.q, got, tt.want)
+		}
+		if got := tt.q.Dist(tt.p); got != tt.want {
+			t.Errorf("Dist symmetry violated for %v,%v: %d != %d", tt.p, tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestPointDistProperties(t *testing.T) {
+	// Triangle inequality and identity of indiscernibles.
+	f := func(ax, ay, bx, by, cx, cy int8) bool {
+		a, b, c := Pt(int(ax), int(ay)), Pt(int(bx), int(by)), Pt(int(cx), int(cy))
+		if a.Dist(b) < 0 {
+			return false
+		}
+		if (a.Dist(b) == 0) != (a == b) {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChebyshevDist(t *testing.T) {
+	if got := Pt(0, 0).ChebyshevDist(Pt(3, -7)); got != 7 {
+		t.Fatalf("ChebyshevDist = %d, want 7", got)
+	}
+	f := func(ax, ay, bx, by int8) bool {
+		a, b := Pt(int(ax), int(ay)), Pt(int(bx), int(by))
+		ch, l1 := a.ChebyshevDist(b), a.Dist(b)
+		return ch <= l1 && l1 <= 2*ch
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighbors4(t *testing.T) {
+	n := Pt(3, 4).Neighbors4()
+	want := [4]Point{{2, 4}, {4, 4}, {3, 3}, {3, 5}}
+	if n != want {
+		t.Fatalf("Neighbors4 = %v, want %v", n, want)
+	}
+	for _, q := range n {
+		if !Pt(3, 4).IsNeighbor(q) {
+			t.Errorf("%v should be a neighbor of (3,4)", q)
+		}
+	}
+	if Pt(3, 4).IsNeighbor(Pt(4, 5)) {
+		t.Error("diagonal point must not be a neighbor")
+	}
+	if Pt(3, 4).IsNeighbor(Pt(3, 4)) {
+		t.Error("a point must not be its own neighbor")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	p := Pt(2, 3).Add(Pt(-5, 7))
+	if p != Pt(-3, 10) {
+		t.Fatalf("Add = %v", p)
+	}
+	if q := p.Sub(Pt(-5, 7)); q != Pt(2, 3) {
+		t.Fatalf("Sub = %v", q)
+	}
+}
+
+func TestSameRowCol(t *testing.T) {
+	if !Pt(1, 5).SameRow(Pt(9, 5)) || Pt(1, 5).SameRow(Pt(1, 6)) {
+		t.Error("SameRow wrong")
+	}
+	if !Pt(1, 5).SameCol(Pt(1, 9)) || Pt(1, 5).SameCol(Pt(2, 5)) {
+		t.Error("SameCol wrong")
+	}
+}
+
+func TestSortPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := make([]Point, 50)
+	for i := range ps {
+		ps[i] = Pt(rng.Intn(10), rng.Intn(10))
+	}
+	SortPoints(ps)
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Less(ps[i-1]) {
+			t.Fatalf("points not sorted at %d: %v < %v", i, ps[i], ps[i-1])
+		}
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if s := Pt(3, -4).String(); s != "(3,-4)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestLessIsStrictWeakOrder(t *testing.T) {
+	f := func(ax, ay, bx, by int8) bool {
+		a, b := Pt(int(ax), int(ay)), Pt(int(bx), int(by))
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package grid
+
+// PointSet is a mutable set of lattice points.
+//
+// The zero value is not ready to use; construct sets with NewPointSet or
+// PointSetOf. All iteration-order-sensitive accessors return points in the
+// canonical row-major order so results are deterministic.
+type PointSet struct {
+	m map[Point]struct{}
+}
+
+// NewPointSet returns an empty set.
+func NewPointSet() *PointSet { return &PointSet{m: make(map[Point]struct{})} }
+
+// PointSetOf returns a set holding the given points.
+func PointSetOf(ps ...Point) *PointSet {
+	s := &PointSet{m: make(map[Point]struct{}, len(ps))}
+	for _, p := range ps {
+		s.m[p] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts p and reports whether it was newly added.
+func (s *PointSet) Add(p Point) bool {
+	if _, ok := s.m[p]; ok {
+		return false
+	}
+	s.m[p] = struct{}{}
+	return true
+}
+
+// AddAll inserts every point of ps.
+func (s *PointSet) AddAll(ps ...Point) {
+	for _, p := range ps {
+		s.m[p] = struct{}{}
+	}
+}
+
+// Remove deletes p and reports whether it was present.
+func (s *PointSet) Remove(p Point) bool {
+	if _, ok := s.m[p]; !ok {
+		return false
+	}
+	delete(s.m, p)
+	return true
+}
+
+// Has reports whether p is in the set.
+func (s *PointSet) Has(p Point) bool {
+	_, ok := s.m[p]
+	return ok
+}
+
+// Len returns the number of points in the set.
+func (s *PointSet) Len() int { return len(s.m) }
+
+// Points returns the members in canonical row-major order.
+func (s *PointSet) Points() []Point {
+	out := make([]Point, 0, len(s.m))
+	for p := range s.m {
+		out = append(out, p)
+	}
+	SortPoints(out)
+	return out
+}
+
+// Each calls fn for every member in unspecified order.
+func (s *PointSet) Each(fn func(Point)) {
+	for p := range s.m {
+		fn(p)
+	}
+}
+
+// Clone returns an independent copy of the set.
+func (s *PointSet) Clone() *PointSet {
+	c := &PointSet{m: make(map[Point]struct{}, len(s.m))}
+	for p := range s.m {
+		c.m[p] = struct{}{}
+	}
+	return c
+}
+
+// Union inserts every member of t into s and returns s.
+func (s *PointSet) Union(t *PointSet) *PointSet {
+	for p := range t.m {
+		s.m[p] = struct{}{}
+	}
+	return s
+}
+
+// Subtract removes every member of t from s and returns s.
+func (s *PointSet) Subtract(t *PointSet) *PointSet {
+	for p := range t.m {
+		delete(s.m, p)
+	}
+	return s
+}
+
+// Intersect removes from s every point not in t and returns s.
+func (s *PointSet) Intersect(t *PointSet) *PointSet {
+	for p := range s.m {
+		if !t.Has(p) {
+			delete(s.m, p)
+		}
+	}
+	return s
+}
+
+// Equal reports whether s and t hold exactly the same points.
+func (s *PointSet) Equal(t *PointSet) bool {
+	if len(s.m) != len(t.m) {
+		return false
+	}
+	for p := range s.m {
+		if !t.Has(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every member of s is also in t.
+func (s *PointSet) SubsetOf(t *PointSet) bool {
+	if len(s.m) > len(t.m) {
+		return false
+	}
+	for p := range s.m {
+		if !t.Has(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bounds returns the bounding rectangle of the set (empty for an empty
+// set).
+func (s *PointSet) Bounds() Rect {
+	r := Empty()
+	for p := range s.m {
+		r = r.Include(p)
+	}
+	return r
+}
+
+// Diameter returns the maximum L1 distance between two members, zero for
+// sets with fewer than two points. For the axis-aligned sets used in this
+// repository the diameter of the bounding rectangle equals the set
+// diameter only when opposite bounding corners are occupied, so this
+// method computes the exact pairwise maximum.
+func (s *PointSet) Diameter() int {
+	// The L1 diameter of any planar set is realized on the rotated
+	// coordinates u=x+y, v=x-y: diam = max(maxU-minU, maxV-minV).
+	first := true
+	var minU, maxU, minV, maxV int
+	for p := range s.m {
+		u, v := p.X+p.Y, p.X-p.Y
+		if first {
+			minU, maxU, minV, maxV = u, u, v, v
+			first = false
+			continue
+		}
+		minU, maxU = min(minU, u), max(maxU, u)
+		minV, maxV = min(minV, v), max(maxV, v)
+	}
+	if first {
+		return 0
+	}
+	return max(maxU-minU, maxV-minV)
+}

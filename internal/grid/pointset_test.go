@@ -1,0 +1,159 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointSetBasics(t *testing.T) {
+	s := NewPointSet()
+	if s.Len() != 0 || s.Has(Pt(0, 0)) {
+		t.Fatal("new set must be empty")
+	}
+	if !s.Add(Pt(1, 2)) {
+		t.Fatal("first Add must report true")
+	}
+	if s.Add(Pt(1, 2)) {
+		t.Fatal("duplicate Add must report false")
+	}
+	if !s.Has(Pt(1, 2)) || s.Len() != 1 {
+		t.Fatal("membership broken")
+	}
+	if !s.Remove(Pt(1, 2)) || s.Remove(Pt(1, 2)) {
+		t.Fatal("Remove semantics broken")
+	}
+	if s.Len() != 0 {
+		t.Fatal("set should be empty after Remove")
+	}
+}
+
+func TestPointSetOfAndPoints(t *testing.T) {
+	s := PointSetOf(Pt(2, 1), Pt(0, 0), Pt(1, 1), Pt(2, 1))
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (duplicates collapse)", s.Len())
+	}
+	ps := s.Points()
+	want := []Point{{0, 0}, {1, 1}, {2, 1}}
+	if len(ps) != len(want) {
+		t.Fatalf("Points = %v", ps)
+	}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("Points[%d] = %v, want %v", i, ps[i], want[i])
+		}
+	}
+}
+
+func TestPointSetSetOps(t *testing.T) {
+	a := PointSetOf(Pt(0, 0), Pt(1, 0), Pt(2, 0))
+	b := PointSetOf(Pt(1, 0), Pt(3, 0))
+
+	u := a.Clone().Union(b)
+	if u.Len() != 4 {
+		t.Fatalf("Union len = %d", u.Len())
+	}
+	i := a.Clone().Intersect(b)
+	if i.Len() != 1 || !i.Has(Pt(1, 0)) {
+		t.Fatalf("Intersect = %v", i.Points())
+	}
+	d := a.Clone().Subtract(b)
+	if d.Len() != 2 || d.Has(Pt(1, 0)) {
+		t.Fatalf("Subtract = %v", d.Points())
+	}
+	// Originals untouched by Clone-based ops.
+	if a.Len() != 3 || b.Len() != 2 {
+		t.Fatal("set ops mutated operands through Clone")
+	}
+}
+
+func TestPointSetEqualSubset(t *testing.T) {
+	a := PointSetOf(Pt(0, 0), Pt(1, 1))
+	b := PointSetOf(Pt(1, 1), Pt(0, 0))
+	c := PointSetOf(Pt(0, 0))
+	if !a.Equal(b) || a.Equal(c) {
+		t.Fatal("Equal broken")
+	}
+	if !c.SubsetOf(a) || a.SubsetOf(c) {
+		t.Fatal("SubsetOf broken")
+	}
+	if !NewPointSet().SubsetOf(c) {
+		t.Fatal("empty set is a subset of everything")
+	}
+}
+
+func TestPointSetBounds(t *testing.T) {
+	if !NewPointSet().Bounds().IsEmpty() {
+		t.Fatal("empty set bounds must be empty")
+	}
+	s := PointSetOf(Pt(3, 1), Pt(1, 4), Pt(2, 2))
+	if got, want := s.Bounds(), (Rect{1, 1, 3, 4}); got != want {
+		t.Fatalf("Bounds = %v, want %v", got, want)
+	}
+}
+
+func TestPointSetDiameter(t *testing.T) {
+	if d := NewPointSet().Diameter(); d != 0 {
+		t.Fatalf("empty Diameter = %d", d)
+	}
+	if d := PointSetOf(Pt(5, 5)).Diameter(); d != 0 {
+		t.Fatalf("singleton Diameter = %d", d)
+	}
+	s := PointSetOf(Pt(0, 0), Pt(3, 0), Pt(0, 2))
+	if d := s.Diameter(); d != 5 {
+		t.Fatalf("Diameter = %d, want 5", d)
+	}
+}
+
+// Diameter via rotated coordinates must match the brute-force pairwise max.
+func TestPointSetDiameterMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		s := NewPointSet()
+		n := 1 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			s.Add(Pt(rng.Intn(20)-10, rng.Intn(20)-10))
+		}
+		want := 0
+		ps := s.Points()
+		for i := range ps {
+			for j := range ps {
+				if d := ps[i].Dist(ps[j]); d > want {
+					want = d
+				}
+			}
+		}
+		if got := s.Diameter(); got != want {
+			t.Fatalf("trial %d: Diameter = %d, want %d for %v", trial, got, want, ps)
+		}
+	}
+}
+
+func TestPointSetEach(t *testing.T) {
+	s := PointSetOf(Pt(0, 0), Pt(1, 0), Pt(0, 1))
+	count := 0
+	s.Each(func(Point) { count++ })
+	if count != 3 {
+		t.Fatalf("Each visited %d points", count)
+	}
+}
+
+func TestPointSetAddAllProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		s := NewPointSet()
+		var ps []Point
+		for i := 0; i+1 < len(raw); i += 2 {
+			ps = append(ps, Pt(int(raw[i]), int(raw[i+1])))
+		}
+		s.AddAll(ps...)
+		for _, p := range ps {
+			if !s.Has(p) {
+				return false
+			}
+		}
+		return s.Len() <= len(ps)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package grid
+
+import "fmt"
+
+// Quadrant identifies one of the four closed quadrants induced by the
+// horizontal and vertical lines through an origin node, as used in the
+// paper's Lemma 2 and Lemma 3. Each quadrant includes its portion of both
+// axes and the origin itself, so the four quadrants overlap along the axes.
+type Quadrant int
+
+// The quadrants in the paper's (sign-of-x, sign-of-y) notation.
+const (
+	QuadPP Quadrant = iota // (+,+): x >= 0 and y >= 0
+	QuadPM                 // (+,-): x >= 0 and y <= 0
+	QuadMP                 // (-,+): x <= 0 and y >= 0
+	QuadMM                 // (-,-): x <= 0 and y <= 0
+)
+
+// Quadrants lists the four quadrants in declaration order.
+var Quadrants = [4]Quadrant{QuadPP, QuadPM, QuadMP, QuadMM}
+
+// Contains reports whether p lies in quadrant q relative to origin. Points
+// on an axis belong to both adjacent quadrants; origin belongs to all four.
+func (q Quadrant) Contains(origin, p Point) bool {
+	dx, dy := p.X-origin.X, p.Y-origin.Y
+	switch q {
+	case QuadPP:
+		return dx >= 0 && dy >= 0
+	case QuadPM:
+		return dx >= 0 && dy <= 0
+	case QuadMP:
+		return dx <= 0 && dy >= 0
+	case QuadMM:
+		return dx <= 0 && dy <= 0
+	default:
+		panic(fmt.Sprintf("grid: invalid quadrant %d", int(q)))
+	}
+}
+
+// String returns the paper's sign-pair notation for q.
+func (q Quadrant) String() string {
+	switch q {
+	case QuadPP:
+		return "(+,+)"
+	case QuadPM:
+		return "(+,-)"
+	case QuadMP:
+		return "(-,+)"
+	case QuadMM:
+		return "(-,-)"
+	default:
+		return fmt.Sprintf("Quadrant(%d)", int(q))
+	}
+}

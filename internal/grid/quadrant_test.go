@@ -1,0 +1,77 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQuadrantContains(t *testing.T) {
+	origin := Pt(5, 5)
+	tests := []struct {
+		q    Quadrant
+		p    Point
+		want bool
+	}{
+		{QuadPP, Pt(7, 9), true},
+		{QuadPP, Pt(5, 5), true}, // origin is in every quadrant
+		{QuadPP, Pt(4, 6), false},
+		{QuadPM, Pt(9, 1), true},
+		{QuadPM, Pt(9, 6), false},
+		{QuadMP, Pt(1, 9), true},
+		{QuadMP, Pt(6, 9), false},
+		{QuadMM, Pt(0, 0), true},
+		{QuadMM, Pt(6, 4), false},
+	}
+	for _, tt := range tests {
+		if got := tt.q.Contains(origin, tt.p); got != tt.want {
+			t.Errorf("%v.Contains(%v,%v) = %t, want %t", tt.q, origin, tt.p, got, tt.want)
+		}
+	}
+}
+
+// The paper's quadrants are closed: every point on an axis lies in exactly
+// two quadrants, the origin in all four, and every other point in exactly
+// one.
+func TestQuadrantCoverage(t *testing.T) {
+	f := func(ox, oy, px, py int8) bool {
+		o, p := Pt(int(ox), int(oy)), Pt(int(px), int(py))
+		n := 0
+		for _, q := range Quadrants {
+			if q.Contains(o, p) {
+				n++
+			}
+		}
+		switch {
+		case p == o:
+			return n == 4
+		case p.X == o.X || p.Y == o.Y:
+			return n == 2
+		default:
+			return n == 1
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuadrantString(t *testing.T) {
+	want := map[Quadrant]string{QuadPP: "(+,+)", QuadPM: "(+,-)", QuadMP: "(-,+)", QuadMM: "(-,-)"}
+	for q, s := range want {
+		if q.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(q), q.String(), s)
+		}
+	}
+	if Quadrant(9).String() != "Quadrant(9)" {
+		t.Errorf("unknown quadrant String = %q", Quadrant(9).String())
+	}
+}
+
+func TestQuadrantContainsPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid quadrant")
+		}
+	}()
+	Quadrant(42).Contains(Pt(0, 0), Pt(1, 1))
+}

@@ -1,0 +1,188 @@
+package grid
+
+import "fmt"
+
+// Rect is an axis-aligned rectangle of lattice points with inclusive
+// bounds. The zero Rect is the degenerate rectangle containing only the
+// origin; use Empty for the canonical empty rectangle.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY int
+}
+
+// Empty returns a rectangle that contains no points.
+func Empty() Rect { return Rect{MinX: 0, MinY: 0, MaxX: -1, MaxY: -1} }
+
+// NewRect returns the rectangle with the given inclusive bounds.
+func NewRect(minX, minY, maxX, maxY int) Rect {
+	return Rect{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
+}
+
+// RectFromPoints returns the bounding rectangle of the given points and
+// false if the slice is empty.
+func RectFromPoints(ps []Point) (Rect, bool) {
+	if len(ps) == 0 {
+		return Empty(), false
+	}
+	r := Rect{ps[0].X, ps[0].Y, ps[0].X, ps[0].Y}
+	for _, p := range ps[1:] {
+		r = r.Include(p)
+	}
+	return r, true
+}
+
+// IsEmpty reports whether r contains no points.
+func (r Rect) IsEmpty() bool { return r.MinX > r.MaxX || r.MinY > r.MaxY }
+
+// Width returns the number of columns covered by r.
+func (r Rect) Width() int {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.MaxX - r.MinX + 1
+}
+
+// Height returns the number of rows covered by r.
+func (r Rect) Height() int {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.MaxY - r.MinY + 1
+}
+
+// Area returns the number of lattice points in r.
+func (r Rect) Area() int { return r.Width() * r.Height() }
+
+// Diameter returns the Manhattan diameter d(B) of the rectangle: the
+// maximum L1 distance between two of its points, (Width-1)+(Height-1).
+// The paper bounds the round complexity of both labeling phases by the
+// maximum diameter over all faulty blocks.
+func (r Rect) Diameter() int {
+	if r.IsEmpty() {
+		return 0
+	}
+	return (r.Width() - 1) + (r.Height() - 1)
+}
+
+// Contains reports whether p lies inside r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.IsEmpty() {
+		return true
+	}
+	return r.Contains(Pt(s.MinX, s.MinY)) && r.Contains(Pt(s.MaxX, s.MaxY))
+}
+
+// Include returns the smallest rectangle containing both r and p.
+func (r Rect) Include(p Point) Rect {
+	if r.IsEmpty() {
+		return Rect{p.X, p.Y, p.X, p.Y}
+	}
+	return Rect{
+		MinX: min(r.MinX, p.X),
+		MinY: min(r.MinY, p.Y),
+		MaxX: max(r.MaxX, p.X),
+		MaxY: max(r.MaxY, p.Y),
+	}
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return r
+	}
+	return Rect{
+		MinX: min(r.MinX, s.MinX),
+		MinY: min(r.MinY, s.MinY),
+		MaxX: max(r.MaxX, s.MaxX),
+		MaxY: max(r.MaxY, s.MaxY),
+	}
+}
+
+// Intersect returns the rectangle common to r and s (possibly empty).
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		MinX: max(r.MinX, s.MinX),
+		MinY: max(r.MinY, s.MinY),
+		MaxX: min(r.MaxX, s.MaxX),
+		MaxY: min(r.MaxY, s.MaxY),
+	}
+	if out.IsEmpty() {
+		return Empty()
+	}
+	return out
+}
+
+// Overlaps reports whether r and s share at least one point.
+func (r Rect) Overlaps(s Rect) bool { return !r.Intersect(s).IsEmpty() }
+
+// Expand grows r by k points in every direction. Expanding an empty
+// rectangle yields an empty rectangle.
+func (r Rect) Expand(k int) Rect {
+	if r.IsEmpty() {
+		return r
+	}
+	return Rect{r.MinX - k, r.MinY - k, r.MaxX + k, r.MaxY + k}
+}
+
+// Dist returns the minimal Manhattan distance between a point of r and a
+// point of s. Touching or overlapping rectangles have distance zero. The
+// paper's block-distance results state Dist >= 3 between faulty blocks
+// under Definition 2a and Dist >= 2 under Definition 2b.
+func (r Rect) Dist(s Rect) int {
+	if r.IsEmpty() || s.IsEmpty() {
+		return 0
+	}
+	dx := 0
+	if s.MinX > r.MaxX {
+		dx = s.MinX - r.MaxX
+	} else if r.MinX > s.MaxX {
+		dx = r.MinX - s.MaxX
+	}
+	dy := 0
+	if s.MinY > r.MaxY {
+		dy = s.MinY - r.MaxY
+	} else if r.MinY > s.MaxY {
+		dy = r.MinY - s.MaxY
+	}
+	return dx + dy
+}
+
+// Points returns all lattice points of r in canonical row-major order.
+func (r Rect) Points() []Point {
+	if r.IsEmpty() {
+		return nil
+	}
+	out := make([]Point, 0, r.Area())
+	for y := r.MinY; y <= r.MaxY; y++ {
+		for x := r.MinX; x <= r.MaxX; x++ {
+			out = append(out, Pt(x, y))
+		}
+	}
+	return out
+}
+
+// Corners returns the four corner points of r in the order
+// (MinX,MinY), (MaxX,MinY), (MinX,MaxY), (MaxX,MaxY).
+func (r Rect) Corners() [4]Point {
+	return [4]Point{
+		{r.MinX, r.MinY},
+		{r.MaxX, r.MinY},
+		{r.MinX, r.MaxY},
+		{r.MaxX, r.MaxY},
+	}
+}
+
+// String renders the rectangle as "[minX..maxX]x[minY..maxY]".
+func (r Rect) String() string {
+	if r.IsEmpty() {
+		return "[empty]"
+	}
+	return fmt.Sprintf("[%d..%d]x[%d..%d]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}

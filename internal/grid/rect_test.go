@@ -1,0 +1,186 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyRect(t *testing.T) {
+	e := Empty()
+	if !e.IsEmpty() {
+		t.Fatal("Empty() must be empty")
+	}
+	if e.Width() != 0 || e.Height() != 0 || e.Area() != 0 || e.Diameter() != 0 {
+		t.Fatal("empty rect must have zero measures")
+	}
+	if e.Contains(Pt(0, 0)) {
+		t.Fatal("empty rect contains nothing")
+	}
+	if got := e.Points(); got != nil {
+		t.Fatalf("empty rect Points = %v", got)
+	}
+}
+
+func TestRectFromPoints(t *testing.T) {
+	if _, ok := RectFromPoints(nil); ok {
+		t.Fatal("RectFromPoints(nil) must report not-ok")
+	}
+	r, ok := RectFromPoints([]Point{{3, 1}, {1, 2}, {2, 5}})
+	if !ok {
+		t.Fatal("expected ok")
+	}
+	want := Rect{1, 1, 3, 5}
+	if r != want {
+		t.Fatalf("RectFromPoints = %v, want %v", r, want)
+	}
+}
+
+func TestRectMeasures(t *testing.T) {
+	r := Rect{2, 3, 5, 4} // 4 wide, 2 tall
+	if r.Width() != 4 || r.Height() != 2 || r.Area() != 8 {
+		t.Fatalf("measures wrong: w=%d h=%d a=%d", r.Width(), r.Height(), r.Area())
+	}
+	if r.Diameter() != 4 {
+		t.Fatalf("Diameter = %d, want 4", r.Diameter())
+	}
+	single := Rect{7, 7, 7, 7}
+	if single.Diameter() != 0 || single.Area() != 1 {
+		t.Fatal("single-point rect measures wrong")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{1, 1, 3, 3}
+	for _, p := range []Point{{1, 1}, {3, 3}, {2, 2}, {1, 3}} {
+		if !r.Contains(p) {
+			t.Errorf("%v should contain %v", r, p)
+		}
+	}
+	for _, p := range []Point{{0, 1}, {4, 2}, {2, 0}, {2, 4}} {
+		if r.Contains(p) {
+			t.Errorf("%v should not contain %v", r, p)
+		}
+	}
+}
+
+func TestRectUnionIntersect(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	b := Rect{2, 1, 4, 5}
+	if got, want := a.Union(b), (Rect{0, 0, 4, 5}); got != want {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+	if got, want := a.Intersect(b), (Rect{2, 1, 2, 2}); got != want {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Overlaps(b) {
+		t.Fatal("a and b overlap")
+	}
+	c := Rect{10, 10, 11, 11}
+	if a.Overlaps(c) {
+		t.Fatal("a and c must not overlap")
+	}
+	if got := a.Intersect(c); !got.IsEmpty() {
+		t.Fatalf("disjoint Intersect = %v, want empty", got)
+	}
+	if got := Empty().Union(a); got != a {
+		t.Fatalf("Union with empty = %v", got)
+	}
+}
+
+func TestRectDist(t *testing.T) {
+	tests := []struct {
+		a, b Rect
+		want int
+	}{
+		{Rect{0, 0, 2, 2}, Rect{0, 0, 2, 2}, 0},
+		{Rect{0, 0, 2, 2}, Rect{2, 2, 4, 4}, 0},  // overlapping corner
+		{Rect{0, 0, 2, 2}, Rect{3, 0, 4, 2}, 1},  // adjacent columns
+		{Rect{0, 0, 2, 2}, Rect{4, 0, 5, 2}, 2},  // one column gap
+		{Rect{0, 0, 2, 2}, Rect{4, 4, 6, 6}, 4},  // diagonal gap: 2+2
+		{Rect{0, 0, 0, 0}, Rect{5, 7, 5, 7}, 12}, // two points
+	}
+	for _, tt := range tests {
+		if got := tt.a.Dist(tt.b); got != tt.want {
+			t.Errorf("Dist(%v,%v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+		if got := tt.b.Dist(tt.a); got != tt.want {
+			t.Errorf("Dist symmetry broken for %v,%v", tt.a, tt.b)
+		}
+	}
+}
+
+// Rect.Dist must equal the minimum pairwise point distance.
+func TestRectDistMatchesPointwise(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh uint8) bool {
+		a := Rect{int(ax % 8), int(ay % 8), int(ax%8) + int(aw%4), int(ay%8) + int(ah%4)}
+		b := Rect{int(bx % 8), int(by % 8), int(bx%8) + int(bw%4), int(by%8) + int(bh%4)}
+		want := 1 << 30
+		for _, p := range a.Points() {
+			for _, q := range b.Points() {
+				if d := p.Dist(q); d < want {
+					want = d
+				}
+			}
+		}
+		return a.Dist(b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectPointsAndCorners(t *testing.T) {
+	r := Rect{1, 1, 2, 3}
+	ps := r.Points()
+	if len(ps) != r.Area() {
+		t.Fatalf("Points len = %d, want %d", len(ps), r.Area())
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Less(ps[i-1]) {
+			t.Fatal("Points not in canonical order")
+		}
+	}
+	cs := r.Corners()
+	want := [4]Point{{1, 1}, {2, 1}, {1, 3}, {2, 3}}
+	if cs != want {
+		t.Fatalf("Corners = %v, want %v", cs, want)
+	}
+}
+
+func TestRectExpandInclude(t *testing.T) {
+	r := Rect{2, 2, 3, 3}
+	if got, want := r.Expand(2), (Rect{0, 0, 5, 5}); got != want {
+		t.Fatalf("Expand = %v, want %v", got, want)
+	}
+	if !Empty().Expand(3).IsEmpty() {
+		t.Fatal("expanding empty must stay empty")
+	}
+	if got, want := Empty().Include(Pt(4, 5)), (Rect{4, 5, 4, 5}); got != want {
+		t.Fatalf("Include on empty = %v, want %v", got, want)
+	}
+	if got, want := r.Include(Pt(0, 7)), (Rect{0, 2, 3, 7}); got != want {
+		t.Fatalf("Include = %v, want %v", got, want)
+	}
+}
+
+func TestContainsRect(t *testing.T) {
+	outer := Rect{0, 0, 9, 9}
+	if !outer.ContainsRect(Rect{1, 1, 8, 8}) || !outer.ContainsRect(outer) {
+		t.Fatal("ContainsRect false negative")
+	}
+	if outer.ContainsRect(Rect{1, 1, 10, 8}) {
+		t.Fatal("ContainsRect false positive")
+	}
+	if !outer.ContainsRect(Empty()) {
+		t.Fatal("every rect contains the empty rect")
+	}
+}
+
+func TestRectString(t *testing.T) {
+	if s := (Rect{1, 2, 3, 4}).String(); s != "[1..3]x[2..4]" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := Empty().String(); s != "[empty]" {
+		t.Fatalf("empty String = %q", s)
+	}
+}

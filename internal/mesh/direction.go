@@ -1,0 +1,81 @@
+// Package mesh models the interconnection topology of a 2-D
+// mesh-connected multicomputer (and its wraparound variant, the 2-D
+// torus).
+//
+// Node addresses follow the paper: (x, y) with 0 <= x < Width and
+// 0 <= y < Height; two nodes are connected when their addresses differ by
+// one in exactly one dimension. For the plain mesh, the paper surrounds
+// the machine with four "ghost" lines of permanently safe, enabled,
+// non-participating nodes so boundary nodes follow the same rules as
+// interior nodes; Topology exposes that ring via IsGhost. The torus has no
+// boundary and therefore no ghosts.
+package mesh
+
+import "ocpmesh/internal/grid"
+
+// Direction identifies one of the four mesh link directions.
+type Direction int
+
+// The four link directions in the canonical order used throughout the
+// repository (matching grid.Point.Neighbors4).
+const (
+	West Direction = iota
+	East
+	South
+	North
+	numDirections
+)
+
+// Directions lists all four directions in canonical order.
+var Directions = [4]Direction{West, East, South, North}
+
+// Delta returns the unit address offset of the direction.
+func (d Direction) Delta() grid.Point {
+	switch d {
+	case West:
+		return grid.Pt(-1, 0)
+	case East:
+		return grid.Pt(1, 0)
+	case South:
+		return grid.Pt(0, -1)
+	case North:
+		return grid.Pt(0, 1)
+	default:
+		panic("mesh: invalid direction")
+	}
+}
+
+// Opposite returns the reverse direction.
+func (d Direction) Opposite() Direction {
+	switch d {
+	case West:
+		return East
+	case East:
+		return West
+	case South:
+		return North
+	case North:
+		return South
+	default:
+		panic("mesh: invalid direction")
+	}
+}
+
+// Horizontal reports whether the direction moves along the x dimension.
+func (d Direction) Horizontal() bool { return d == West || d == East }
+
+// String returns the direction name.
+func (d Direction) String() string {
+	switch d {
+	case West:
+		return "west"
+	case East:
+		return "east"
+	case South:
+		return "south"
+	case North:
+		return "north"
+	default:
+		return "invalid"
+	}
+}

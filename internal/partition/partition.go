@@ -1,0 +1,248 @@
+// Package partition attacks the open problem the paper closes with: "for
+// a given faulty block, find a set of orthogonal convex polygons that
+// covers all the faults in the block and contains a minimum number of
+// nonfaulty nodes" — conjectured NP-complete (paper reference [3]).
+//
+// A valid cover here is a set of orthogonal convex polygons that
+//
+//   - together contain every fault,
+//   - each cover at least one fault, and
+//   - are pairwise separated (L1 distance >= 2: disjoint and not
+//     edge-adjacent; corner-adjacency is allowed, exactly as the paper's
+//     own disabled regions may contain diagonally touching sub-polygons).
+//
+// Two solvers are provided. Greedy starts from the 8-connected fault
+// clusters, takes the canonical connected rectilinear closure of each,
+// and merges polygons only when the separation constraint forces it —
+// mirroring (and sometimes improving on) how disabled regions form.
+// Exact enumerates every set partition of the fault clusters (feasible
+// up to ~10 clusters) and returns the cheapest valid cover. Both are
+// exact only up to the canonical closure: choosing optimal bridge cells
+// for disconnected closures is the conjectured-NP-complete core that
+// neither solver claims to settle.
+package partition
+
+import (
+	"fmt"
+
+	"ocpmesh/internal/geometry"
+	"ocpmesh/internal/grid"
+)
+
+// Cover is a set of disjoint orthogonal convex polygons covering a fault
+// set.
+type Cover struct {
+	// Polygons in canonical order (by smallest member).
+	Polygons []*grid.PointSet
+}
+
+// Size returns the total number of nodes across the polygons.
+func (c *Cover) Size() int {
+	n := 0
+	for _, p := range c.Polygons {
+		n += p.Len()
+	}
+	return n
+}
+
+// NonfaultyCount returns how many covered nodes are not in faults — the
+// objective being minimized.
+func (c *Cover) NonfaultyCount(faults *grid.PointSet) int {
+	n := 0
+	for _, p := range c.Polygons {
+		p.Each(func(q grid.Point) {
+			if !faults.Has(q) {
+				n++
+			}
+		})
+	}
+	return n
+}
+
+// Validate checks the cover: every polygon is an orthogonal convex
+// polygon containing at least one fault, polygons are pairwise separated
+// (L1 >= 2), and every fault is covered.
+func (c *Cover) Validate(faults *grid.PointSet) error {
+	covered := grid.NewPointSet()
+	for i, p := range c.Polygons {
+		if !geometry.IsOrthogonalConvexPolygon(p) {
+			return fmt.Errorf("partition: polygon %d is not an orthogonal convex polygon", i)
+		}
+		hasFault := false
+		p.Each(func(q grid.Point) {
+			if faults.Has(q) {
+				hasFault = true
+			}
+		})
+		if !hasFault {
+			return fmt.Errorf("partition: polygon %d covers no fault", i)
+		}
+		for j := i + 1; j < len(c.Polygons); j++ {
+			if !separated(p, c.Polygons[j]) {
+				return fmt.Errorf("partition: polygons %d and %d not separated", i, j)
+			}
+		}
+		covered.Union(p)
+	}
+	missing := faults.Clone().Subtract(covered)
+	if missing.Len() != 0 {
+		return fmt.Errorf("partition: faults not covered: %v", missing.Points())
+	}
+	return nil
+}
+
+// separated reports whether the polygons are at L1 distance >= 2:
+// disjoint and not edge-adjacent (corner-adjacency allowed).
+func separated(a, b *grid.PointSet) bool {
+	small, big := a, b
+	if small.Len() > big.Len() {
+		small, big = big, small
+	}
+	ok := true
+	small.Each(func(p grid.Point) {
+		if !ok {
+			return
+		}
+		if big.Has(p) {
+			ok = false
+			return
+		}
+		for _, q := range p.Neighbors4() {
+			if big.Has(q) {
+				ok = false
+				return
+			}
+		}
+	})
+	return ok
+}
+
+// Greedy computes a valid cover by closing each 8-connected fault
+// cluster separately and merging polygons only while the separation
+// constraint is violated. The result is deterministic.
+func Greedy(faults *grid.PointSet) *Cover {
+	if faults.Len() == 0 {
+		return &Cover{}
+	}
+	groups := geometry.Components8(faults)
+	polys := make([]*grid.PointSet, len(groups))
+	for i, g := range groups {
+		polys[i] = geometry.ConnectedOrthogonalClosure(g)
+	}
+	for {
+		merged := false
+	scan:
+		for i := 0; i < len(polys); i++ {
+			for j := i + 1; j < len(polys); j++ {
+				if separated(polys[i], polys[j]) {
+					continue
+				}
+				groups[i].Union(groups[j])
+				polys[i] = geometry.ConnectedOrthogonalClosure(groups[i])
+				groups = append(groups[:j], groups[j+1:]...)
+				polys = append(polys[:j], polys[j+1:]...)
+				merged = true
+				break scan
+			}
+		}
+		if !merged {
+			return &Cover{Polygons: polys}
+		}
+	}
+}
+
+// MaxExactClusters bounds Exact's search: beyond this many fault
+// clusters the set-partition space (Bell numbers) is too large and Exact
+// returns an error.
+const MaxExactClusters = 10
+
+// Exact enumerates every set partition of the 8-connected fault clusters
+// and returns the cheapest valid cover (fewest nonfaulty nodes; ties go
+// to more polygons, then to the order of enumeration). It errors when
+// the cluster count exceeds MaxExactClusters.
+func Exact(faults *grid.PointSet) (*Cover, error) {
+	if faults.Len() == 0 {
+		return &Cover{}, nil
+	}
+	clusters := geometry.Components8(faults)
+	if len(clusters) > MaxExactClusters {
+		return nil, fmt.Errorf("partition: %d fault clusters exceed the exact-search bound %d",
+			len(clusters), MaxExactClusters)
+	}
+
+	var (
+		best     *Cover
+		bestCost int
+	)
+	consider := func(blocks [][]int) {
+		polys := make([]*grid.PointSet, len(blocks))
+		for i, blk := range blocks {
+			part := grid.NewPointSet()
+			for _, ci := range blk {
+				part.Union(clusters[ci])
+			}
+			polys[i] = geometry.ConnectedOrthogonalClosure(part)
+		}
+		cover := &Cover{Polygons: polys}
+		if cover.Validate(faults) != nil {
+			return
+		}
+		cost := cover.NonfaultyCount(faults)
+		if best == nil || cost < bestCost ||
+			(cost == bestCost && len(polys) > len(best.Polygons)) {
+			best, bestCost = cover, cost
+		}
+	}
+
+	// Enumerate set partitions via restricted growth strings.
+	n := len(clusters)
+	assign := make([]int, n)
+	var rec func(i, maxUsed int)
+	rec = func(i, maxUsed int) {
+		if i == n {
+			blocks := make([][]int, maxUsed+1)
+			for ci, b := range assign {
+				blocks[b] = append(blocks[b], ci)
+			}
+			consider(blocks)
+			return
+		}
+		for b := 0; b <= maxUsed+1 && b < n; b++ {
+			assign[i] = b
+			next := maxUsed
+			if b > maxUsed {
+				next = b
+			}
+			rec(i+1, next)
+		}
+	}
+	assign[0] = 0
+	rec(1, 0)
+
+	if best == nil {
+		// The all-in-one partition is always valid (a single connected
+		// polygon has no separation constraint), so this cannot happen.
+		return nil, fmt.Errorf("partition: no valid cover found (internal error)")
+	}
+	return best, nil
+}
+
+// Refine partitions the faults of one disabled region and reports the
+// best cover found: Exact when the cluster count permits, Greedy
+// otherwise. The returned cover never keeps more nonfaulty nodes than
+// the region itself (the region is itself a candidate cover).
+func Refine(regionNodes, regionFaults *grid.PointSet) *Cover {
+	var cover *Cover
+	if exact, err := Exact(regionFaults); err == nil {
+		cover = exact
+	} else {
+		cover = Greedy(regionFaults)
+	}
+	if cover.Validate(regionFaults) != nil ||
+		cover.NonfaultyCount(regionFaults) > regionNodes.Len()-regionFaults.Len() {
+		// Fall back to the region itself, split into its 4-connected
+		// pieces (each is an orthogonal convex polygon by Theorem 1).
+		return &Cover{Polygons: geometry.Components(regionNodes)}
+	}
+	return cover
+}

@@ -1,0 +1,88 @@
+package region
+
+import (
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+)
+
+// seamShift finds, for a node set on a torus, an empty column and an
+// empty row to route the wraparound seam through, returning the
+// translation that maps the set into seam-free flat coordinates. ok is
+// false when the set occupies every column or every row — it then wraps a
+// full ring and has no planar embedding, so the planar geometry checks do
+// not apply (a ring-wrapping region has no boundary in that dimension and
+// "corner node" loses its meaning).
+func seamShift(topo *mesh.Topology, nodes *grid.PointSet) (shift func(grid.Point) grid.Point, ok bool) {
+	colUsed := make([]bool, topo.Width())
+	rowUsed := make([]bool, topo.Height())
+	nodes.Each(func(p grid.Point) {
+		colUsed[p.X] = true
+		rowUsed[p.Y] = true
+	})
+	freeCol, freeRow := -1, -1
+	for x, used := range colUsed {
+		if !used {
+			freeCol = x
+			break
+		}
+	}
+	for y, used := range rowUsed {
+		if !used {
+			freeRow = y
+			break
+		}
+	}
+	if freeCol == -1 || freeRow == -1 {
+		return nil, false
+	}
+	return func(p grid.Point) grid.Point {
+		p.X = mod(p.X-freeCol-1, topo.Width())
+		p.Y = mod(p.Y-freeRow-1, topo.Height())
+		return p
+	}, true
+}
+
+func shiftSet(s *grid.PointSet, shift func(grid.Point) grid.Point) *grid.PointSet {
+	out := grid.NewPointSet()
+	s.Each(func(p grid.Point) { out.Add(shift(p)) })
+	return out
+}
+
+// Unwrap translates a node set of a torus into flat coordinates so the
+// planar geometry checks apply: coordinates are rotated so the
+// wraparound seam passes through an empty column and an empty row. It
+// reports ok=false when the set wraps a full ring (occupies every column
+// or every row), in which case no seam-free translation exists. For a
+// bounded mesh the set is returned unchanged.
+func Unwrap(topo *mesh.Topology, nodes *grid.PointSet) (*grid.PointSet, bool) {
+	if topo.Kind() != mesh.Torus2D || nodes.Len() == 0 {
+		return nodes, true
+	}
+	shift, ok := seamShift(topo, nodes)
+	if !ok {
+		return nil, false
+	}
+	return shiftSet(nodes, shift), true
+}
+
+// UnwrapRegion returns a copy of r translated by the same seam-avoiding
+// shift (nodes and faults moved consistently), with ok=false when the
+// region wraps a full ring in either dimension.
+func UnwrapRegion(topo *mesh.Topology, r *Region) (*Region, bool) {
+	if topo.Kind() != mesh.Torus2D {
+		return r, true
+	}
+	shift, ok := seamShift(topo, r.Nodes)
+	if !ok {
+		return nil, false
+	}
+	return &Region{Nodes: shiftSet(r.Nodes, shift), Faults: shiftSet(r.Faults, shift)}, true
+}
+
+func mod(v, m int) int {
+	v %= m
+	if v < 0 {
+		v += m
+	}
+	return v
+}

@@ -1,0 +1,137 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocpmesh/internal/core"
+	"ocpmesh/internal/fault"
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/status"
+)
+
+func TestAdaptiveMinimalFaultFree(t *testing.T) {
+	res := form(t, 8, 8, mesh.Mesh2D)
+	g := NewGraph(res, ModelRegions)
+	src, dst := grid.Pt(0, 7), grid.Pt(6, 1)
+	path, err := AdaptiveMinimal{}.Route(g, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Len() != src.Dist(dst) {
+		t.Fatalf("adaptive path not minimal: %d vs %d", path.Len(), src.Dist(dst))
+	}
+	if err := path.Validate(res, ModelRegions, src, dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveMinimalAvoidsRegionXYHits(t *testing.T) {
+	// A single fault on the XY path: XY fails, adaptive sidesteps and
+	// stays minimal.
+	res := form(t, 7, 7, mesh.Mesh2D, grid.Pt(3, 2))
+	g := NewGraph(res, ModelRegions)
+	src, dst := grid.Pt(0, 2), grid.Pt(6, 4)
+	if _, err := (XY{}).Route(g, src, dst); err == nil {
+		t.Fatal("XY should be blocked by the fault on its row")
+	}
+	path, err := AdaptiveMinimal{}.Route(g, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Len() != src.Dist(dst) {
+		t.Fatalf("adaptive must stay minimal: %d vs %d", path.Len(), src.Dist(dst))
+	}
+	if err := path.Validate(res, ModelRegions, src, dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveMinimalPathsAreAlwaysMinimal(t *testing.T) {
+	// Whenever the adaptive router delivers, the path length equals the
+	// topology distance — it never misroutes.
+	rng := rand.New(rand.NewSource(19))
+	delivered := 0
+	for trial := 0; trial < 40; trial++ {
+		kind := mesh.Mesh2D
+		if trial%3 == 0 {
+			kind = mesh.Torus2D
+		}
+		topo := mesh.MustNew(10, 10, kind)
+		faults := fault.Uniform{Count: 8}.Generate(topo, rng)
+		res, err := core.FormOn(core.Config{Width: 10, Height: 10, Kind: kind, Safety: status.Def2b},
+			topo, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewGraph(res, ModelRegions)
+		for _, pr := range SamplePairs(res, 10, rng) {
+			if !g.Allowed(pr[0]) || !g.Allowed(pr[1]) {
+				continue
+			}
+			path, err := (AdaptiveMinimal{}).Route(g, pr[0], pr[1])
+			if err != nil {
+				continue
+			}
+			delivered++
+			if path.Len() != topo.Dist(pr[0], pr[1]) {
+				t.Fatalf("trial %d: non-minimal adaptive path %d vs %d",
+					trial, path.Len(), topo.Dist(pr[0], pr[1]))
+			}
+			if verr := path.Validate(res, ModelRegions, pr[0], pr[1]); verr != nil {
+				t.Fatal(verr)
+			}
+		}
+	}
+	if delivered == 0 {
+		t.Fatal("adaptive router never delivered")
+	}
+}
+
+func TestAdaptiveBeatsXYOnDelivery(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	xyOK, adOK, total := 0, 0, 0
+	for trial := 0; trial < 25; trial++ {
+		topo := mesh.MustNew(14, 14, mesh.Mesh2D)
+		faults := fault.Uniform{Count: 14}.Generate(topo, rng)
+		res, err := core.FormOn(core.Config{Width: 14, Height: 14, Safety: status.Def2b}, topo, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewGraph(res, ModelRegions)
+		for _, pr := range SamplePairs(res, 20, rng) {
+			if !g.Allowed(pr[0]) || !g.Allowed(pr[1]) {
+				continue
+			}
+			total++
+			if _, err := (XY{}).Route(g, pr[0], pr[1]); err == nil {
+				xyOK++
+			}
+			if _, err := (AdaptiveMinimal{}).Route(g, pr[0], pr[1]); err == nil {
+				adOK++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no pairs")
+	}
+	if adOK < xyOK {
+		t.Fatalf("adaptive minimal (%d/%d) must deliver at least as often as XY (%d/%d)",
+			adOK, total, xyOK, total)
+	}
+	if adOK == xyOK {
+		t.Logf("note: adaptive equalled XY on this sample (%d/%d)", adOK, total)
+	}
+}
+
+func TestAdaptiveRejectsForbiddenEndpoints(t *testing.T) {
+	res := form(t, 6, 6, mesh.Mesh2D, grid.Pt(2, 2))
+	g := NewGraph(res, ModelRegions)
+	if _, err := (AdaptiveMinimal{}).Route(g, grid.Pt(2, 2), grid.Pt(0, 0)); err == nil {
+		t.Fatal("faulty source must be rejected")
+	}
+	if (AdaptiveMinimal{}).Name() != "adaptive-minimal" {
+		t.Fatal("name wrong")
+	}
+}

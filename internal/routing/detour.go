@@ -1,0 +1,129 @@
+package routing
+
+import (
+	"fmt"
+
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+)
+
+// Detour is a wall-following fault-tolerant router in the spirit of the
+// f-ring/extended-e-cube family the paper cites: it routes greedily
+// toward the destination (x offset first) and, when the greedy hop is
+// blocked by a forbidden region, follows the region's boundary — needing
+// only the local knowledge a real node has: which of its neighbors are
+// usable — until it can make fresh progress toward the destination.
+//
+// Convex fault regions are exactly what makes this strategy effective:
+// following the boundary of an orthogonal convex polygon never
+// backtracks past the obstacle, whereas concave regions (U/H shapes) can
+// trap a boundary-follower. Detour is not guaranteed to deliver on
+// arbitrary multi-obstacle configurations; it returns an error when its
+// hop budget is exhausted, and the experiments measure its delivery rate
+// and stretch against the BFS oracle.
+type Detour struct {
+	// MaxHops bounds the walk; 0 means 4 x machine size.
+	MaxHops int
+}
+
+// Name implements Router.
+func (Detour) Name() string { return "detour" }
+
+// Route implements Router.
+func (d Detour) Route(g *Graph, src, dst grid.Point) (Path, error) {
+	if !g.Allowed(src) || !g.Allowed(dst) {
+		return nil, fmt.Errorf("routing: detour: endpoint not allowed")
+	}
+	topo := g.res.Topo
+	maxHops := d.MaxHops
+	if maxHops == 0 {
+		maxHops = 4 * topo.Size()
+	}
+
+	path := Path{src}
+	cur := src
+	// Wall-following state: in wall mode we keep the obstacle on our
+	// right hand and remember how close to dst we were when we hit it;
+	// we leave wall mode at any node strictly closer than that.
+	wall := false
+	var heading mesh.Direction
+	hitDist := 0
+
+	for cur != dst && path.Len() < maxHops {
+		if !wall {
+			dir, _ := xyNextDir(topo, cur, dst)
+			if next, ok := topo.NeighborIn(cur, dir); ok && g.Allowed(next) {
+				path = append(path, next)
+				cur = next
+				continue
+			}
+			// Blocked: enter wall mode heading "left" of the blocked
+			// direction so the obstacle starts on our right.
+			wall = true
+			heading = turnLeft(dir)
+			hitDist = topo.Dist(cur, dst)
+		}
+
+		// Leave wall mode when strictly closer than the hit point and a
+		// greedy step is available.
+		if topo.Dist(cur, dst) < hitDist {
+			if dir, ok := xyNextDir(topo, cur, dst); ok {
+				if next, ok := topo.NeighborIn(cur, dir); ok && g.Allowed(next) {
+					wall = false
+					path = append(path, next)
+					cur = next
+					continue
+				}
+			}
+		}
+
+		// Right-hand rule: prefer turning right, then straight, then
+		// left, then back.
+		moved := false
+		for _, dir := range []mesh.Direction{turnRight(heading), heading, turnLeft(heading), heading.Opposite()} {
+			if next, ok := topo.NeighborIn(cur, dir); ok && g.Allowed(next) {
+				heading = dir
+				path = append(path, next)
+				cur = next
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return nil, fmt.Errorf("routing: detour: stuck at %v (isolated node)", cur)
+		}
+	}
+	if cur != dst {
+		return nil, fmt.Errorf("routing: detour: hop budget %d exhausted between %v and %v", maxHops, src, dst)
+	}
+	return path, nil
+}
+
+// turnRight returns the direction 90 degrees clockwise of d (in the
+// paper's coordinates: north -> east -> south -> west).
+func turnRight(d mesh.Direction) mesh.Direction {
+	switch d {
+	case mesh.North:
+		return mesh.East
+	case mesh.East:
+		return mesh.South
+	case mesh.South:
+		return mesh.West
+	default:
+		return mesh.North
+	}
+}
+
+// turnLeft returns the direction 90 degrees counterclockwise of d.
+func turnLeft(d mesh.Direction) mesh.Direction {
+	switch d {
+	case mesh.North:
+		return mesh.West
+	case mesh.West:
+		return mesh.South
+	case mesh.South:
+		return mesh.East
+	default:
+		return mesh.North
+	}
+}

@@ -1,0 +1,24 @@
+package routing
+
+import (
+	"fmt"
+
+	"ocpmesh/internal/grid"
+)
+
+// Oracle is the BFS shortest-path oracle wrapped as a Router, used as the
+// ideal baseline in simulations: it always delivers when a path exists
+// and its paths are exactly minimal under the active fault model.
+type Oracle struct{}
+
+// Name implements Router.
+func (Oracle) Name() string { return "oracle" }
+
+// Route implements Router.
+func (Oracle) Route(g *Graph, src, dst grid.Point) (Path, error) {
+	path, ok := g.ShortestPath(src, dst)
+	if !ok {
+		return nil, fmt.Errorf("routing: oracle: %v unreachable from %v", dst, src)
+	}
+	return path, nil
+}

@@ -1,0 +1,121 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocpmesh/internal/core"
+	"ocpmesh/internal/fault"
+	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/status"
+)
+
+// XY turns are always x-to-y, so its channel dependency graph is acyclic
+// on any faulty mesh under any fault model — failures just remove paths,
+// never add turns. This is the classic argument for why the block model
+// needs few virtual channels, exercised here over random configurations.
+func TestXYCDGAcyclicOnFaultyMeshes(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 15; trial++ {
+		topo := mesh.MustNew(5+rng.Intn(3), 5+rng.Intn(3), mesh.Mesh2D)
+		faults := fault.Uniform{Count: rng.Intn(6)}.Generate(topo, rng)
+		res, err := core.FormOn(core.Config{
+			Width: topo.Width(), Height: topo.Height(), Safety: status.Def2b,
+		}, topo, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []Model{ModelBlocks, ModelRegions} {
+			g := NewGraph(res, m)
+			cdg, _, err := AnalyzeDeadlock(g, XY{}, SingleVC, AllPairs(g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cyc, found := cdg.FindCycle(); found {
+				t.Fatalf("trial %d (%v): XY CDG cycle %v", trial, m, cyc)
+			}
+		}
+	}
+}
+
+// Adaptive minimal routing makes only productive turns, and on a MESH a
+// productive path never reverses direction within a dimension; the
+// detour router, by contrast, can introduce arbitrary turns, so its CDG
+// may be cyclic — the cost of its generality, and exactly why the
+// wall-following routers in the literature need extra virtual channels.
+func TestAdaptiveProductivePathsNeverReverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 20; trial++ {
+		topo := mesh.MustNew(10, 10, mesh.Mesh2D)
+		faults := fault.Uniform{Count: 8}.Generate(topo, rng)
+		res, err := core.FormOn(core.Config{Width: 10, Height: 10, Safety: status.Def2b}, topo, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewGraph(res, ModelRegions)
+		for _, pr := range SamplePairs(res, 12, rng) {
+			path, err := (AdaptiveMinimal{}).Route(g, pr[0], pr[1])
+			if err != nil {
+				continue
+			}
+			sawX, sawY := 0, 0 // -1, 0, +1 senses
+			for i := 1; i < len(path); i++ {
+				dx, dy := path[i].X-path[i-1].X, path[i].Y-path[i-1].Y
+				if dx != 0 {
+					if sawX != 0 && sawX != sign(dx) {
+						t.Fatalf("trial %d: path reverses in x: %v", trial, path)
+					}
+					sawX = sign(dx)
+				}
+				if dy != 0 {
+					if sawY != 0 && sawY != sign(dy) {
+						t.Fatalf("trial %d: path reverses in y: %v", trial, path)
+					}
+					sawY = sign(dy)
+				}
+			}
+		}
+	}
+}
+
+func sign(v int) int {
+	if v < 0 {
+		return -1
+	}
+	if v > 0 {
+		return 1
+	}
+	return 0
+}
+
+// The BFS oracle dominates every online router: whenever a router
+// delivers, the oracle delivers with a path at most as long.
+func TestOracleDominatesOnlineRouters(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	routers := []Router{XY{}, AdaptiveMinimal{}, Detour{}}
+	for trial := 0; trial < 15; trial++ {
+		topo := mesh.MustNew(12, 12, mesh.Mesh2D)
+		faults := fault.Clustered{Count: 10, Clusters: 2, Spread: 2}.Generate(topo, rng)
+		res, err := core.FormOn(core.Config{Width: 12, Height: 12, Safety: status.Def2b}, topo, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewGraph(res, ModelRegions)
+		for _, pr := range SamplePairs(res, 10, rng) {
+			for _, r := range routers {
+				path, err := r.Route(g, pr[0], pr[1])
+				if err != nil {
+					continue
+				}
+				oracle, ok := g.ShortestPath(pr[0], pr[1])
+				if !ok {
+					t.Fatalf("trial %d: %s delivered an unreachable pair", trial, r.Name())
+				}
+				if oracle.Len() > path.Len() {
+					t.Fatalf("trial %d: oracle longer than %s: %d vs %d",
+						trial, r.Name(), oracle.Len(), path.Len())
+				}
+			}
+		}
+	}
+}

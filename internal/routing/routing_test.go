@@ -1,0 +1,421 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocpmesh/internal/core"
+	"ocpmesh/internal/fault"
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/status"
+)
+
+func form(t *testing.T, w, h int, kind mesh.Kind, faults ...grid.Point) *core.Result {
+	t.Helper()
+	res, err := core.Form(core.Config{Width: w, Height: h, Kind: kind, Safety: status.Def2b}, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestModelString(t *testing.T) {
+	if ModelBlocks.String() != "blocks" || ModelRegions.String() != "regions" ||
+		ModelFaultsOnly.String() != "faults-only" {
+		t.Fatal("model names wrong")
+	}
+	if Model(9).String() != "Model(9)" {
+		t.Fatal("unknown model name wrong")
+	}
+}
+
+func TestModelAllowed(t *testing.T) {
+	// One faulty block with a reactivated nonfaulty node.
+	res := form(t, 6, 6, mesh.Mesh2D, grid.Pt(2, 2), grid.Pt(3, 3))
+	reactivated := grid.Pt(3, 2) // unsafe (inside 2x2 block) but enabled
+	if !res.IsUnsafe(reactivated) || !res.IsEnabled(reactivated) {
+		t.Fatalf("fixture expectation broken: unsafe=%t enabled=%t",
+			res.IsUnsafe(reactivated), res.IsEnabled(reactivated))
+	}
+	if ModelBlocks.Allowed(res, reactivated) {
+		t.Fatal("block model must forbid unsafe nodes")
+	}
+	if !ModelRegions.Allowed(res, reactivated) {
+		t.Fatal("region model must allow reactivated nodes")
+	}
+	if !ModelFaultsOnly.Allowed(res, reactivated) {
+		t.Fatal("faults-only model must allow nonfaulty nodes")
+	}
+	if ModelRegions.Allowed(res, grid.Pt(2, 2)) {
+		t.Fatal("no model allows faulty nodes")
+	}
+	if ModelRegions.Allowed(res, grid.Pt(-1, 0)) {
+		t.Fatal("ghosts are not routable")
+	}
+	if Model(9).Allowed(res, grid.Pt(0, 0)) {
+		t.Fatal("unknown model must allow nothing")
+	}
+}
+
+func TestShortestPathFaultFree(t *testing.T) {
+	res := form(t, 8, 8, mesh.Mesh2D)
+	g := NewGraph(res, ModelRegions)
+	src, dst := grid.Pt(0, 0), grid.Pt(7, 5)
+	path, ok := g.ShortestPath(src, dst)
+	if !ok {
+		t.Fatal("path must exist on fault-free mesh")
+	}
+	if path.Len() != src.Dist(dst) {
+		t.Fatalf("hops = %d, want %d", path.Len(), src.Dist(dst))
+	}
+	if err := path.Validate(res, ModelRegions, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := g.ShortestPath(src, src); !ok || p.Len() != 0 {
+		t.Fatal("trivial path wrong")
+	}
+}
+
+func TestShortestPathAroundRegion(t *testing.T) {
+	// A vertical wall of faults forces a detour.
+	res := form(t, 7, 7, mesh.Mesh2D,
+		grid.Pt(3, 1), grid.Pt(3, 2), grid.Pt(3, 3), grid.Pt(3, 4), grid.Pt(3, 5))
+	g := NewGraph(res, ModelRegions)
+	src, dst := grid.Pt(0, 3), grid.Pt(6, 3)
+	path, ok := g.ShortestPath(src, dst)
+	if !ok {
+		t.Fatal("detour around the wall must exist")
+	}
+	if path.Len() <= src.Dist(dst) {
+		t.Fatalf("wall must force a detour: hops=%d manhattan=%d", path.Len(), src.Dist(dst))
+	}
+	if err := path.Validate(res, ModelRegions, src, dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	// Full-width wall cuts the mesh in two.
+	var wall []grid.Point
+	for x := 0; x < 5; x++ {
+		wall = append(wall, grid.Pt(x, 2))
+	}
+	res := form(t, 5, 5, mesh.Mesh2D, wall...)
+	g := NewGraph(res, ModelRegions)
+	if _, ok := g.ShortestPath(grid.Pt(0, 0), grid.Pt(0, 4)); ok {
+		t.Fatal("wall must disconnect the halves")
+	}
+	if n := g.ReachableFrom(grid.Pt(0, 0)); n >= res.Topo.Size()-5 {
+		t.Fatalf("reachable = %d, must exclude the far half", n)
+	}
+	// On a torus the wall does not disconnect (wraparound).
+	resT := form(t, 5, 5, mesh.Torus2D, wall...)
+	gT := NewGraph(resT, ModelRegions)
+	if _, ok := gT.ShortestPath(grid.Pt(0, 0), grid.Pt(0, 4)); !ok {
+		t.Fatal("torus wraparound must route around the wall")
+	}
+}
+
+func TestXYFaultFree(t *testing.T) {
+	res := form(t, 8, 8, mesh.Mesh2D)
+	g := NewGraph(res, ModelRegions)
+	src, dst := grid.Pt(1, 6), grid.Pt(5, 2)
+	path, err := XY{}.Route(g, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Len() != src.Dist(dst) {
+		t.Fatalf("XY must be minimal: %d vs %d", path.Len(), src.Dist(dst))
+	}
+	// Dimension order: all x movement precedes all y movement.
+	turned := false
+	for i := 1; i < len(path); i++ {
+		if path[i].Y != path[i-1].Y {
+			turned = true
+		} else if turned {
+			t.Fatal("XY moved in x after turning to y")
+		}
+	}
+	if err := path.Validate(res, ModelRegions, src, dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXYBlockedByRegion(t *testing.T) {
+	res := form(t, 7, 7, mesh.Mesh2D, grid.Pt(3, 3))
+	g := NewGraph(res, ModelRegions)
+	if _, err := (XY{}).Route(g, grid.Pt(0, 3), grid.Pt(6, 3)); err == nil {
+		t.Fatal("XY must fail when the fixed path is blocked")
+	}
+	if _, err := (XY{}).Route(g, grid.Pt(3, 3), grid.Pt(0, 0)); err == nil {
+		t.Fatal("XY must reject forbidden endpoints")
+	}
+}
+
+func TestXYOnTorusWrap(t *testing.T) {
+	res := form(t, 8, 8, mesh.Torus2D)
+	g := NewGraph(res, ModelRegions)
+	src, dst := grid.Pt(0, 0), grid.Pt(7, 7)
+	path, err := XY{}.Route(g, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Len() != res.Topo.Dist(src, dst) {
+		t.Fatalf("torus XY must take the wrap: %d hops, want %d", path.Len(), res.Topo.Dist(src, dst))
+	}
+}
+
+func TestDetourAroundBlock(t *testing.T) {
+	res := form(t, 9, 9, mesh.Mesh2D, grid.Pt(4, 3), grid.Pt(4, 4), grid.Pt(4, 5), grid.Pt(3, 4))
+	for _, model := range []Model{ModelBlocks, ModelRegions} {
+		g := NewGraph(res, model)
+		src, dst := grid.Pt(0, 4), grid.Pt(8, 4)
+		path, err := Detour{}.Route(g, src, dst)
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if err := path.Validate(res, model, src, dst); err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		oracle, ok := g.ShortestPath(src, dst)
+		if !ok {
+			t.Fatalf("%v: oracle says unreachable", model)
+		}
+		if path.Len() < oracle.Len() {
+			t.Fatalf("%v: detour shorter than shortest path?!", model)
+		}
+	}
+}
+
+func TestDetourPrefersRefinedModel(t *testing.T) {
+	// A large block with most nodes reactivated: the region model should
+	// admit a path no longer than the block model's.
+	fix := fault.Figure1()
+	res, err := core.FormOn(core.Config{Width: 10, Height: 10, Safety: status.Def2a},
+		fix.Topo, fix.Faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := grid.Pt(0, 2), grid.Pt(9, 3)
+	blockPath, ok := NewGraph(res, ModelBlocks).ShortestPath(src, dst)
+	if !ok {
+		t.Fatal("block-model path must exist")
+	}
+	regionPath, ok := NewGraph(res, ModelRegions).ShortestPath(src, dst)
+	if !ok {
+		t.Fatal("region-model path must exist")
+	}
+	if regionPath.Len() > blockPath.Len() {
+		t.Fatalf("refined model must not be worse: %d vs %d", regionPath.Len(), blockPath.Len())
+	}
+}
+
+func TestDetourRandomDeliveryMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	delivered, reachable := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		topo := mesh.MustNew(12, 12, mesh.Mesh2D)
+		faults := fault.Uniform{Count: 6 + rng.Intn(10)}.Generate(topo, rng)
+		res, err := core.FormOn(core.Config{Width: 12, Height: 12, Safety: status.Def2b}, topo, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewGraph(res, ModelRegions)
+		for _, pr := range SamplePairs(res, 10, rng) {
+			src, dst := pr[0], pr[1]
+			if !g.Allowed(src) || !g.Allowed(dst) {
+				continue
+			}
+			_, ork := g.ShortestPath(src, dst)
+			path, err := Detour{}.Route(g, src, dst)
+			if err == nil {
+				if verr := path.Validate(res, ModelRegions, src, dst); verr != nil {
+					t.Fatalf("trial %d: %v", trial, verr)
+				}
+				if !ork {
+					t.Fatalf("trial %d: detour delivered an oracle-unreachable pair", trial)
+				}
+				delivered++
+			}
+			if ork {
+				reachable++
+			}
+		}
+	}
+	if reachable == 0 {
+		t.Fatal("no reachable pairs sampled")
+	}
+	if rate := float64(delivered) / float64(reachable); rate < 0.9 {
+		t.Fatalf("detour delivery rate %.2f too low (convex regions should rarely trap it)", rate)
+	}
+}
+
+func TestXYDeadlockFree(t *testing.T) {
+	// Classic result: dimension-order routing on a fault-free mesh has an
+	// acyclic channel dependency graph with a single virtual channel.
+	res := form(t, 4, 4, mesh.Mesh2D)
+	g := NewGraph(res, ModelRegions)
+	cdg, undeliverable, err := AnalyzeDeadlock(g, XY{}, SingleVC, AllPairs(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if undeliverable != 0 {
+		t.Fatalf("fault-free XY must deliver everything, %d failed", undeliverable)
+	}
+	if cdg.Size() == 0 {
+		t.Fatal("CDG must have edges")
+	}
+	if cyc, found := cdg.FindCycle(); found {
+		t.Fatalf("XY CDG must be acyclic, found %v", cyc)
+	}
+}
+
+func TestXYOnTorusSingleVCDeadlocks(t *testing.T) {
+	// Equally classic: wraparound rings with one virtual channel produce
+	// cyclic channel dependencies.
+	res := form(t, 4, 4, mesh.Torus2D)
+	g := NewGraph(res, ModelRegions)
+	cdg, _, err := AnalyzeDeadlock(g, XY{}, SingleVC, AllPairs(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := cdg.FindCycle(); !found {
+		t.Fatal("torus XY with one VC must have a CDG cycle")
+	}
+}
+
+func TestCDGManualCycle(t *testing.T) {
+	cdg := NewCDG()
+	a := Channel{From: grid.Pt(0, 0), To: grid.Pt(1, 0)}
+	b := Channel{From: grid.Pt(1, 0), To: grid.Pt(1, 1)}
+	c := Channel{From: grid.Pt(1, 1), To: grid.Pt(0, 1)}
+	d := Channel{From: grid.Pt(0, 1), To: grid.Pt(0, 0)}
+	cdg.AddPath(Path{grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(1, 1)}, SingleVC)
+	cdg.AddPath(Path{grid.Pt(1, 0), grid.Pt(1, 1), grid.Pt(0, 1)}, SingleVC)
+	cdg.AddPath(Path{grid.Pt(1, 1), grid.Pt(0, 1), grid.Pt(0, 0)}, SingleVC)
+	if _, found := cdg.FindCycle(); found {
+		t.Fatal("three quarter-turns are not yet a cycle")
+	}
+	cdg.AddPath(Path{grid.Pt(0, 1), grid.Pt(0, 0), grid.Pt(1, 0)}, SingleVC)
+	cyc, found := cdg.FindCycle()
+	if !found {
+		t.Fatal("closing the turn loop must create a cycle")
+	}
+	if len(cyc) != 4 {
+		t.Fatalf("cycle = %v, want the 4 ring channels", cyc)
+	}
+	seen := map[Channel]bool{}
+	for _, ch := range cyc {
+		seen[ch] = true
+	}
+	for _, want := range []Channel{a, b, c, d} {
+		if !seen[want] {
+			t.Fatalf("cycle %v missing channel %v", cyc, want)
+		}
+	}
+}
+
+func TestVCPolicyBreaksCycle(t *testing.T) {
+	// The same ring traffic becomes acyclic under a dateline policy: a
+	// message switches to VC 1 once it has passed the dateline node
+	// (0,0), so no VC-0 dependency closes the ring.
+	datelineNode := grid.Pt(0, 0)
+	dateline := func(p Path, hop int) int {
+		for i := 1; i <= hop; i++ {
+			if p[i] == datelineNode {
+				return 1
+			}
+		}
+		return 0
+	}
+	cdg := NewCDG()
+	ring := []grid.Point{grid.Pt(0, 0), grid.Pt(1, 0), grid.Pt(1, 1), grid.Pt(0, 1)}
+	for i := range ring {
+		p := Path{ring[i], ring[(i+1)%4], ring[(i+2)%4], ring[(i+3)%4]}
+		cdg.AddPath(p, dateline)
+	}
+	if cyc, found := cdg.FindCycle(); found {
+		t.Fatalf("dateline policy must break the ring cycle, found %v", cyc)
+	}
+}
+
+func TestCompareModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	topo := mesh.MustNew(16, 16, mesh.Mesh2D)
+	faults := fault.Clustered{Count: 12, Clusters: 2, Spread: 2}.Generate(topo, rng)
+	res, err := core.FormOn(core.Config{Width: 16, Height: 16, Safety: status.Def2a}, topo, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := SamplePairs(res, 200, rng)
+	statsByModel := CompareModels(res, pairs)
+
+	blocks, regions, optimum := statsByModel[ModelBlocks], statsByModel[ModelRegions], statsByModel[ModelFaultsOnly]
+	if regions.Usable < blocks.Usable {
+		t.Fatalf("refined model must not lose usable pairs: %d < %d", regions.Usable, blocks.Usable)
+	}
+	if regions.Delivered < blocks.Delivered {
+		t.Fatalf("refined model must not deliver less: %d < %d", regions.Delivered, blocks.Delivered)
+	}
+	if optimum.Delivered < regions.Delivered {
+		t.Fatalf("faults-only is an upper bound: %d < %d", optimum.Delivered, regions.Delivered)
+	}
+	if blocks.Delivered > 0 && regions.AvgStretch() > blocks.AvgStretch()+0.25 {
+		t.Fatalf("refined model stretch %.3f should not be much worse than block stretch %.3f",
+			regions.AvgStretch(), blocks.AvgStretch())
+	}
+	if regions.DeliveryRate() <= 0 || regions.DeliveryRate() > 1 {
+		t.Fatalf("delivery rate out of range: %g", regions.DeliveryRate())
+	}
+}
+
+func TestSamplePairs(t *testing.T) {
+	res := form(t, 5, 5, mesh.Mesh2D, grid.Pt(2, 2))
+	rng := rand.New(rand.NewSource(1))
+	pairs := SamplePairs(res, 50, rng)
+	if len(pairs) != 50 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	for _, pr := range pairs {
+		if pr[0] == pr[1] {
+			t.Fatal("pair endpoints must differ")
+		}
+		if res.IsFaulty(pr[0]) || res.IsFaulty(pr[1]) {
+			t.Fatal("pairs must be nonfaulty")
+		}
+	}
+	// Degenerate machine: too few nonfaulty nodes.
+	tiny := form(t, 1, 1, mesh.Mesh2D, grid.Pt(0, 0))
+	if got := SamplePairs(tiny, 5, rng); got != nil {
+		t.Fatalf("degenerate SamplePairs = %v", got)
+	}
+}
+
+func TestPathValidateRejects(t *testing.T) {
+	res := form(t, 5, 5, mesh.Mesh2D, grid.Pt(2, 2))
+	if err := (Path{}).Validate(res, ModelRegions, grid.Pt(0, 0), grid.Pt(1, 1)); err == nil {
+		t.Fatal("empty path must be invalid")
+	}
+	p := Path{grid.Pt(0, 0), grid.Pt(2, 0)}
+	if err := p.Validate(res, ModelRegions, grid.Pt(0, 0), grid.Pt(2, 0)); err == nil {
+		t.Fatal("non-adjacent step must be invalid")
+	}
+	q := Path{grid.Pt(1, 2), grid.Pt(2, 2), grid.Pt(3, 2)}
+	if err := q.Validate(res, ModelRegions, grid.Pt(1, 2), grid.Pt(3, 2)); err == nil {
+		t.Fatal("path through a faulty node must be invalid")
+	}
+	r := Path{grid.Pt(0, 0), grid.Pt(1, 0)}
+	if err := r.Validate(res, ModelRegions, grid.Pt(0, 0), grid.Pt(2, 0)); err == nil {
+		t.Fatal("wrong endpoints must be invalid")
+	}
+}
+
+func TestRouterNames(t *testing.T) {
+	if (XY{}).Name() != "xy" || (Detour{}).Name() != "detour" {
+		t.Fatal("router names wrong")
+	}
+	if (Channel{From: grid.Pt(0, 0), To: grid.Pt(1, 0), VC: 1}).String() != "(0,0)->(1,0)@1" {
+		t.Fatal("channel string wrong")
+	}
+}

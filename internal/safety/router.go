@@ -1,0 +1,124 @@
+package safety
+
+import (
+	"fmt"
+
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/routing"
+)
+
+// Router is minimal adaptive routing guided by the safety field, the
+// routing style of [9]: every hop is productive (the path is exactly
+// minimal), and among the productive directions the router prefers one
+// whose safety distance covers the remaining offset in that dimension —
+// a guaranteed-clear straight run — falling back to the direction with
+// the largest safety distance.
+type Router struct {
+	Field *Field
+}
+
+// Name implements routing.Router.
+func (Router) Name() string { return "safety-minimal" }
+
+// Route implements routing.Router.
+func (r Router) Route(g *routing.Graph, src, dst grid.Point) (routing.Path, error) {
+	if r.Field == nil {
+		return nil, fmt.Errorf("safety: router has no field")
+	}
+	if !g.Allowed(src) || !g.Allowed(dst) {
+		return nil, fmt.Errorf("safety: endpoint not allowed")
+	}
+	topo := r.Field.topo
+	path := routing.Path{src}
+	cur := src
+	for cur != dst {
+		type cand struct {
+			next      grid.Point
+			lookahead bool // next node keeps a productive option open
+			clear     bool // safety distance covers the remaining offset
+			rem       int  // remaining offset in this dimension
+		}
+		var cands []cand
+		v := r.Field.At(cur)
+		for _, pd := range productive(topo, cur, dst) {
+			q, ok := topo.NeighborIn(cur, pd.dir)
+			if !ok || !g.Allowed(q) {
+				continue
+			}
+			look := q == dst
+			if !look {
+				for _, pd2 := range productive(topo, q, dst) {
+					if q2, ok2 := topo.NeighborIn(q, pd2.dir); ok2 && g.Allowed(q2) {
+						look = true
+						break
+					}
+				}
+			}
+			cands = append(cands, cand{
+				next:      q,
+				lookahead: look,
+				clear:     v.Clear(pd.dir, pd.rem),
+				rem:       pd.rem,
+			})
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("safety: no minimal step from %v toward %v", cur, dst)
+		}
+		// Preference: keep a productive option open (one-step lookahead),
+		// then a guaranteed-clear run (the safety information of [9]),
+		// then the dimension with more slack.
+		best := cands[0]
+		better := func(a, b cand) bool {
+			if a.lookahead != b.lookahead {
+				return a.lookahead
+			}
+			if a.clear != b.clear {
+				return a.clear
+			}
+			return a.rem > b.rem
+		}
+		for _, c := range cands[1:] {
+			if better(c, best) {
+				best = c
+			}
+		}
+		path = append(path, best.next)
+		cur = best.next
+	}
+	return path, nil
+}
+
+// productive lists the distance-reducing directions from cur to dst with
+// the remaining offset in each dimension (wrap-aware on tori).
+type productiveDir struct {
+	dir mesh.Direction
+	rem int
+}
+
+func productive(topo *mesh.Topology, cur, dst grid.Point) []productiveDir {
+	var out []productiveDir
+	if cur.X != dst.X {
+		dir, rem := senseAndRem(topo, cur.X, dst.X, topo.Width(), mesh.West, mesh.East)
+		out = append(out, productiveDir{dir: dir, rem: rem})
+	}
+	if cur.Y != dst.Y {
+		dir, rem := senseAndRem(topo, cur.Y, dst.Y, topo.Height(), mesh.South, mesh.North)
+		out = append(out, productiveDir{dir: dir, rem: rem})
+	}
+	return out
+}
+
+func senseAndRem(topo *mesh.Topology, cur, dst, span int, neg, pos mesh.Direction) (mesh.Direction, int) {
+	if topo.Kind() == mesh.Torus2D {
+		fwd := ((dst-cur)%span + span) % span
+		if fwd <= span-fwd {
+			return pos, fwd
+		}
+		return neg, span - fwd
+	}
+	if dst < cur {
+		return neg, cur - dst
+	}
+	return pos, dst - cur
+}

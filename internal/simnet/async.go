@@ -1,0 +1,57 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RunAsyncGeneric computes the fixpoint by chaotic iteration: single
+// nodes update one at a time in a random order, each reading its
+// neighbors' *current* labels. The paper assumes synchronous lock-step
+// rounds "to simplify our discussion"; for monotone rules the least
+// fixpoint is schedule-independent, so the asynchronous execution reaches
+// exactly the labels of the synchronous engines — only the round/step
+// accounting differs. TestAsyncMatchesSync pins this.
+//
+// Steps counts individual node updates that changed a label.
+func RunAsyncGeneric[T comparable](env *Env, rule GenericRule[T], rng *rand.Rand, maxSteps int) (labels []T, steps int, err error) {
+	labels = initGenericLabels(env, rule)
+	if maxSteps <= 0 {
+		maxSteps = 4 * env.Topo.Size() * env.Topo.Size()
+	}
+
+	var active []int // node indices of nonfaulty nodes
+	for _, p := range env.Topo.Points() {
+		if !env.Faulty.Has(p) {
+			active = append(active, env.Topo.Index(p))
+		}
+	}
+	if len(active) == 0 {
+		return labels, 0, nil
+	}
+
+	// Chaotic iteration with convergence detection: keep sweeping random
+	// permutations until one full sweep changes nothing. A random
+	// permutation guarantees fairness (every node updates in every
+	// sweep), which chaotic-iteration convergence requires.
+	for {
+		rng.Shuffle(len(active), func(i, j int) { active[i], active[j] = active[j], active[i] })
+		changed := false
+		for _, i := range active {
+			p := env.Topo.PointAt(i)
+			next := rule.Step(env, p, labels[i], genericNeighborLabels(env, rule, labels, p))
+			if next != labels[i] {
+				labels[i] = next
+				changed = true
+				steps++
+				if steps > maxSteps {
+					return nil, steps, fmt.Errorf(
+						"simnet: rule %q did not stabilize within %d async steps", rule.Name(), maxSteps)
+				}
+			}
+		}
+		if !changed {
+			return labels, steps, nil
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+)
+
+// For monotone rules the fixpoint is schedule-independent: random
+// asynchronous (chaotic) iteration reaches exactly the synchronous
+// labels — the paper's lock-step assumption only simplifies the round
+// accounting, it is not needed for correctness.
+func TestAsyncMatchesSync(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 30; trial++ {
+		kind := mesh.Mesh2D
+		if trial%3 == 0 {
+			kind = mesh.Torus2D
+		}
+		topo := mesh.MustNew(4+rng.Intn(7), 4+rng.Intn(7), kind)
+		faults := grid.NewPointSet()
+		for i := 0; i < rng.Intn(topo.Size()/3); i++ {
+			faults.Add(topo.PointAt(rng.Intn(topo.Size())))
+		}
+		env, err := NewEnv(topo, faults, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rule := hopRule{cap: 500}
+		sync, err := RunSequentialGeneric[int](env, rule, GenericOptions[int]{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ { // several random schedules
+			labels, steps, err := RunAsyncGeneric[int](env, rule,
+				rand.New(rand.NewSource(int64(trial*10+rep))), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range labels {
+				if labels[i] != sync.Labels[i] {
+					t.Fatalf("trial %d rep %d: async label at %v differs: %d vs %d",
+						trial, rep, topo.PointAt(i), labels[i], sync.Labels[i])
+				}
+			}
+			if faults.Len() > 0 && steps == 0 && sync.Rounds > 0 {
+				t.Fatalf("trial %d: async converged without any update", trial)
+			}
+		}
+	}
+}
+
+func TestAsyncBooleanRules(t *testing.T) {
+	// The paper's spread-style boolean rule converges identically too.
+	rng := rand.New(rand.NewSource(102))
+	topo := mesh.MustNew(9, 9, mesh.Mesh2D)
+	faults := grid.PointSetOf(grid.Pt(2, 2), grid.Pt(6, 6), grid.Pt(6, 7))
+	env, err := NewEnv(topo, faults, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, err := Sequential().Run(env, spreadRule{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, _, err := RunAsyncGeneric[bool](env, spreadRule{}, rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range labels {
+		if labels[i] != sync.Labels[i] {
+			t.Fatalf("async boolean label mismatch at %v", topo.PointAt(i))
+		}
+	}
+}
+
+func TestAsyncAllFaulty(t *testing.T) {
+	topo := mesh.MustNew(3, 3, mesh.Mesh2D)
+	env, err := NewEnv(topo, grid.PointSetOf(topo.Points()...), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, steps, err := RunAsyncGeneric[bool](env, spreadRule{}, rand.New(rand.NewSource(1)), 0)
+	if err != nil || steps != 0 {
+		t.Fatalf("no participants: steps=%d err=%v", steps, err)
+	}
+	for _, l := range labels {
+		if !l {
+			t.Fatal("faulty nodes carry FaultyLabel")
+		}
+	}
+}
+
+func TestAsyncMaxSteps(t *testing.T) {
+	topo := mesh.MustNew(6, 6, mesh.Mesh2D)
+	env, err := NewEnv(topo, grid.PointSetOf(grid.Pt(0, 0)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunAsyncGeneric[bool](env, spreadRule{}, rand.New(rand.NewSource(1)), 3); err == nil {
+		t.Fatal("tiny step budget must trip")
+	}
+}

@@ -1,0 +1,229 @@
+package simnet
+
+import (
+	"fmt"
+
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+)
+
+// GenericRule is a local status-update rule over an arbitrary comparable
+// label type. The one-bit Rule used by the paper's two phases is the
+// T=bool instance; the extended-safety-level substrate (package safety)
+// uses integer-vector labels. Rules must be monotone (labels move one way
+// under Step) for the synchronous fixpoint to exist.
+type GenericRule[T comparable] interface {
+	Name() string
+	// Init returns node p's label before the first round.
+	Init(env *Env, p grid.Point) T
+	// Step returns node p's next label given its current label and the
+	// labels of its four neighbors in canonical direction order.
+	Step(env *Env, p grid.Point, cur T, nbr [4]T) T
+	// GhostLabel is the label presented by ghost nodes.
+	GhostLabel() T
+	// FaultyLabel is the label a fail-stop faulty node presents.
+	FaultyLabel() T
+}
+
+// GenericOptions tunes a generic run.
+type GenericOptions[T comparable] struct {
+	// MaxRounds bounds the run; 0 means Topo.Size()+1 per label flip —
+	// see Options.MaxRounds.
+	MaxRounds int
+	// OnRound observes the label vector after each changing round.
+	OnRound func(round int, labels []T)
+}
+
+// GenericResult is the outcome of a generic run.
+type GenericResult[T comparable] struct {
+	Labels []T
+	Rounds int
+}
+
+func (o GenericOptions[T]) maxRounds(env *Env) int {
+	if o.MaxRounds > 0 {
+		return o.MaxRounds
+	}
+	return env.Topo.Size() + 1
+}
+
+func initGenericLabels[T comparable](env *Env, rule GenericRule[T]) []T {
+	labels := make([]T, env.Topo.Size())
+	for _, p := range env.Topo.Points() {
+		if env.Faulty.Has(p) {
+			labels[env.Topo.Index(p)] = rule.FaultyLabel()
+		} else {
+			labels[env.Topo.Index(p)] = rule.Init(env, p)
+		}
+	}
+	return labels
+}
+
+func genericNeighborLabels[T comparable](env *Env, rule GenericRule[T], labels []T, p grid.Point) [4]T {
+	var nbr [4]T
+	for i, d := range mesh.Directions {
+		q, ok := env.Topo.NeighborIn(p, d)
+		if !ok {
+			nbr[i] = rule.GhostLabel()
+			continue
+		}
+		nbr[i] = labels[env.Topo.Index(q)]
+	}
+	return nbr
+}
+
+// RunSequentialGeneric computes the synchronous fixpoint of a generic
+// rule with the double-buffered sequential sweep. It is the engine behind
+// SeqEngine, exposed for rules with non-boolean labels.
+func RunSequentialGeneric[T comparable](env *Env, rule GenericRule[T], opt GenericOptions[T]) (*GenericResult[T], error) {
+	cur := initGenericLabels(env, rule)
+	next := make([]T, len(cur))
+	maxRounds := opt.maxRounds(env)
+	points := env.Topo.Points()
+
+	rounds := 0
+	for {
+		changed := false
+		for _, p := range points {
+			i := env.Topo.Index(p)
+			if env.Faulty.Has(p) {
+				next[i] = cur[i]
+				continue
+			}
+			next[i] = rule.Step(env, p, cur[i], genericNeighborLabels(env, rule, cur, p))
+			if next[i] != cur[i] {
+				changed = true
+			}
+		}
+		if !changed {
+			return &GenericResult[T]{Labels: cur, Rounds: rounds}, nil
+		}
+		cur, next = next, cur
+		rounds++
+		if opt.OnRound != nil {
+			opt.OnRound(rounds, cur)
+		}
+		if rounds > maxRounds {
+			return nil, fmt.Errorf("simnet: rule %q did not stabilize within %d rounds (non-monotone rule?)",
+				rule.Name(), maxRounds)
+		}
+	}
+}
+
+// RunChannelsGeneric computes the same fixpoint on the distributed
+// goroutine-per-node engine. See ChannelEngine for the model.
+func RunChannelsGeneric[T comparable](env *Env, rule GenericRule[T], opt GenericOptions[T]) (*GenericResult[T], error) {
+	topo := env.Topo
+	labels := initGenericLabels(env, rule)
+	maxRounds := opt.maxRounds(env)
+
+	type nodeInfo struct {
+		idx           int
+		inbox         [4]chan T
+		sendTo        [4]chan T
+		ghost, faulty [4]bool
+		cmd           chan bool
+	}
+	type report struct {
+		idx     int
+		label   T
+		changed bool
+	}
+
+	nodes := make(map[int]*nodeInfo, topo.Size())
+	for _, p := range topo.Points() {
+		if env.Faulty.Has(p) {
+			continue
+		}
+		ni := &nodeInfo{idx: topo.Index(p), cmd: make(chan bool, 1)}
+		for i := range ni.inbox {
+			ni.inbox[i] = make(chan T, 1)
+		}
+		nodes[ni.idx] = ni
+	}
+	for _, p := range topo.Points() {
+		ni, ok := nodes[topo.Index(p)]
+		if !ok {
+			continue
+		}
+		for i, d := range mesh.Directions {
+			q, exists := topo.NeighborIn(p, d)
+			switch {
+			case !exists:
+				ni.ghost[i] = true
+			case env.Faulty.Has(q):
+				ni.faulty[i] = true
+			default:
+				ni.sendTo[i] = nodes[topo.Index(q)].inbox[int(d.Opposite())]
+			}
+		}
+	}
+
+	reports := make(chan report, len(nodes))
+	for _, ni := range nodes {
+		ni := ni
+		p := topo.PointAt(ni.idx)
+		go func() {
+			cur := labels[ni.idx]
+			for doRound := range ni.cmd {
+				if !doRound {
+					return
+				}
+				for _, ch := range ni.sendTo {
+					if ch != nil {
+						ch <- cur
+					}
+				}
+				var nbr [4]T
+				for i := range mesh.Directions {
+					switch {
+					case ni.ghost[i]:
+						nbr[i] = rule.GhostLabel()
+					case ni.faulty[i]:
+						nbr[i] = rule.FaultyLabel()
+					default:
+						nbr[i] = <-ni.inbox[i]
+					}
+				}
+				next := rule.Step(env, p, cur, nbr)
+				reports <- report{idx: ni.idx, label: next, changed: next != cur}
+				cur = next
+			}
+		}()
+	}
+
+	stopAll := func() {
+		for _, ni := range nodes {
+			ni.cmd <- false
+		}
+	}
+
+	rounds := 0
+	for {
+		if len(nodes) == 0 {
+			return &GenericResult[T]{Labels: labels, Rounds: 0}, nil
+		}
+		for _, ni := range nodes {
+			ni.cmd <- true
+		}
+		changed := false
+		for range nodes {
+			r := <-reports
+			labels[r.idx] = r.label
+			changed = changed || r.changed
+		}
+		if !changed {
+			stopAll()
+			return &GenericResult[T]{Labels: labels, Rounds: rounds}, nil
+		}
+		rounds++
+		if opt.OnRound != nil {
+			opt.OnRound(rounds, labels)
+		}
+		if rounds > maxRounds {
+			stopAll()
+			return nil, fmt.Errorf("simnet: rule %q did not stabilize within %d rounds (non-monotone rule?)",
+				rule.Name(), maxRounds)
+		}
+	}
+}

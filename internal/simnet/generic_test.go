@@ -1,0 +1,142 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+)
+
+// hopRule computes each node's hop distance to the nearest fault as an
+// integer fixpoint: faults present 0, everyone else starts at a cap and
+// relaxes to 1 + min(neighbors). It exercises the generic engines with a
+// non-boolean monotone label.
+type hopRule struct {
+	cap int
+}
+
+func (hopRule) Name() string                { return "hop-distance" }
+func (r hopRule) Init(*Env, grid.Point) int { return r.cap }
+func (r hopRule) GhostLabel() int           { return r.cap }
+func (hopRule) FaultyLabel() int            { return 0 }
+func (r hopRule) Step(_ *Env, _ grid.Point, cur int, nbr [4]int) int {
+	best := cur
+	for _, v := range nbr {
+		if v+1 < best {
+			best = v + 1
+		}
+	}
+	return best
+}
+
+func TestGenericHopDistance(t *testing.T) {
+	topo := mesh.MustNew(7, 7, mesh.Mesh2D)
+	faults := grid.PointSetOf(grid.Pt(3, 3))
+	env, err := NewEnv(topo, faults, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := hopRule{cap: 100}
+	res, err := RunSequentialGeneric[int](env, rule, GenericOptions[int]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range topo.Points() {
+		want := p.Dist(grid.Pt(3, 3))
+		if got := res.Labels[topo.Index(p)]; got != want {
+			t.Fatalf("distance at %v = %d, want %d", p, got, want)
+		}
+	}
+	// The wave travels the max distance (6 hops) in as many rounds.
+	if res.Rounds != 6 {
+		t.Fatalf("rounds = %d, want 6", res.Rounds)
+	}
+}
+
+func TestGenericEnginesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		kind := mesh.Mesh2D
+		if trial%2 == 0 {
+			kind = mesh.Torus2D
+		}
+		topo := mesh.MustNew(3+rng.Intn(6), 3+rng.Intn(6), kind)
+		faults := grid.NewPointSet()
+		for i := 0; i < rng.Intn(5); i++ {
+			faults.Add(topo.PointAt(rng.Intn(topo.Size())))
+		}
+		env, err := NewEnv(topo, faults, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rule := hopRule{cap: 1000}
+		seq, err := RunSequentialGeneric[int](env, rule, GenericOptions[int]{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chn, err := RunChannelsGeneric[int](env, rule, GenericOptions[int]{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Rounds != chn.Rounds {
+			t.Fatalf("trial %d: rounds differ: %d vs %d", trial, seq.Rounds, chn.Rounds)
+		}
+		for i := range seq.Labels {
+			if seq.Labels[i] != chn.Labels[i] {
+				t.Fatalf("trial %d: label mismatch at %v", trial, topo.PointAt(i))
+			}
+		}
+	}
+}
+
+func TestGenericOnRoundAndMaxRounds(t *testing.T) {
+	topo := mesh.MustNew(6, 1, mesh.Mesh2D)
+	env, err := NewEnv(topo, grid.PointSetOf(grid.Pt(0, 0)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := hopRule{cap: 50}
+	rounds := 0
+	res, err := RunSequentialGeneric[int](env, rule, GenericOptions[int]{
+		OnRound: func(r int, labels []int) {
+			rounds = r
+			if len(labels) != topo.Size() {
+				t.Fatal("observer label length wrong")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != res.Rounds {
+		t.Fatalf("observer saw %d rounds, result says %d", rounds, res.Rounds)
+	}
+	// Too-small MaxRounds errors on both engines.
+	if _, err := RunSequentialGeneric[int](env, rule, GenericOptions[int]{MaxRounds: 1}); err == nil {
+		t.Fatal("sequential: MaxRounds must trip")
+	}
+	if _, err := RunChannelsGeneric[int](env, rule, GenericOptions[int]{MaxRounds: 1}); err == nil {
+		t.Fatal("channels: MaxRounds must trip")
+	}
+}
+
+func TestGenericAllFaulty(t *testing.T) {
+	topo := mesh.MustNew(2, 2, mesh.Mesh2D)
+	env, err := NewEnv(topo, grid.PointSetOf(topo.Points()...), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunChannelsGeneric[int](env, hopRule{cap: 9}, GenericOptions[int]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 {
+		t.Fatal("no participants means no rounds")
+	}
+	for _, l := range res.Labels {
+		if l != 0 {
+			t.Fatal("faulty nodes carry FaultyLabel")
+		}
+	}
+}

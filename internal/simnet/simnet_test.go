@@ -1,0 +1,233 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+)
+
+// spreadRule is a simple monotone test rule: a node becomes marked when
+// any neighbor is marked; faulty nodes are permanently marked; ghosts are
+// unmarked. The fixpoint marks every node (when any fault exists) and the
+// round count equals the maximum distance from a fault.
+type spreadRule struct{}
+
+func (spreadRule) Name() string               { return "spread" }
+func (spreadRule) Init(*Env, grid.Point) bool { return false }
+func (spreadRule) GhostLabel() bool           { return false }
+func (spreadRule) FaultyLabel() bool          { return true }
+func (spreadRule) Step(_ *Env, _ grid.Point, cur bool, nbr [4]bool) bool {
+	if cur {
+		return true
+	}
+	for _, m := range nbr {
+		if m {
+			return true
+		}
+	}
+	return false
+}
+
+// flipRule violates monotonicity: every node toggles each round.
+type flipRule struct{}
+
+func (flipRule) Name() string                                        { return "flip" }
+func (flipRule) Init(*Env, grid.Point) bool                          { return false }
+func (flipRule) GhostLabel() bool                                    { return false }
+func (flipRule) FaultyLabel() bool                                   { return false }
+func (flipRule) Step(_ *Env, _ grid.Point, cur bool, _ [4]bool) bool { return !cur }
+
+func engines() []Engine { return []Engine{Sequential(), Channels()} }
+
+func mustEnv(t *testing.T, topo *mesh.Topology, faults *grid.PointSet) *Env {
+	t.Helper()
+	env, err := NewEnv(topo, faults, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestNewEnvValidation(t *testing.T) {
+	topo := mesh.MustNew(3, 3, mesh.Mesh2D)
+	if _, err := NewEnv(nil, nil, nil); err == nil {
+		t.Fatal("nil topology must fail")
+	}
+	if _, err := NewEnv(topo, grid.PointSetOf(grid.Pt(5, 5)), nil); err == nil {
+		t.Fatal("fault outside machine must fail")
+	}
+	if _, err := NewEnv(topo, nil, make([]bool, 4)); err == nil {
+		t.Fatal("short aux must fail")
+	}
+	env, err := NewEnv(topo, nil, nil)
+	if err != nil || env.Faulty == nil {
+		t.Fatalf("nil faults must become empty set: %v", err)
+	}
+}
+
+func TestSpreadRounds(t *testing.T) {
+	// Single fault at a corner of a 5x5 mesh: marking spreads one L1 ring
+	// per round, reaching the far corner (distance 8) after 8 rounds.
+	topo := mesh.MustNew(5, 5, mesh.Mesh2D)
+	env := mustEnv(t, topo, grid.PointSetOf(grid.Pt(0, 0)))
+	for _, eng := range engines() {
+		res, err := eng.Run(env, spreadRule{}, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if res.Rounds != 8 {
+			t.Errorf("%s: Rounds = %d, want 8", eng.Name(), res.Rounds)
+		}
+		for i, l := range res.Labels {
+			if !l {
+				t.Errorf("%s: node %v unmarked at fixpoint", eng.Name(), topo.PointAt(i))
+			}
+		}
+	}
+}
+
+func TestNoFaultsStabilizesImmediately(t *testing.T) {
+	topo := mesh.MustNew(4, 4, mesh.Mesh2D)
+	env := mustEnv(t, topo, grid.NewPointSet())
+	for _, eng := range engines() {
+		res, err := eng.Run(env, spreadRule{}, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if res.Rounds != 0 {
+			t.Errorf("%s: Rounds = %d, want 0", eng.Name(), res.Rounds)
+		}
+		for _, l := range res.Labels {
+			if l {
+				t.Errorf("%s: spurious mark", eng.Name())
+			}
+		}
+	}
+}
+
+func TestAllFaulty(t *testing.T) {
+	// Every node faulty: no participants; engines must return the initial
+	// labels without hanging.
+	topo := mesh.MustNew(3, 3, mesh.Mesh2D)
+	faults := grid.PointSetOf(topo.Points()...)
+	env := mustEnv(t, topo, faults)
+	for _, eng := range engines() {
+		res, err := eng.Run(env, spreadRule{}, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if res.Rounds != 0 {
+			t.Errorf("%s: Rounds = %d, want 0", eng.Name(), res.Rounds)
+		}
+		for _, l := range res.Labels {
+			if !l {
+				t.Errorf("%s: faulty node must carry FaultyLabel", eng.Name())
+			}
+		}
+	}
+}
+
+func TestNonMonotoneRuleErrors(t *testing.T) {
+	topo := mesh.MustNew(3, 3, mesh.Mesh2D)
+	env := mustEnv(t, topo, grid.NewPointSet())
+	for _, eng := range engines() {
+		if _, err := eng.Run(env, flipRule{}, Options{MaxRounds: 10}); err == nil {
+			t.Errorf("%s: oscillating rule must exceed MaxRounds", eng.Name())
+		}
+	}
+}
+
+func TestOnRoundObserver(t *testing.T) {
+	topo := mesh.MustNew(4, 1, mesh.Mesh2D)
+	env := mustEnv(t, topo, grid.PointSetOf(grid.Pt(0, 0)))
+	for _, eng := range engines() {
+		var rounds []int
+		marked := 0
+		res, err := eng.Run(env, spreadRule{}, Options{
+			OnRound: func(r int, labels []bool) {
+				rounds = append(rounds, r)
+				marked = 0
+				for _, l := range labels {
+					if l {
+						marked++
+					}
+				}
+			},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if len(rounds) != res.Rounds {
+			t.Errorf("%s: observer saw %d rounds, result says %d", eng.Name(), len(rounds), res.Rounds)
+		}
+		for i, r := range rounds {
+			if r != i+1 {
+				t.Errorf("%s: round numbering %v", eng.Name(), rounds)
+			}
+		}
+		if marked != topo.Size() {
+			t.Errorf("%s: final observation saw %d marked", eng.Name(), marked)
+		}
+	}
+}
+
+func TestTorusSpread(t *testing.T) {
+	// On a 6x6 torus a single fault reaches everything within the torus
+	// diameter (6).
+	topo := mesh.MustNew(6, 6, mesh.Torus2D)
+	env := mustEnv(t, topo, grid.PointSetOf(grid.Pt(0, 0)))
+	for _, eng := range engines() {
+		res, err := eng.Run(env, spreadRule{}, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if res.Rounds != topo.Diameter() {
+			t.Errorf("%s: Rounds = %d, want %d", eng.Name(), res.Rounds, topo.Diameter())
+		}
+	}
+}
+
+// The two engines must agree exactly — labels and round counts — on
+// random configurations. This is the equivalence result that lets the
+// fast sequential engine stand in for the distributed one in sweeps.
+func TestEnginesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 40; trial++ {
+		w, h := 2+rng.Intn(8), 2+rng.Intn(8)
+		kind := mesh.Mesh2D
+		if w >= 3 && h >= 3 && trial%3 == 0 {
+			kind = mesh.Torus2D
+		}
+		topo := mesh.MustNew(w, h, kind)
+		faults := grid.NewPointSet()
+		for i := 0; i < rng.Intn(topo.Size()); i++ {
+			faults.Add(topo.PointAt(rng.Intn(topo.Size())))
+		}
+		env := mustEnv(t, topo, faults)
+
+		seq, err := Sequential().Run(env, spreadRule{}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chn, err := Channels().Run(env, spreadRule{}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Rounds != chn.Rounds {
+			t.Fatalf("trial %d (%v): rounds differ: seq=%d chan=%d", trial, topo, seq.Rounds, chn.Rounds)
+		}
+		for i := range seq.Labels {
+			if seq.Labels[i] != chn.Labels[i] {
+				t.Fatalf("trial %d (%v): label mismatch at %v", trial, topo, topo.PointAt(i))
+			}
+		}
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	if Sequential().Name() != "sequential" || Channels().Name() != "channels" {
+		t.Fatal("engine names wrong")
+	}
+}

@@ -1,0 +1,153 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: sample accumulators with mean, standard deviation
+// and normal-approximation confidence intervals, and labeled series for
+// figure output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample accumulates observations.
+type Sample struct {
+	n              int
+	sum, sumSq     float64
+	minVal, maxVal float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	if s.n == 0 || v < s.minVal {
+		s.minVal = v
+	}
+	if s.n == 0 || v > s.maxVal {
+		s.maxVal = v
+	}
+	s.n++
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Var returns the unbiased sample variance (0 for fewer than two
+// observations).
+func (s *Sample) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := (s.sumSq - float64(s.n)*m*m) / float64(s.n-1)
+	if v < 0 {
+		return 0 // guard against negative rounding residue
+	}
+	return v
+}
+
+// Std returns the sample standard deviation.
+func (s *Sample) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 for an empty sample).
+func (s *Sample) Min() float64 { return s.minVal }
+
+// Max returns the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 { return s.maxVal }
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func (s *Sample) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.Std() / math.Sqrt(float64(s.n))
+}
+
+// Point is one (x, y) observation of a series, with uncertainty.
+type Point struct {
+	X    float64
+	Y    float64
+	Err  float64 // 95% CI half-width of Y
+	N    int     // observations behind Y
+	Note string  // optional annotation
+}
+
+// Series is a labeled sequence of points, one experimental curve.
+type Series struct {
+	Label  string
+	XLabel string
+	YLabel string
+	Points []Point
+}
+
+// Add appends a point built from a sample.
+func (s *Series) Add(x float64, sample *Sample) {
+	s.Points = append(s.Points, Point{X: x, Y: sample.Mean(), Err: sample.CI95(), N: sample.N()})
+}
+
+// Sorted returns the points ordered by X.
+func (s *Series) Sorted() []Point {
+	out := make([]Point, len(s.Points))
+	copy(out, s.Points)
+	sort.Slice(out, func(i, j int) bool { return out[i].X < out[j].X })
+	return out
+}
+
+// CSV renders the series as CSV with a header row.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s,%s,ci95,n\n", orDefault(s.XLabel, "x"), orDefault(s.YLabel, "y"))
+	for _, p := range s.Sorted() {
+		fmt.Fprintf(&b, "%g,%g,%g,%d\n", p.X, p.Y, p.Err, p.N)
+	}
+	return b.String()
+}
+
+// ASCII renders the series as a fixed-width table followed by a crude
+// terminal plot, good enough to eyeball the shape of a figure.
+func (s *Series) ASCII(width int) string {
+	if width < 20 {
+		width = 60
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", s.Label)
+	pts := s.Sorted()
+	if len(pts) == 0 {
+		b.WriteString("(empty series)\n")
+		return b.String()
+	}
+	maxY := pts[0].Y
+	for _, p := range pts {
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	fmt.Fprintf(&b, "%12s  %12s  %10s\n",
+		orDefault(s.XLabel, "x"), orDefault(s.YLabel, "y"), "ci95")
+	for _, p := range pts {
+		bar := 0
+		if maxY > 0 {
+			bar = int(p.Y / maxY * float64(width))
+		}
+		fmt.Fprintf(&b, "%12g  %12.4f  %10.4f  |%s\n", p.X, p.Y, p.Err, strings.Repeat("*", bar))
+	}
+	return b.String()
+}
+
+func orDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Var() != 0 || s.Std() != 0 || s.CI95() != 0 {
+		t.Fatal("empty sample must report zeros")
+	}
+}
+
+func TestSampleKnownValues(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("Mean = %g", got)
+	}
+	// Population variance of this classic example is 4; sample variance
+	// is 32/7.
+	if got := s.Var(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %g", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %g/%g", s.Min(), s.Max())
+	}
+	if s.CI95() <= 0 {
+		t.Fatal("CI95 must be positive for n >= 2")
+	}
+}
+
+func TestSampleSingle(t *testing.T) {
+	var s Sample
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Var() != 0 || s.CI95() != 0 {
+		t.Fatal("single observation stats wrong")
+	}
+	if s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Fatal("single observation min/max wrong")
+	}
+}
+
+func TestSampleProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		if s.N() != len(raw) {
+			return false
+		}
+		if s.Mean() < s.Min()-1e-9 || s.Mean() > s.Max()+1e-9 {
+			return false
+		}
+		return s.Var() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarNeverNegative(t *testing.T) {
+	// Large equal values stress the catastrophic-cancellation guard.
+	var s Sample
+	for i := 0; i < 1000; i++ {
+		s.Add(1e9)
+	}
+	if s.Var() < 0 {
+		t.Fatal("variance went negative")
+	}
+}
+
+func TestCI95Shrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var small, large Sample
+	for i := 0; i < 10; i++ {
+		small.Add(rng.NormFloat64())
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(rng.NormFloat64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI must shrink with n: %g vs %g", large.CI95(), small.CI95())
+	}
+}
+
+func TestSeriesAddAndSorted(t *testing.T) {
+	var s Series
+	var a, b Sample
+	a.Add(1)
+	a.Add(3)
+	b.Add(10)
+	s.Add(5, &a)
+	s.Add(2, &b)
+	pts := s.Sorted()
+	if len(pts) != 2 || pts[0].X != 2 || pts[1].X != 5 {
+		t.Fatalf("Sorted = %v", pts)
+	}
+	if pts[1].Y != 2 || pts[1].N != 2 {
+		t.Fatalf("point = %v", pts[1])
+	}
+	// Original order untouched.
+	if s.Points[0].X != 5 {
+		t.Fatal("Sorted must not mutate the series")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := Series{Label: "demo", XLabel: "f", YLabel: "rounds"}
+	var a Sample
+	a.Add(2)
+	s.Add(1, &a)
+	csv := s.CSV()
+	if !strings.HasPrefix(csv, "f,rounds,ci95,n\n") {
+		t.Fatalf("CSV header: %q", csv)
+	}
+	if !strings.Contains(csv, "1,2,0,1\n") {
+		t.Fatalf("CSV body: %q", csv)
+	}
+}
+
+func TestSeriesASCII(t *testing.T) {
+	s := Series{Label: "demo"}
+	var a, b Sample
+	a.Add(1)
+	b.Add(4)
+	s.Add(0, &a)
+	s.Add(1, &b)
+	out := s.ASCII(40)
+	if !strings.Contains(out, "# demo") {
+		t.Fatalf("ASCII missing label: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // label, header, two points
+		t.Fatalf("ASCII lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasSuffix(lines[3], strings.Repeat("*", 40)) {
+		t.Fatalf("max point must fill the bar: %q", lines[3])
+	}
+	if got := (&Series{Label: "empty"}).ASCII(0); !strings.Contains(got, "(empty series)") {
+		t.Fatalf("empty ASCII = %q", got)
+	}
+}

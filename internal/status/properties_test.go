@@ -1,0 +1,134 @@
+package status
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocpmesh/internal/fault"
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/simnet"
+)
+
+// Definition 2b's condition (an unsafe neighbor in BOTH dimensions)
+// implies Definition 2a's (two or more unsafe neighbors), so by induction
+// over rounds the 2b unsafe set is contained in the 2a unsafe set. This
+// is the formal content of "the total number of nonfaulty nodes included
+// in faulty blocks is less than the one under Definition 2a".
+func TestDef2bSubsetOfDef2a(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 60; trial++ {
+		kind := mesh.Mesh2D
+		if trial%4 == 0 {
+			kind = mesh.Torus2D
+		}
+		topo := mesh.MustNew(6+rng.Intn(10), 6+rng.Intn(10), kind)
+		faults := fault.Uniform{Count: rng.Intn(topo.Size() / 4)}.Generate(topo, rng)
+		env, err := simnet.NewEnv(topo, faults, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := simnet.Sequential().Run(env, UnsafeRule(Def2a), simnet.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := simnet.Sequential().Run(env, UnsafeRule(Def2b), simnet.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Labels {
+			if b.Labels[i] && !a.Labels[i] {
+				t.Fatalf("trial %d: node %v unsafe under 2b but safe under 2a",
+					trial, topo.PointAt(i))
+			}
+		}
+	}
+}
+
+// The fixpoints are idempotent: feeding a fixpoint back as the initial
+// state (via a rule whose Init replays it) changes nothing. Equivalently,
+// re-running the phase on its own output stabilizes in zero rounds.
+func TestFixpointIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	topo := mesh.MustNew(12, 12, mesh.Mesh2D)
+	faults := fault.Uniform{Count: 20}.Generate(topo, rng)
+	env, err := simnet.NewEnv(topo, faults, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := simnet.Sequential().Run(env, UnsafeRule(Def2b), simnet.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := replayRule{labels: p1.Labels, inner: UnsafeRule(Def2b), topo: topo}
+	again, err := simnet.Sequential().Run(env, replay, simnet.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Rounds != 0 {
+		t.Fatalf("re-running on the fixpoint took %d rounds", again.Rounds)
+	}
+}
+
+// replayRule initializes from a precomputed label vector and then applies
+// the inner rule's step.
+type replayRule struct {
+	labels []bool
+	inner  simnet.Rule
+	topo   *mesh.Topology
+}
+
+func (r replayRule) Name() string { return "replay/" + r.inner.Name() }
+func (r replayRule) Init(env *simnet.Env, p grid.Point) bool {
+	return r.labels[r.topo.Index(p)]
+}
+func (r replayRule) GhostLabel() bool  { return r.inner.GhostLabel() }
+func (r replayRule) FaultyLabel() bool { return r.inner.FaultyLabel() }
+func (r replayRule) Step(env *simnet.Env, p grid.Point, cur bool, nbr [4]bool) bool {
+	return r.inner.Step(env, p, cur, nbr)
+}
+
+// The paper assumes synchronous rounds only to simplify analysis: both
+// phases are monotone, so a fully asynchronous schedule reaches the same
+// blocks and regions.
+func TestPipelineScheduleIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 15; trial++ {
+		topo := mesh.MustNew(10, 10, mesh.Mesh2D)
+		faults := fault.Uniform{Count: rng.Intn(20)}.Generate(topo, rng)
+		env, err := simnet.NewEnv(topo, faults, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sync1, err := simnet.Sequential().Run(env, UnsafeRule(Def2b), simnet.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		async1, _, err := simnet.RunAsyncGeneric[bool](env, UnsafeRule(Def2b), rng, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range async1 {
+			if async1[i] != sync1.Labels[i] {
+				t.Fatalf("trial %d: phase-1 fixpoint differs at %v", trial, topo.PointAt(i))
+			}
+		}
+		env2, err := simnet.NewEnv(topo, faults, sync1.Labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sync2, err := simnet.Sequential().Run(env2, EnabledRule(), simnet.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		async2, _, err := simnet.RunAsyncGeneric[bool](env2, EnabledRule(), rng, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range async2 {
+			if async2[i] != sync2.Labels[i] {
+				t.Fatalf("trial %d: phase-2 fixpoint differs at %v", trial, topo.PointAt(i))
+			}
+		}
+	}
+}

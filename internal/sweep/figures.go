@@ -1,0 +1,142 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+
+	"ocpmesh/internal/fault"
+	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/stats"
+	"ocpmesh/internal/status"
+)
+
+// Figure runs the named experiment and returns its curves. Figure ids:
+//
+//	5a   avg rounds to construct faulty blocks vs f (Def 2a and 2b curves)
+//	5b   avg rounds to construct disabled regions vs f (Def 2a and 2b)
+//	5c   avg enabled/(unsafe and nonfaulty) ratio vs f, Def 2a pipeline
+//	5d   same ratio, Def 2b pipeline
+//	x1   avg nonfaulty nodes sacrificed per definition vs f
+//	x2   routing payoff: delivery rate and stretch per fault model vs f
+//	x4   mesh vs torus: phase rounds and ratio (Def 2b)
+//	x5   uniform vs clustered faults: enabled ratio (Def 2b)
+//	x6   wormhole latency and delivery per fault model vs f
+//	x7   open problem: disabled nonfaulty nodes before/after partitioning
+//
+// (x3, the engine cost comparison, lives in the benchmark harness; see
+// bench_test.go.)
+func (r *Runner) Figure(id string) ([]*stats.Series, error) {
+	switch id {
+	case "5a":
+		return r.perDefinition("rounds to faulty blocks", RoundsPhase1)
+	case "5b":
+		return r.perDefinition("rounds to disabled regions", RoundsPhase2)
+	case "5c":
+		s, err := r.Sweep(status.Def2a, Uniform, EnabledRatio)
+		if err != nil {
+			return nil, err
+		}
+		s.Label = "enabled ratio (def2a)"
+		s.YLabel = "enabled/unsafe-nonfaulty"
+		return []*stats.Series{s}, nil
+	case "5d":
+		s, err := r.Sweep(status.Def2b, Uniform, EnabledRatio)
+		if err != nil {
+			return nil, err
+		}
+		s.Label = "enabled ratio (def2b)"
+		s.YLabel = "enabled/unsafe-nonfaulty"
+		return []*stats.Series{s}, nil
+	case "x1":
+		return r.perDefinition("unsafe nonfaulty nodes", UnsafeNonfaulty)
+	case "x2":
+		return r.RoutingComparison(0)
+	case "x6":
+		return r.WormholeComparison(0, 0)
+	case "x7":
+		return r.PartitionRecovery()
+	case "x4":
+		return r.meshVsTorus()
+	case "x5":
+		return r.uniformVsClustered()
+	default:
+		return nil, fmt.Errorf("sweep: unknown figure %q (known: %v)", id, FigureIDs())
+	}
+}
+
+// FigureIDs lists the experiments Figure accepts, in display order.
+func FigureIDs() []string {
+	ids := []string{"5a", "5b", "5c", "5d", "x1", "x2", "x4", "x5", "x6", "x7"}
+	sort.Strings(ids)
+	return ids
+}
+
+func (r *Runner) perDefinition(what string, metric Metric) ([]*stats.Series, error) {
+	var out []*stats.Series
+	for _, def := range []status.SafetyDef{status.Def2a, status.Def2b} {
+		s, err := r.Sweep(def, Uniform, metric)
+		if err != nil {
+			return nil, err
+		}
+		s.Label = fmt.Sprintf("%s (%v)", what, def)
+		s.YLabel = what
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (r *Runner) meshVsTorus() ([]*stats.Series, error) {
+	var out []*stats.Series
+	for _, kind := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"mesh", r.cfg},
+		{"torus", func() Config { c := r.cfg; c.Kind = mesh.Torus2D; return c }()},
+	} {
+		sub, err := NewRunner(kind.cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range []struct {
+			name   string
+			metric Metric
+		}{
+			{"rounds p1", RoundsPhase1},
+			{"enabled ratio", EnabledRatio},
+		} {
+			s, err := sub.Sweep(status.Def2b, Uniform, m.metric)
+			if err != nil {
+				return nil, err
+			}
+			s.Label = fmt.Sprintf("%s (%s)", m.name, kind.name)
+			s.YLabel = m.name
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+func (r *Runner) uniformVsClustered() ([]*stats.Series, error) {
+	gens := []struct {
+		name string
+		gen  func(f int) fault.Generator
+	}{
+		{"uniform", Uniform},
+		{"clustered", func(f int) fault.Generator {
+			k := 1 + f/25
+			return fault.Clustered{Count: f, Clusters: k, Spread: 3}
+		}},
+	}
+	var out []*stats.Series
+	for _, g := range gens {
+		s, err := r.Sweep(status.Def2b, g.gen, EnabledRatio)
+		if err != nil {
+			return nil, err
+		}
+		s.Label = fmt.Sprintf("enabled ratio (%s)", g.name)
+		s.YLabel = "enabled/unsafe-nonfaulty"
+		out = append(out, s)
+	}
+	return out, nil
+}

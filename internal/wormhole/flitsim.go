@@ -1,0 +1,299 @@
+package wormhole
+
+import (
+	"fmt"
+	"sort"
+
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/routing"
+)
+
+// FlitConfig tunes the flit-level simulator.
+type FlitConfig struct {
+	// PacketLen is the number of flits per packet (head..tail, >= 1).
+	PacketLen int
+	// BufDepth is the capacity, in flits, of each virtual-channel input
+	// buffer (>= 1).
+	BufDepth int
+	// Policy assigns virtual channels to hops (default SingleVC).
+	Policy routing.VCPolicy
+	// MaxCycles aborts runaway simulations (default 200_000).
+	MaxCycles int
+}
+
+// FlitStats extends Stats with flit-level measurements.
+type FlitStats struct {
+	Stats
+	// FlitsMoved counts link traversals, the basis of throughput.
+	FlitsMoved int
+	// PeakBufferedFlits is the maximum number of flits resident in input
+	// buffers at any cycle.
+	PeakBufferedFlits int
+}
+
+// Throughput returns link traversals (flits moved) per cycle.
+func (s *FlitStats) Throughput() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.FlitsMoved) / float64(s.Cycles)
+}
+
+// flit is one flit in flight. Flits live in per-(node, input-vc) FIFO
+// buffers; hop is the index of the buffer's node along the packet path.
+type flit struct {
+	pkt    *fpacket
+	isTail bool
+}
+
+// fpacket is the runtime state of a flit-level packet.
+type fpacket struct {
+	id       int
+	inject   int
+	path     routing.Path
+	vcs      []int    // virtual channel per hop
+	bufs     []bufKey // buffer at each path node (len(path) entries)
+	injected int      // flits injected so far
+	done     bool
+}
+
+// bufKey identifies one input FIFO: one buffer per (node, input port,
+// virtual channel), with input port 4 standing for the local injection
+// port. Buffers are ATOMIC: a buffer holds flits of one packet at a time
+// (a flit may enter only an empty buffer or one whose newest flit belongs
+// to the same packet). Atomic per-port VC allocation is a standard router
+// discipline; it preserves wormhole blocking semantics and keeps
+// dimension-order routing deadlock-free.
+type bufKey struct {
+	node grid.Point
+	in   int // mesh.Direction of the upstream node, or localPort
+	vc   int
+}
+
+// localPort is the injection port index.
+const localPort = 4
+
+// SimulateFlits runs the flit-level simulation: credit-based virtual
+// channel flow control, one flit per physical link per cycle, per-packet
+// output-channel allocation from head grant to tail passage. Compared to
+// Simulate (the worm-level model) it additionally models finite buffer
+// depth and flit pipelining, so latency includes the serialization of
+// the packet body.
+func SimulateFlits(g *routing.Graph, r routing.Router, flows []Flow, cfg FlitConfig) (*FlitStats, error) {
+	if cfg.PacketLen < 1 {
+		return nil, fmt.Errorf("wormhole: PacketLen must be >= 1, got %d", cfg.PacketLen)
+	}
+	if cfg.BufDepth < 1 {
+		return nil, fmt.Errorf("wormhole: BufDepth must be >= 1, got %d", cfg.BufDepth)
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = routing.SingleVC
+	}
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 200_000
+	}
+
+	stats := &FlitStats{}
+	var packets []*fpacket
+	maxInject := 0
+	for i, f := range flows {
+		if f.InjectCycle < 0 {
+			return nil, fmt.Errorf("wormhole: flow %d has negative inject cycle", i)
+		}
+		path, err := r.Route(g, f.Src, f.Dst)
+		if err != nil {
+			stats.Unroutable++
+			continue
+		}
+		// The flit model identifies a buffer by its node, so a
+		// self-crossing path (possible for the wall-following Detour
+		// router) is ambiguous; count it as unroutable.
+		visited := make(map[grid.Point]bool, len(path))
+		loops := false
+		for _, q := range path {
+			if visited[q] {
+				loops = true
+				break
+			}
+			visited[q] = true
+		}
+		if loops {
+			stats.Unroutable++
+			continue
+		}
+		p := &fpacket{id: i, inject: f.InjectCycle, path: path}
+		for h := 0; h+1 < len(path); h++ {
+			p.vcs = append(p.vcs, policy(path, h))
+		}
+		p.bufs = make([]bufKey, len(path))
+		for h := range path {
+			vc := 0
+			if len(p.vcs) > 0 {
+				if h < len(p.vcs) {
+					vc = p.vcs[h]
+				} else {
+					vc = p.vcs[len(p.vcs)-1]
+				}
+			}
+			in := localPort
+			if h > 0 {
+				in = int(dirBetween(g.Topo(), path[h], path[h-1]))
+			}
+			p.bufs[h] = bufKey{node: path[h], in: in, vc: vc}
+		}
+		packets = append(packets, p)
+		stats.Injected++
+		if f.InjectCycle > maxInject {
+			maxInject = f.InjectCycle
+		}
+	}
+	sort.SliceStable(packets, func(i, j int) bool { return packets[i].inject < packets[j].inject })
+
+	buffers := make(map[bufKey][]flit)
+
+	// channelOwner maps an output virtual channel to the packet holding
+	// it (from head grant until the tail crosses the link).
+	channelOwner := make(map[routing.Channel]int)
+
+	remaining := len(packets)
+	buffered := 0
+	for cycle := 0; remaining > 0; cycle++ {
+		if cycle > maxCycles {
+			return nil, fmt.Errorf("wormhole: exceeded %d cycles with %d packets in flight", maxCycles, remaining)
+		}
+		progress := false
+
+		// Phase 1 — ejection: the destination consumes arriving flits
+		// (ideal ejection bandwidth).
+		for _, p := range packets {
+			if p.done || len(p.path) == 0 {
+				continue
+			}
+			key := p.bufs[len(p.path)-1]
+			q := buffers[key]
+			if len(q) > 0 && q[0].pkt == p {
+				isTail := q[0].isTail
+				buffers[key] = q[1:]
+				buffered--
+				progress = true
+				if isTail {
+					p.done = true
+					remaining--
+					stats.Delivered++
+					latency := cycle - p.inject + 1
+					stats.TotalLatency += latency
+					if latency > stats.MaxLatency {
+						stats.MaxLatency = latency
+					}
+				}
+			}
+		}
+
+		// Phase 2 — switch traversal: one flit per physical link per
+		// cycle, deterministic packet-id order, downstream hops first so a
+		// flit moves at most one hop per cycle. Heads allocate their
+		// output channel on the fly.
+		linkUsed := make(map[link]bool)
+		for _, p := range packets {
+			if p.done || cycle < p.inject || len(p.vcs) == 0 {
+				continue
+			}
+			for h := len(p.vcs) - 1; h >= 0; h-- {
+				key := p.bufs[h]
+				q := buffers[key]
+				if len(q) == 0 || q[0].pkt != p {
+					continue
+				}
+				out := routing.Channel{From: p.path[h], To: p.path[h+1], VC: p.vcs[h]}
+				l := link{from: p.path[h], to: p.path[h+1]}
+				// Channel allocation (head) or ownership check (body).
+				owner, held := channelOwner[out]
+				if !held {
+					channelOwner[out] = p.id
+					owner = p.id
+				}
+				if owner != p.id || linkUsed[l] {
+					continue
+				}
+				// Credit check: space in the downstream buffer, which must
+				// also be atomic to this packet.
+				downKey := p.bufs[h+1]
+				dq := buffers[downKey]
+				if len(dq) >= cfg.BufDepth {
+					continue
+				}
+				if len(dq) > 0 && dq[len(dq)-1].pkt != p {
+					continue
+				}
+				mv := q[0]
+				buffers[key] = q[1:]
+				buffers[downKey] = append(buffers[downKey], mv)
+				linkUsed[l] = true
+				stats.FlitsMoved++
+				progress = true
+				if mv.isTail {
+					delete(channelOwner, out) // tail passed: free the channel
+				}
+			}
+		}
+
+		// Phase 3 — injection: one flit per packet per cycle into the
+		// source buffer of hop 0.
+		for _, p := range packets {
+			if p.done || cycle < p.inject || p.injected >= cfg.PacketLen {
+				continue
+			}
+			if len(p.path) == 1 {
+				// Zero-hop packet: flits bypass the network.
+				p.injected = cfg.PacketLen
+				p.done = true
+				remaining--
+				stats.Delivered++
+				latency := cfg.PacketLen // serialization only
+				stats.TotalLatency += latency
+				if latency > stats.MaxLatency {
+					stats.MaxLatency = latency
+				}
+				progress = true
+				continue
+			}
+			key := p.bufs[0]
+			if len(buffers[key]) >= cfg.BufDepth {
+				continue
+			}
+			// Keep FIFO integrity: only inject when the buffer tail is
+			// ours or the buffer is empty of other packets' flits.
+			q := buffers[key]
+			if len(q) > 0 && q[len(q)-1].pkt != p {
+				continue
+			}
+			p.injected++
+			buffers[key] = append(q, flit{pkt: p, isTail: p.injected == cfg.PacketLen})
+			buffered++
+			progress = true
+		}
+
+		if buffered > stats.PeakBufferedFlits {
+			stats.PeakBufferedFlits = buffered
+		}
+		stats.Cycles = cycle + 1
+		if !progress && cycle >= maxInject {
+			stats.Deadlocked = remaining > 0
+			break
+		}
+	}
+	return stats, nil
+}
+
+// dirBetween returns the direction from a to its topology neighbor b.
+func dirBetween(topo *mesh.Topology, a, b grid.Point) mesh.Direction {
+	for _, d := range mesh.Directions {
+		if q, ok := topo.NeighborIn(a, d); ok && q == b {
+			return d
+		}
+	}
+	panic(fmt.Sprintf("wormhole: %v and %v are not adjacent", a, b))
+}

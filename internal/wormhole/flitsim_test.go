@@ -1,0 +1,211 @@
+package wormhole
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocpmesh/internal/core"
+	"ocpmesh/internal/fault"
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/routing"
+	"ocpmesh/internal/status"
+)
+
+func TestFlitSinglePacketLatency(t *testing.T) {
+	g := graph(t, 10, 10, mesh.Mesh2D)
+	flows := []Flow{{Src: grid.Pt(0, 0), Dst: grid.Pt(5, 0)}}
+	st, err := SimulateFlits(g, routing.XY{}, flows, FlitConfig{PacketLen: 4, BufDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 1 || st.Deadlocked {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Pipelined wormhole: the head needs ~1 cycle per hop after
+	// injection, the tail follows PacketLen-1 flits behind; with ideal
+	// ejection the tail ejects around hops + PacketLen + 1 cycles.
+	want := 5 + 4 + 1
+	if st.MaxLatency != want {
+		t.Fatalf("latency = %d, want %d", st.MaxLatency, want)
+	}
+	// Every flit crossed every hop exactly once.
+	if st.FlitsMoved != 5*4 {
+		t.Fatalf("FlitsMoved = %d, want 20", st.FlitsMoved)
+	}
+}
+
+func TestFlitZeroHop(t *testing.T) {
+	g := graph(t, 4, 4, mesh.Mesh2D)
+	st, err := SimulateFlits(g, routing.XY{},
+		[]Flow{{Src: grid.Pt(2, 2), Dst: grid.Pt(2, 2)}}, FlitConfig{PacketLen: 3, BufDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 1 || st.MaxLatency != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFlitBufferDepthLimitsPipelining(t *testing.T) {
+	// With BufDepth 1 the body flits advance in lock step behind the
+	// head; deeper buffers cannot make a solo packet slower.
+	g := graph(t, 12, 12, mesh.Mesh2D)
+	flows := []Flow{{Src: grid.Pt(0, 0), Dst: grid.Pt(8, 0)}}
+	shallow, err := SimulateFlits(g, routing.XY{}, flows, FlitConfig{PacketLen: 6, BufDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := SimulateFlits(g, routing.XY{}, flows, FlitConfig{PacketLen: 6, BufDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.MaxLatency > shallow.MaxLatency {
+		t.Fatalf("deeper buffers slower: %d vs %d", deep.MaxLatency, shallow.MaxLatency)
+	}
+	if shallow.Delivered != 1 || deep.Delivered != 1 {
+		t.Fatal("both must deliver")
+	}
+}
+
+func TestFlitContentionDelays(t *testing.T) {
+	g := graph(t, 12, 12, mesh.Mesh2D)
+	flows := []Flow{
+		{Src: grid.Pt(0, 0), Dst: grid.Pt(9, 0)},
+		{Src: grid.Pt(0, 0), Dst: grid.Pt(9, 0), InjectCycle: 1},
+	}
+	solo, err := SimulateFlits(g, routing.XY{}, flows[:1], FlitConfig{PacketLen: 5, BufDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := SimulateFlits(g, routing.XY{}, flows, FlitConfig{PacketLen: 5, BufDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Delivered != 2 || both.Deadlocked {
+		t.Fatalf("stats = %+v", both)
+	}
+	if both.MaxLatency <= solo.MaxLatency {
+		t.Fatalf("second packet must queue: %d vs %d", both.MaxLatency, solo.MaxLatency)
+	}
+}
+
+func TestFlitRingDeadlockAndDateline(t *testing.T) {
+	g := graph(t, 4, 4, mesh.Torus2D)
+	flows := []Flow{
+		{Src: grid.Pt(0, 0), Dst: grid.Pt(2, 0)},
+		{Src: grid.Pt(1, 0), Dst: grid.Pt(3, 0)},
+		{Src: grid.Pt(2, 0), Dst: grid.Pt(0, 0)},
+		{Src: grid.Pt(3, 0), Dst: grid.Pt(1, 0)},
+	}
+	st, err := SimulateFlits(g, routing.XY{}, flows, FlitConfig{PacketLen: 3, BufDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Deadlocked {
+		t.Fatalf("single-VC torus ring must deadlock at flit level: %+v", st)
+	}
+
+	dateline := func(p routing.Path, hop int) int {
+		for i := 1; i <= hop; i++ {
+			if p[i].X == 0 {
+				return 1
+			}
+		}
+		return 0
+	}
+	st2, err := SimulateFlits(g, routing.XY{}, flows, FlitConfig{PacketLen: 3, BufDepth: 1, Policy: dateline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Deadlocked || st2.Delivered != 4 {
+		t.Fatalf("dateline policy must break the flit-level deadlock: %+v", st2)
+	}
+}
+
+func TestFlitXYMeshNeverDeadlocks(t *testing.T) {
+	g := graph(t, 8, 8, mesh.Mesh2D)
+	rng := rand.New(rand.NewSource(7))
+	var flows []Flow
+	for i := 0; i < 80; i++ {
+		flows = append(flows, Flow{
+			Src:         grid.Pt(rng.Intn(8), rng.Intn(8)),
+			Dst:         grid.Pt(rng.Intn(8), rng.Intn(8)),
+			InjectCycle: rng.Intn(15),
+		})
+	}
+	st, err := SimulateFlits(g, routing.XY{}, flows, FlitConfig{PacketLen: 4, BufDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deadlocked || st.Delivered != st.Injected {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Throughput() <= 0 || st.PeakBufferedFlits <= 0 {
+		t.Fatalf("throughput/buffer metrics missing: %+v", st)
+	}
+}
+
+// The flit model and the worm model agree on delivery and deadlock for
+// the same traffic, with the flit model's latency higher by the body
+// serialization.
+func TestFlitVsWormConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	topo := mesh.MustNew(12, 12, mesh.Mesh2D)
+	faults := fault.Uniform{Count: 8}.Generate(topo, rng)
+	res, err := core.FormOn(core.Config{Width: 12, Height: 12, Safety: status.Def2b}, topo, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := routing.NewGraph(res, routing.ModelRegions)
+	var flows []Flow
+	for _, pr := range routing.SamplePairs(res, 40, rng) {
+		flows = append(flows, Flow{Src: pr[0], Dst: pr[1], InjectCycle: rng.Intn(20)})
+	}
+	worm, err := Simulate(g, routing.Oracle{}, flows, Config{PacketLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flit, err := SimulateFlits(g, routing.Oracle{}, flows, FlitConfig{PacketLen: 4, BufDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worm.Deadlocked != flit.Deadlocked {
+		t.Fatalf("deadlock disagreement: worm=%t flit=%t", worm.Deadlocked, flit.Deadlocked)
+	}
+	if !worm.Deadlocked {
+		if worm.Delivered != flit.Delivered {
+			t.Fatalf("delivery disagreement: %d vs %d", worm.Delivered, flit.Delivered)
+		}
+		if flit.AvgLatency() < worm.AvgLatency() {
+			t.Fatalf("flit latency %g below worm latency %g", flit.AvgLatency(), worm.AvgLatency())
+		}
+	}
+}
+
+func TestFlitConfigValidation(t *testing.T) {
+	g := graph(t, 4, 4, mesh.Mesh2D)
+	if _, err := SimulateFlits(g, routing.XY{}, nil, FlitConfig{PacketLen: 0, BufDepth: 1}); err == nil {
+		t.Fatal("PacketLen 0 must be rejected")
+	}
+	if _, err := SimulateFlits(g, routing.XY{}, nil, FlitConfig{PacketLen: 1, BufDepth: 0}); err == nil {
+		t.Fatal("BufDepth 0 must be rejected")
+	}
+	if _, err := SimulateFlits(g, routing.XY{},
+		[]Flow{{Src: grid.Pt(0, 0), Dst: grid.Pt(1, 0), InjectCycle: -2}},
+		FlitConfig{PacketLen: 1, BufDepth: 1}); err == nil {
+		t.Fatal("negative inject cycle must be rejected")
+	}
+}
+
+func TestFlitUnroutableAndLoops(t *testing.T) {
+	g := graph(t, 6, 6, mesh.Mesh2D, grid.Pt(3, 0))
+	flows := []Flow{{Src: grid.Pt(0, 0), Dst: grid.Pt(5, 0)}} // XY blocked
+	st, err := SimulateFlits(g, routing.XY{}, flows, FlitConfig{PacketLen: 2, BufDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Unroutable != 1 || st.Injected != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
