@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race target includes the traced channel-engine test, so the
+# tracer/metrics layer is exercised under the race detector.
+race:
+	$(GO) test -race ./...
+
+# bench runs the observability overhead benchmark and converts the
+# result to BENCH_obs.json (see scripts/benchjson).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchmem . | $(GO) run ./scripts/benchjson > BENCH_obs.json
+	@cat BENCH_obs.json
+
+check: build vet test race

@@ -9,6 +9,7 @@ package ocpmesh_test
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"testing"
 
@@ -17,6 +18,7 @@ import (
 	"ocpmesh/internal/geometry"
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/obs"
 	"ocpmesh/internal/partition"
 	"ocpmesh/internal/region"
 	"ocpmesh/internal/routing"
@@ -335,5 +337,40 @@ func BenchmarkSafetyField(b *testing.B) {
 		if _, err := safety.Compute(res, core.EngineSequential); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkObsOverhead pins the observability contract: the nil-Recorder
+// path must cost nothing measurable relative to the uninstrumented
+// engine. Three variants run the paper-scale phase-1 fixpoint — no
+// recorder, metrics only, and a full NDJSON trace to io.Discard — so
+// the delta between "off" and the others is the whole story.
+func BenchmarkObsOverhead(b *testing.B) {
+	topo, faults := paperMachine(b, 50, 7)
+	variants := []struct {
+		name string
+		rec  func() *obs.Recorder
+	}{
+		{"off", func() *obs.Recorder { return nil }},
+		{"metrics", func() *obs.Recorder { return obs.NewRecorder(nil, obs.NewRegistry()) }},
+		{"ndjson", func() *obs.Recorder {
+			return obs.NewRecorder(obs.NewTracer(obs.NewNDJSONSink(io.Discard)), obs.NewRegistry())
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			env, err := simnet.NewEnv(topo, faults, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rule := status.UnsafeRule(status.Def2b)
+			rec := v.rec()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := simnet.Sequential().Run(env, rule, simnet.Options{Recorder: rec}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"ocpmesh/internal/fault"
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/obs"
 	"ocpmesh/internal/region"
 	"ocpmesh/internal/simnet"
 	"ocpmesh/internal/status"
@@ -33,7 +34,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("meshview", flag.ContinueOnError)
 	var (
 		fixture = fs.String("fixture", "", "named fixture (section3, figure1, figure2a, figure2b; 'list' to enumerate)")
@@ -42,7 +43,10 @@ func run(args []string, out io.Writer) error {
 		seed    = fs.Int64("seed", 1, "random seed")
 		def     = fs.String("def", "2b", "safety definition: 2a or 2b")
 		torus   = fs.Bool("torus", false, "use a 2-D torus")
-		trace   = fs.Bool("trace", false, "print a frame after every changing round of each phase")
+		frames  = fs.Bool("frames", false, "print a frame after every changing round of each phase")
+
+		tracePath   = fs.String("trace", "", "write an NDJSON event trace to this file")
+		metricsPath = fs.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,9 +90,21 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	rec, finish, err := obs.Setup(obs.NewRun("meshview", *seed, map[string]any{
+		"fixture": *fixture, "n": *n, "f": *f, "def": *def, "torus": *torus,
+	}), *tracePath, *metricsPath)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); ferr != nil && retErr == nil {
+			retErr = ferr
+		}
+	}()
+
 	cfg := core.Config{
 		Width: topo.Width(), Height: topo.Height(), Kind: topo.Kind(),
-		Safety: safety, Connectivity: region.Conn8,
+		Safety: safety, Connectivity: region.Conn8, Recorder: rec,
 	}
 	var faultSet *grid.PointSet
 	if faults != nil {
@@ -97,7 +113,7 @@ func run(args []string, out io.Writer) error {
 		rng := rand.New(rand.NewSource(*seed))
 		faultSet = fault.Uniform{Count: *f}.Generate(topo, rng)
 	}
-	if *trace {
+	if *frames {
 		if err := traceRounds(out, topo, faultSet, safety); err != nil {
 			return err
 		}

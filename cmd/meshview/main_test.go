@@ -1,8 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"ocpmesh/internal/obs"
 )
 
 func TestFixtureList(t *testing.T) {
@@ -91,9 +97,9 @@ func TestRejectsBadInput(t *testing.T) {
 	}
 }
 
-func TestTraceMode(t *testing.T) {
+func TestFrameMode(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-fixture", "section3", "-trace"}, &b); err != nil {
+	if err := run([]string{"-fixture", "section3", "-frames"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -106,5 +112,48 @@ func TestTraceMode(t *testing.T) {
 	// The final summary still follows the trace.
 	if !strings.Contains(out, "2 disabled region(s)") {
 		t.Fatalf("missing summary after trace:\n%s", out)
+	}
+}
+
+func TestTraceAndMetricsFiles(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.ndjson")
+	metricsPath := filepath.Join(dir, "m.json")
+	var b strings.Builder
+	err := run([]string{"-fixture", "figure1",
+		"-trace", tracePath, "-metrics", metricsPath}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	for dec.More() {
+		var e obs.Event
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("trace is not valid NDJSON: %v", err)
+		}
+		seen[e.Type]++
+	}
+	for _, typ := range []string{obs.ERunStart, obs.EPhaseStart, obs.ERound, obs.EPhaseEnd, obs.ERunEnd} {
+		if seen[typ] == 0 {
+			t.Errorf("trace has no %s events (counts: %v)", typ, seen)
+		}
+	}
+
+	var snap obs.Snapshot
+	mraw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mraw, &snap); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	if snap.Counters["core_forms"] != 1 {
+		t.Fatalf("core_forms counter wrong: %v", snap.Counters)
 	}
 }

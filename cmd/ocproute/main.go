@@ -21,6 +21,7 @@ import (
 	"ocpmesh/internal/fault"
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/obs"
 	"ocpmesh/internal/routing"
 	"ocpmesh/internal/safety"
 	"ocpmesh/internal/status"
@@ -33,7 +34,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("ocproute", flag.ContinueOnError)
 	var (
 		fixture = fs.String("fixture", "", "named fixture instead of random faults")
@@ -45,15 +46,30 @@ func run(args []string, out io.Writer) error {
 		srcStr  = fs.String("src", "", "source node as x,y (default west edge middle)")
 		dstStr  = fs.String("dst", "", "destination node as x,y (default east edge middle)")
 		torus   = fs.Bool("torus", false, "use a 2-D torus")
+
+		tracePath   = fs.String("trace", "", "write an NDJSON event trace to this file")
+		metricsPath = fs.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	rec, finish, err := obs.Setup(obs.NewRun("ocproute", *seed, map[string]any{
+		"fixture": *fixture, "n": *n, "f": *f, "model": *model, "router": *router,
+		"src": *srcStr, "dst": *dstStr, "torus": *torus,
+	}), *tracePath, *metricsPath)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); ferr != nil && retErr == nil {
+			retErr = ferr
+		}
+	}()
+
 	var (
 		topo   *mesh.Topology
 		faults *grid.PointSet
-		err    error
 	)
 	if *fixture != "" {
 		fx, ok := fault.ByName(*fixture)
@@ -74,6 +90,7 @@ func run(args []string, out io.Writer) error {
 
 	res, err := core.FormOn(core.Config{
 		Width: topo.Width(), Height: topo.Height(), Kind: topo.Kind(), Safety: status.Def2a,
+		Recorder: rec,
 	}, topo, faults)
 	if err != nil {
 		return err
@@ -120,6 +137,7 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown router %q (want xy, adaptive, detour, oracle or safety)", *router)
 	}
+	r = routing.Instrument(r, rec)
 
 	fmt.Fprintf(out, "%v, %d faults, model %v, router %s, %v -> %v\n",
 		topo, faults.Len(), m, r.Name(), src, dst)

@@ -1,8 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"ocpmesh/internal/obs"
 )
 
 func TestRouteDefaults(t *testing.T) {
@@ -99,5 +105,51 @@ func TestTorusRoute(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "delivered in 2 hops") {
 		t.Fatalf("torus wrap must give a 2-hop route:\n%s", b.String())
+	}
+}
+
+func TestTraceAndMetricsFiles(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.ndjson")
+	metricsPath := filepath.Join(dir, "m.json")
+	var b strings.Builder
+	err := run([]string{"-fixture", "figure1", "-src", "0,3", "-dst", "9,3", "-router", "oracle",
+		"-trace", tracePath, "-metrics", metricsPath}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	for dec.More() {
+		var e obs.Event
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("trace is not valid NDJSON: %v", err)
+		}
+		seen[e.Type]++
+	}
+	for _, typ := range []string{obs.ERunStart, obs.EPhaseStart, obs.ERound, obs.ERoute, obs.ERunEnd} {
+		if seen[typ] == 0 {
+			t.Errorf("trace has no %s events (counts: %v)", typ, seen)
+		}
+	}
+
+	var snap obs.Snapshot
+	mraw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mraw, &snap); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	if snap.Counters["route_requests"] != 1 || snap.Counters["route_delivered"] != 1 {
+		t.Fatalf("route counters wrong: %v", snap.Counters)
+	}
+	if h, ok := snap.Histograms["route_hops"]; !ok || h.Count != 1 {
+		t.Fatalf("route_hops histogram missing: %v", snap.Histograms)
 	}
 }

@@ -13,17 +13,29 @@
 //
 // With paper parameters (-n 100 -maxf 100 -reps 20) a full "all" run
 // takes a few minutes; reduce -n/-reps for a quick look.
+//
+// Observability (see the README's Observability section): -trace FILE
+// writes an NDJSON event trace, -metrics FILE a JSON metrics snapshot,
+// -pprof ADDR serves net/http/pprof plus an expvar metrics view, and
+// -progress (default: on when stderr is a terminal) prints per-point
+// sweep progress to stderr.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"ocpmesh/internal/core"
 	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/obs"
 	"ocpmesh/internal/stats"
 	"ocpmesh/internal/sweep"
 )
@@ -35,7 +47,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("ocpsim", flag.ContinueOnError)
 	var (
 		figure  = fs.String("figure", "5a", "figure id ("+strings.Join(sweep.FigureIDs(), ", ")+" or all)")
@@ -49,6 +61,11 @@ func run(args []string, out io.Writer) error {
 		workers = fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 		format  = fs.String("format", "ascii", "output format: ascii or csv")
 		width   = fs.Int("width", 60, "ascii plot width")
+
+		tracePath   = fs.String("trace", "", "write an NDJSON event trace to this file")
+		metricsPath = fs.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		progress    = fs.Bool("progress", stderrIsTerminal(), "print per-sweep-point progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,9 +74,30 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("mesh side must be >= 1, got %d", *n)
 	}
 
+	var extra []obs.Sink
+	if *progress {
+		extra = append(extra, newProgressSink(os.Stderr, stderrIsTerminal()))
+	}
+	runCfg := map[string]any{
+		"figure": *figure, "n": *n, "maxf": *maxf, "step": *step, "reps": *reps,
+		"torus": *torus, "channels": *chans, "workers": *workers, "format": *format,
+	}
+	rec, finish, err := obs.Setup(obs.NewRun("ocpsim", *seed, runCfg), *tracePath, *metricsPath, extra...)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); ferr != nil && retErr == nil {
+			retErr = ferr
+		}
+	}()
+	if *pprofAddr != "" {
+		servePprof(*pprofAddr, rec)
+	}
+
 	cfg := sweep.Config{
 		Width: *n, Height: *n, MaxFaults: *maxf, Step: *step,
-		Replications: *reps, Seed: *seed, Workers: *workers,
+		Replications: *reps, Seed: *seed, Workers: *workers, Recorder: rec,
 	}
 	if *torus {
 		cfg.Kind = mesh.Torus2D
@@ -91,6 +129,31 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// pprofRec is the recorder the expvar snapshot reads; an atomic pointer
+// so repeated run calls (tests) can retarget the single published Func.
+var (
+	pprofRec  atomic.Pointer[obs.Recorder]
+	pprofOnce sync.Once
+)
+
+// servePprof exposes the standard net/http/pprof handlers plus an
+// "ocpsim_metrics" expvar holding the live metrics snapshot. The server
+// runs for the remainder of the process; listen errors are reported to
+// stderr but do not fail the run.
+func servePprof(addr string, rec *obs.Recorder) {
+	pprofRec.Store(rec)
+	pprofOnce.Do(func() {
+		expvar.Publish("ocpsim_metrics", expvar.Func(func() any {
+			return pprofRec.Load().Metrics().Snapshot()
+		}))
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "ocpsim: pprof server:", err)
+		}
+	}()
 }
 
 func kindName(torus bool) string {

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ocpmesh/internal/obs"
+)
+
+// stderrIsTerminal reports whether stderr is a character device — the
+// default gate for -progress, so interactive runs show progress and
+// redirected or scripted runs stay quiet.
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}
+
+// progressSink renders sweep progress from the trace event stream: a
+// per-cell ticker (overwritten in place on terminals) and one line per
+// aggregated sweep point. It implements obs.Sink and tees off the same
+// tracer as the NDJSON file, so progress needs no instrumentation of its
+// own. Emit runs under the tracer's lock, so no further synchronization
+// is needed.
+type progressSink struct {
+	w     io.Writer
+	tty   bool
+	total int // cells expected in the current sweep
+	done  int // cells finished in the current sweep
+}
+
+func newProgressSink(w io.Writer, tty bool) *progressSink {
+	return &progressSink{w: w, tty: tty}
+}
+
+// Emit implements obs.Sink.
+func (s *progressSink) Emit(e obs.Event) {
+	switch e.Type {
+	case obs.EFigureStart:
+		fmt.Fprintf(s.w, "figure %s:\n", e.Name)
+	case obs.ESweepStart:
+		s.total, s.done = e.N, 0
+	case obs.ESweepCell:
+		s.done++
+		if s.tty {
+			fmt.Fprintf(s.w, "\r  cell %d/%d", s.done, s.total)
+		}
+	case obs.ESweepPoint:
+		s.clearTicker()
+		fmt.Fprintf(s.w, "  f=%g: mean %.4g (n=%d)\n", e.X, e.Value, e.N)
+	case obs.EFigureEnd:
+		s.clearTicker()
+		fmt.Fprintf(s.w, "figure %s done in %v\n",
+			e.Name, time.Duration(e.DurNS).Round(time.Millisecond))
+	}
+}
+
+func (s *progressSink) clearTicker() {
+	if s.tty {
+		fmt.Fprint(s.w, "\r\x1b[K")
+	}
+}
+
+// Close implements obs.Sink.
+func (s *progressSink) Close() error {
+	s.clearTicker()
+	return nil
+}

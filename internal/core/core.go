@@ -25,6 +25,7 @@ import (
 
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/obs"
 	"ocpmesh/internal/region"
 	"ocpmesh/internal/simnet"
 	"ocpmesh/internal/status"
@@ -73,6 +74,10 @@ type Config struct {
 	Engine EngineKind
 	// MaxRounds bounds each phase (0 = automatic safe bound).
 	MaxRounds int
+	// Recorder, when non-nil, traces the run (phase_start / round /
+	// phase_end events) and records phase-round and region-count
+	// metrics. Nil disables observability at no cost.
+	Recorder *obs.Recorder
 }
 
 // Result is the outcome of a formation run.
@@ -123,9 +128,9 @@ func FormOn(cfg Config, topo *mesh.Topology, faults *grid.PointSet) (*Result, er
 		return nil, err
 	}
 	eng := cfg.Engine.engine()
-	opts := simnet.Options{MaxRounds: cfg.MaxRounds}
+	rec := cfg.Recorder
 
-	p1, err := eng.Run(env, status.UnsafeRule(cfg.Safety), opts)
+	p1, err := runPhase(rec, cfg, eng, env, "phase1", status.UnsafeRule(cfg.Safety))
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 1: %w", err)
 	}
@@ -133,12 +138,12 @@ func FormOn(cfg Config, topo *mesh.Topology, faults *grid.PointSet) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	p2, err := eng.Run(env2, status.EnabledRule(), opts)
+	p2, err := runPhase(rec, cfg, eng, env2, "phase2", status.EnabledRule())
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 2: %w", err)
 	}
 
-	return &Result{
+	res := &Result{
 		Topo:         topo,
 		Faults:       env.Faulty,
 		Unsafe:       p1.Labels,
@@ -147,7 +152,35 @@ func FormOn(cfg Config, topo *mesh.Topology, faults *grid.PointSet) (*Result, er
 		Regions:      region.DisabledRegions(topo, env.Faulty, p2.Labels, cfg.Connectivity),
 		RoundsPhase1: p1.Rounds,
 		RoundsPhase2: p2.Rounds,
-	}, nil
+	}
+	if rec != nil {
+		rec.Counter("core_forms").Inc()
+		rec.Histogram("core_blocks", nil).Observe(float64(len(res.Blocks)))
+		rec.Histogram("core_regions", nil).Observe(float64(len(res.Regions)))
+		rec.Histogram("core_disabled_nonfaulty", nil).Observe(float64(res.DisabledNonfaultyCount()))
+	}
+	return res, nil
+}
+
+// runPhase runs one fixpoint phase with phase_start/phase_end trace
+// events around the engine's per-round stream and a rounds histogram
+// per phase. With a nil recorder it is exactly the bare engine run.
+func runPhase(rec *obs.Recorder, cfg Config, eng simnet.Engine, env *simnet.Env, phase string, rule simnet.Rule) (*simnet.Result, error) {
+	opts := simnet.Options{MaxRounds: cfg.MaxRounds, Recorder: rec, Phase: phase}
+	if rec == nil {
+		return eng.Run(env, rule, opts)
+	}
+	rec.Emit(obs.Event{Type: obs.EPhaseStart, Phase: phase, Engine: eng.Name(), Rule: rule.Name()})
+	start := rec.Now()
+	res, err := eng.Run(env, rule, opts)
+	if err != nil {
+		return nil, err
+	}
+	dur := rec.Now().Sub(start)
+	rec.Emit(obs.Event{Type: obs.EPhaseEnd, Phase: phase, Rounds: res.Rounds, DurNS: dur.Nanoseconds()})
+	rec.Histogram("core_"+phase+"_rounds", nil).Observe(float64(res.Rounds))
+	rec.Histogram("core_"+phase+"_ns", obs.NSBuckets).Observe(float64(dur.Nanoseconds()))
+	return res, nil
 }
 
 // IsFaulty reports whether p is faulty.

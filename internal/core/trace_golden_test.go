@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ocpmesh/internal/fault"
+	"ocpmesh/internal/obs"
+	"ocpmesh/internal/status"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+// TestTraceGolden pins the NDJSON trace schema: a formation run on the
+// paper's Figure 1 fixture, traced under a deterministic clock, must
+// reproduce testdata/trace_golden.ndjson byte for byte. Any change to
+// event types, field names, or emission order is a schema change and
+// must be made deliberately (run `go test ./internal/core -run
+// TraceGolden -update` and review the diff).
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	tick := time.Unix(0, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		tick = tick.Add(time.Millisecond)
+		return tick
+	}
+	rec := obs.NewRecorder(obs.NewTracer(obs.NewNDJSONSink(&buf), obs.WithClock(clock)), nil)
+
+	fx := fault.Figure1()
+	cfg := Config{
+		Width: fx.Topo.Width(), Height: fx.Topo.Height(),
+		Safety: status.Def2a, Recorder: rec,
+	}
+	if _, err := FormOn(cfg, fx.Topo, fx.Faults); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Tracer().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "trace_golden.ndjson")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace schema drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// Independently of the exact bytes, the stream must be valid NDJSON
+	// with the expected phase structure.
+	var types []string
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for dec.More() {
+		var e obs.Event
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("invalid NDJSON: %v", err)
+		}
+		types = append(types, e.Type)
+	}
+	if types[0] != obs.EPhaseStart || types[len(types)-1] != obs.EPhaseEnd {
+		t.Fatalf("trace must be bracketed by phase events, got %v", types)
+	}
+	starts := 0
+	for _, typ := range types {
+		if typ == obs.EPhaseStart {
+			starts++
+		}
+	}
+	if starts != 2 {
+		t.Fatalf("want 2 phase_start events (phase1, phase2), got %d in %v", starts, types)
+	}
+}

@@ -1,0 +1,222 @@
+// Package obs is the repository's observability layer: a structured
+// event tracer (typed events over pluggable sinks, NDJSON on disk), a
+// metrics registry (counters, gauges, fixed-bucket histograms with P²
+// percentile estimates), and lightweight timing spans.
+//
+// Everything hangs off a *Recorder, which is threaded through the
+// constructors and option structs of simnet, core, routing, wormhole and
+// sweep. A nil *Recorder is fully valid and means "observability off":
+// every method is nil-safe and the instrumented hot paths reduce to a
+// single pointer comparison, so the disabled cost is not measurable
+// (BenchmarkObsOverhead pins this).
+//
+// The trace is a stream of flat Event records. One event type occupies
+// one NDJSON line; unset fields are omitted, so each event type has a
+// stable, self-describing schema (see the README's Observability
+// section for the field tables and example jq queries).
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event types emitted by the instrumented stack. The Type field of every
+// Event holds one of these.
+const (
+	// ERunStart opens a trace: it carries the Run manifest (tool,
+	// version, seed, config) that makes the trace reproducible.
+	ERunStart = "run_start"
+	// ERunEnd closes a trace; DurNS is the total wall-clock time.
+	ERunEnd = "run_end"
+	// EPhaseStart marks the start of one fixpoint phase (core): Phase,
+	// Engine and Rule identify what is about to run.
+	EPhaseStart = "phase_start"
+	// ERound is one changing round of the synchronous exchange (simnet):
+	// Round is the 1-based round index, Changed the number of labels
+	// that flipped, Msgs the status messages exchanged this round.
+	ERound = "round"
+	// EPhaseEnd closes a phase: Rounds is the changing-round count,
+	// DurNS the phase wall-clock time.
+	EPhaseEnd = "phase_end"
+	// ESpan is a completed timing span: Name plus DurNS.
+	ESpan = "span"
+	// EFigureStart and EFigureEnd bracket one named experiment
+	// (sweep.Runner.Figure); Name is the figure id.
+	EFigureStart = "figure_start"
+	EFigureEnd   = "figure_end"
+	// ESweepStart opens one sweep over fault counts: N is the total
+	// number of (f, replication) cells, Points the number of sweep
+	// points.
+	ESweepStart = "sweep_start"
+	// ESweepCell is one evaluated (f, replication) cell: X is the fault
+	// count, Rep the replication index, Value/OK the observed metric,
+	// DurNS the cell wall-clock time.
+	ESweepCell = "sweep_cell"
+	// ESweepPoint is one aggregated sweep point: X, the number N of
+	// observations behind it and their mean Value.
+	ESweepPoint = "sweep_point"
+	// ERoute is one routing attempt (routing.Instrument): Router, Model,
+	// Src, Dst, and on success Hops plus the fault-free distance Minimal.
+	ERoute = "route"
+	// EWormhole summarizes one wormhole simulation: Name is the model
+	// level ("worm" or "flit"), N the delivered packets, Cycles the
+	// simulated cycles, Value the mean packet latency.
+	EWormhole = "wormhole"
+)
+
+// Event is one flat trace record. Only the fields relevant to the event
+// Type are set; the rest are omitted from the JSON encoding, so every
+// NDJSON line is compact and self-describing. Seq and TNS are assigned
+// by the Tracer.
+type Event struct {
+	// Seq is the 1-based emission sequence number within the trace.
+	Seq int64 `json:"seq"`
+	// TNS is nanoseconds since the tracer started.
+	TNS int64 `json:"t_ns"`
+	// Type is one of the E* constants.
+	Type string `json:"type"`
+
+	// Name identifies spans, figures, and wormhole model levels.
+	Name string `json:"name,omitempty"`
+	// Phase labels fixpoint phases ("phase1", "phase2") on phase and
+	// round events.
+	Phase string `json:"phase,omitempty"`
+	// Engine is the fixpoint engine name on phase_start events.
+	Engine string `json:"engine,omitempty"`
+	// Rule is the status rule name on phase_start events.
+	Rule string `json:"rule,omitempty"`
+
+	Round   int `json:"round,omitempty"`
+	Rounds  int `json:"rounds,omitempty"`
+	Changed int `json:"changed,omitempty"`
+	Msgs    int `json:"msgs,omitempty"`
+
+	X      float64 `json:"x,omitempty"`
+	Rep    int     `json:"rep,omitempty"`
+	N      int     `json:"n,omitempty"`
+	Points int     `json:"points,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	OK     bool    `json:"ok,omitempty"`
+
+	Router  string `json:"router,omitempty"`
+	Model   string `json:"model,omitempty"`
+	Src     string `json:"src,omitempty"`
+	Dst     string `json:"dst,omitempty"`
+	Hops    int    `json:"hops,omitempty"`
+	Minimal int    `json:"minimal,omitempty"`
+	Cycles  int    `json:"cycles,omitempty"`
+
+	DurNS int64  `json:"dur_ns,omitempty"`
+	Err   string `json:"err,omitempty"`
+
+	// Run is the manifest, present on run_start events only.
+	Run *Run `json:"run,omitempty"`
+}
+
+// Sink consumes emitted events. Sinks are called under the tracer's
+// lock, so implementations need no synchronization of their own against
+// concurrent Emit calls (Close may still race with nothing: the tracer
+// closes sinks exactly once, after the last Emit).
+type Sink interface {
+	Emit(e Event)
+	Close() error
+}
+
+// NDJSONSink writes one JSON object per line to w, buffered. If w is an
+// io.Closer it is closed by Close.
+type NDJSONSink struct {
+	bw  *bufio.Writer
+	w   io.Writer
+	enc *json.Encoder
+}
+
+// NewNDJSONSink returns a sink writing NDJSON to w.
+func NewNDJSONSink(w io.Writer) *NDJSONSink {
+	bw := bufio.NewWriter(w)
+	return &NDJSONSink{bw: bw, w: w, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Sink. Encoding errors are deliberately dropped: a
+// failing trace disk must not take down the experiment.
+func (s *NDJSONSink) Emit(e Event) { _ = s.enc.Encode(e) }
+
+// Close flushes the buffer and closes the underlying writer when it is
+// an io.Closer.
+func (s *NDJSONSink) Close() error {
+	err := s.bw.Flush()
+	if c, ok := s.w.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// CollectSink buffers events in memory; tests use it to assert on exact
+// event streams. It is safe for concurrent use on its own (unlike most
+// sinks it may also be read while a run is in flight).
+type CollectSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (s *CollectSink) Emit(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Close implements Sink.
+func (s *CollectSink) Close() error { return nil }
+
+// Events returns a copy of the collected events.
+func (s *CollectSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// Filter returns the collected events of one type.
+func (s *CollectSink) Filter(typ string) []Event {
+	var out []Event
+	for _, e := range s.Events() {
+		if e.Type == typ {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MultiSink fans every event out to several sinks.
+func MultiSink(sinks ...Sink) Sink {
+	if len(sinks) == 1 {
+		return sinks[0]
+	}
+	return multiSink(sinks)
+}
+
+type multiSink []Sink
+
+// Emit implements Sink.
+func (m multiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// Close implements Sink, returning the first error.
+func (m multiSink) Close() error {
+	var first error
+	for _, s := range m {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

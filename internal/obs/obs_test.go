@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock returns a deterministic clock stepping 1ms per call.
+func testClock() func() time.Time {
+	var mu sync.Mutex
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(Event{Type: ERound})
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h", nil).Observe(1)
+	r.BeginRun(Run{})
+	r.EndRun(time.Now())
+	if d := r.StartSpan("s").End(); d != 0 {
+		t.Fatalf("nil span duration = %v, want 0", d)
+	}
+	if r.Tracing() {
+		t.Fatal("nil recorder must not report tracing")
+	}
+	if NewRecorder(nil, nil) != nil {
+		t.Fatal("NewRecorder(nil, nil) must be nil")
+	}
+	var tr *Tracer
+	tr.Emit(Event{})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var reg *Registry
+	if got := reg.Snapshot(); len(got.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestTracerSequencesAndStamps(t *testing.T) {
+	sink := &CollectSink{}
+	tr := NewTracer(sink, WithClock(testClock()))
+	tr.Emit(Event{Type: ERound, Round: 1})
+	tr.Emit(Event{Type: ERound, Round: 2})
+	evs := sink.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("bad sequence numbers: %+v", evs)
+	}
+	if evs[0].TNS != int64(time.Millisecond) || evs[1].TNS != int64(2*time.Millisecond) {
+		t.Fatalf("bad timestamps: %d, %d", evs[0].TNS, evs[1].TNS)
+	}
+}
+
+func TestNDJSONSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(NewNDJSONSink(&buf), WithClock(testClock()))
+	tr.Emit(Event{Type: ERound, Phase: "phase1", Round: 3, Changed: 7, Msgs: 100})
+	tr.Emit(Event{Type: ESpan, Name: "sweep", DurNS: 42})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if lines[0].Type != ERound || lines[0].Changed != 7 || lines[0].Msgs != 100 {
+		t.Fatalf("round event mangled: %+v", lines[0])
+	}
+	if lines[1].Type != ESpan || lines[1].Name != "sweep" || lines[1].DurNS != 42 {
+		t.Fatalf("span event mangled: %+v", lines[1])
+	}
+}
+
+func TestOmitEmptyKeepsLinesLean(t *testing.T) {
+	b, err := json.Marshal(Event{Seq: 1, TNS: 2, Type: ERound, Round: 1, Changed: 2, Msgs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, unwanted := range []string{"router", "hops", "run", "x", "name", "err"} {
+		if strings.Contains(s, `"`+unwanted+`"`) {
+			t.Errorf("round event JSON leaks %q: %s", unwanted, s)
+		}
+	}
+}
+
+func TestRegistryMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("runs").Inc()
+	reg.Counter("runs").Add(4)
+	reg.Gauge("last").Set(2.5)
+	h := reg.Histogram("lat", LinearBuckets(10, 10, 9))
+	for v := 1.0; v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := reg.Snapshot()
+	if s.Counters["runs"] != 5 {
+		t.Fatalf("counter = %d, want 5", s.Counters["runs"])
+	}
+	if s.Gauges["last"] != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", s.Gauges["last"])
+	}
+	hs := s.Histograms["lat"]
+	if hs.Count != 100 || hs.Min != 1 || hs.Max != 100 {
+		t.Fatalf("histogram summary wrong: %+v", hs)
+	}
+	if hs.Mean != 50.5 {
+		t.Fatalf("mean = %g, want 50.5", hs.Mean)
+	}
+	if hs.P50 < 45 || hs.P50 > 56 {
+		t.Fatalf("p50 = %g, want ~50", hs.P50)
+	}
+	if hs.P99 < 95 || hs.P99 > 100 {
+		t.Fatalf("p99 = %g, want ~99", hs.P99)
+	}
+	if got := len(hs.Counts); got != len(hs.Bounds)+1 {
+		t.Fatalf("counts/bounds mismatch: %d vs %d", got, len(hs.Bounds))
+	}
+	// Same-name lookups return the same histogram.
+	if reg.Histogram("lat", nil).Count() != 100 {
+		t.Fatal("histogram lookup must not create a new histogram")
+	}
+	if q := h.Quantile(0.5); q < 40 || q > 60 {
+		t.Fatalf("bucket quantile = %g, want ~50", q)
+	}
+	ascii := s.ASCII()
+	for _, want := range []string{"counter", "runs", "gauge", "histogram", "lat", "p99"} {
+		if !strings.Contains(ascii, want) {
+			t.Errorf("ASCII summary missing %q:\n%s", want, ascii)
+		}
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 1000; i++ {
+				reg.Counter("n").Inc()
+				reg.Histogram("h", nil).Observe(rng.Float64() * 100)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := reg.Snapshot()
+	if s.Counters["n"] != 8000 || s.Histograms["h"].Count != 8000 {
+		t.Fatalf("lost updates: %+v", s.Counters)
+	}
+}
+
+func TestSpanRecordsDuration(t *testing.T) {
+	sink := &CollectSink{}
+	rec := NewRecorder(NewTracer(sink, WithClock(testClock())), NewRegistry())
+	sp := rec.StartSpan("work")
+	d := sp.End()
+	if d != time.Millisecond {
+		t.Fatalf("span duration = %v, want 1ms under the test clock", d)
+	}
+	spans := sink.Filter(ESpan)
+	if len(spans) != 1 || spans[0].Name != "work" || spans[0].DurNS != int64(time.Millisecond) {
+		t.Fatalf("span event wrong: %+v", spans)
+	}
+	if rec.Metrics().Snapshot().Histograms["span_ns:work"].Count != 1 {
+		t.Fatal("span duration not recorded in histogram")
+	}
+}
+
+func TestSetupWritesTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.ndjson")
+	metricsPath := filepath.Join(dir, "m.json")
+	run := NewRun("testtool", 42, map[string]any{"n": 10})
+	rec, finish, err := Setup(run, tracePath, metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Counter("things").Inc()
+	rec.Emit(Event{Type: ERound, Round: 1})
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 3 { // run_start, round, run_end
+		t.Fatalf("got %d trace lines, want 3:\n%s", len(lines), raw)
+	}
+	var first Event
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Type != ERunStart || first.Run == nil || first.Run.Tool != "testtool" ||
+		first.Run.Seed != 42 || first.Run.Version == "" {
+		t.Fatalf("run_start manifest wrong: %+v", first)
+	}
+	var last Event
+	if err := json.Unmarshal([]byte(lines[2]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Type != ERunEnd {
+		t.Fatalf("trace must end with run_end, got %+v", last)
+	}
+
+	mraw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(mraw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["things"] != 1 || snap.Run == nil || snap.Run.Tool != "testtool" {
+		t.Fatalf("metrics snapshot wrong: %+v", snap)
+	}
+}
+
+func TestSetupNothingRequested(t *testing.T) {
+	rec, finish, err := Setup(Run{}, "", "")
+	if err != nil || rec != nil {
+		t.Fatalf("empty setup: rec=%v err=%v", rec, err)
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionNonEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("Version must never be empty")
+	}
+}
+
+func TestMultiSinkFansOut(t *testing.T) {
+	a, b := &CollectSink{}, &CollectSink{}
+	tr := NewTracer(MultiSink(a, b))
+	tr.Emit(Event{Type: ERound})
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Fatal("multi-sink must deliver to every sink")
+	}
+}

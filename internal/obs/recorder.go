@@ -1,0 +1,137 @@
+package obs
+
+import "time"
+
+// Recorder bundles a tracer and a metrics registry; it is the single
+// handle instrumented code receives. Either half may be nil, and a nil
+// *Recorder disables observability entirely — every method is nil-safe,
+// so call sites need no guards beyond an optional "skip the whole block"
+// pointer check on hot paths.
+type Recorder struct {
+	tracer  *Tracer
+	metrics *Registry
+}
+
+// NewRecorder combines a tracer and a registry. It returns nil when both
+// are nil, so downstream nil checks see "observability off" as a single
+// nil pointer.
+func NewRecorder(t *Tracer, m *Registry) *Recorder {
+	if t == nil && m == nil {
+		return nil
+	}
+	return &Recorder{tracer: t, metrics: m}
+}
+
+// Tracer returns the tracer half (possibly nil). Nil-safe.
+func (r *Recorder) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}
+
+// Metrics returns the registry half (possibly nil). Nil-safe.
+func (r *Recorder) Metrics() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.metrics
+}
+
+// Tracing reports whether emitted events go anywhere. Nil-safe.
+func (r *Recorder) Tracing() bool { return r != nil && r.tracer != nil }
+
+// Emit forwards an event to the tracer. Nil-safe.
+func (r *Recorder) Emit(e Event) {
+	if r != nil {
+		r.tracer.Emit(e)
+	}
+}
+
+// Counter returns the named counter (nil when metrics are off; the nil
+// counter's methods are no-ops). Nil-safe.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.metrics.Counter(name)
+}
+
+// Gauge returns the named gauge. Nil-safe.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.metrics.Gauge(name)
+}
+
+// Histogram returns the named histogram, creating it with bounds (nil =
+// DefBuckets) on first use. Nil-safe.
+func (r *Recorder) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.metrics.Histogram(name, bounds)
+}
+
+// Now returns the current time from the tracer's clock (so spans stay
+// deterministic under an injected test clock). Nil-safe.
+func (r *Recorder) Now() time.Time {
+	if r == nil {
+		return time.Now()
+	}
+	return r.tracer.Now()
+}
+
+// BeginRun emits the run_start manifest event and attaches the manifest
+// to the metrics snapshot. Nil-safe.
+func (r *Recorder) BeginRun(run Run) {
+	if r == nil {
+		return
+	}
+	if r.metrics != nil {
+		r.metrics.mu.Lock()
+		r.metrics.run = &run
+		r.metrics.mu.Unlock()
+	}
+	r.Emit(Event{Type: ERunStart, Name: run.Tool, Run: &run})
+}
+
+// EndRun emits the closing run_end event with the total duration since
+// start. Nil-safe.
+func (r *Recorder) EndRun(start time.Time) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Type: ERunEnd, DurNS: r.Now().Sub(start).Nanoseconds()})
+}
+
+// Span is an in-flight timing measurement. The zero Span (from a nil
+// recorder) is valid and End is a no-op.
+type Span struct {
+	rec   *Recorder
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a named span. Nil-safe: a nil recorder returns a
+// no-op span without reading the clock.
+func (r *Recorder) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{rec: r, name: name, start: r.Now()}
+}
+
+// End closes the span, emitting a span event and recording the duration
+// in the "span_ns:<name>" histogram. It returns the duration (0 for the
+// no-op span).
+func (s Span) End() time.Duration {
+	if s.rec == nil {
+		return 0
+	}
+	d := s.rec.Now().Sub(s.start)
+	s.rec.Emit(Event{Type: ESpan, Name: s.name, DurNS: d.Nanoseconds()})
+	s.rec.Histogram("span_ns:"+s.name, NSBuckets).Observe(float64(d.Nanoseconds()))
+	return d
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Run is the per-run manifest emitted at the head of every trace and
+// embedded in the metrics snapshot: enough provenance (tool, version,
+// seed, full config) to re-derive the run from the saved artifacts.
+type Run struct {
+	// Tool is the producing command ("ocpsim", "meshview", ...).
+	Tool string `json:"tool"`
+	// Version is a git-describe-style build identifier from Go build
+	// info: the module version, or the VCS revision with a "-dirty"
+	// suffix for modified trees, or "devel" when neither is stamped.
+	Version string `json:"version"`
+	// GoVersion is the compiling toolchain.
+	GoVersion string `json:"go_version"`
+	// Seed is the run's base random seed.
+	Seed int64 `json:"seed"`
+	// Config is the flattened run configuration (flag values).
+	Config map[string]any `json:"config,omitempty"`
+	// Start is the wall-clock start in RFC 3339 format.
+	Start string `json:"start,omitempty"`
+}
+
+// NewRun builds a manifest for tool with the given seed and config,
+// stamped with the current build version and start time.
+func NewRun(tool string, seed int64, config map[string]any) Run {
+	return Run{
+		Tool:      tool,
+		Version:   Version(),
+		GoVersion: runtime.Version(),
+		Seed:      seed,
+		Config:    config,
+		Start:     time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// Version returns a git-describe-style identifier of the running build,
+// assembled from debug.ReadBuildInfo (module version, else VCS revision
+// plus dirty marker, else "devel").
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}

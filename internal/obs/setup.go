@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// Setup assembles a Recorder for a CLI from file paths: tracePath gets
+// the NDJSON event stream, metricsPath the JSON metrics snapshot written
+// at finish, and extra sinks (e.g. a progress printer) tee off the same
+// event stream. Either path may be empty. The returned finish function
+// emits run_end, flushes and closes the trace, and writes the metrics
+// file; it is safe to call when the recorder is nil.
+//
+// When nothing is requested (both paths empty, no extra sinks), Setup
+// returns a nil Recorder — observability fully off.
+func Setup(run Run, tracePath, metricsPath string, extra ...Sink) (*Recorder, func() error, error) {
+	var sinks []Sink
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("obs: trace file: %w", err)
+		}
+		sinks = append(sinks, NewNDJSONSink(f))
+	}
+	sinks = append(sinks, extra...)
+
+	var tracer *Tracer
+	if len(sinks) > 0 {
+		tracer = NewTracer(MultiSink(sinks...))
+	}
+	var registry *Registry
+	if metricsPath != "" {
+		registry = NewRegistry()
+	}
+	rec := NewRecorder(tracer, registry)
+	if rec == nil {
+		return nil, func() error { return nil }, nil
+	}
+
+	start := time.Now()
+	rec.BeginRun(run)
+	finish := func() error {
+		rec.EndRun(start)
+		err := rec.Tracer().Close()
+		if metricsPath != "" {
+			f, ferr := os.Create(metricsPath)
+			if ferr != nil {
+				if err == nil {
+					err = fmt.Errorf("obs: metrics file: %w", ferr)
+				}
+				return err
+			}
+			if werr := registry.WriteJSON(f); werr != nil && err == nil {
+				err = werr
+			}
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		return err
+	}
+	return rec, finish, nil
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer assigns sequence numbers and timestamps to events and hands
+// them to its sink. It is safe for concurrent use; a nil *Tracer drops
+// every event.
+type Tracer struct {
+	mu    sync.Mutex
+	sink  Sink
+	seq   int64
+	start time.Time
+	now   func() time.Time
+}
+
+// TracerOption configures a Tracer.
+type TracerOption func(*Tracer)
+
+// WithClock substitutes the wall clock — tests use a deterministic
+// clock so traces can be compared byte for byte.
+func WithClock(now func() time.Time) TracerOption {
+	return func(t *Tracer) { t.now = now }
+}
+
+// NewTracer returns a tracer emitting to sink.
+func NewTracer(sink Sink, opts ...TracerOption) *Tracer {
+	t := &Tracer{sink: sink, now: time.Now}
+	for _, o := range opts {
+		o(t)
+	}
+	t.start = t.now()
+	return t
+}
+
+// Emit stamps e with the next sequence number and the time since the
+// tracer started, then forwards it to the sink. Nil-safe.
+func (t *Tracer) Emit(e Event) {
+	if t == nil || t.sink == nil {
+		return
+	}
+	t.mu.Lock()
+	t.seq++
+	e.Seq = t.seq
+	e.TNS = t.now().Sub(t.start).Nanoseconds()
+	t.sink.Emit(e)
+	t.mu.Unlock()
+}
+
+// Now returns the tracer's notion of the current time (the injected
+// clock, if any). Nil-safe: a nil tracer uses the wall clock.
+func (t *Tracer) Now() time.Time {
+	if t == nil || t.now == nil {
+		return time.Now()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.now()
+}
+
+// Close flushes and closes the sink. Nil-safe.
+func (t *Tracer) Close() error {
+	if t == nil || t.sink == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sink.Close()
+}

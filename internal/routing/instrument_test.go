@@ -1,0 +1,109 @@
+package routing
+
+import (
+	"testing"
+
+	"ocpmesh/internal/core"
+	"ocpmesh/internal/fault"
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/obs"
+	"ocpmesh/internal/status"
+)
+
+func TestInstrumentNilRecorderIsIdentity(t *testing.T) {
+	r := XY{}
+	if got := Instrument(r, nil); got != Router(r) {
+		t.Fatalf("nil recorder must return the router unchanged, got %T", got)
+	}
+}
+
+func TestInstrumentedRouteRecords(t *testing.T) {
+	fx := fault.Figure1()
+	res, err := core.FormOn(core.Config{
+		Width: fx.Topo.Width(), Height: fx.Topo.Height(), Safety: status.Def2a,
+	}, fx.Topo, fx.Faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGraph(res, ModelRegions)
+	sink := &obs.CollectSink{}
+	rec := obs.NewRecorder(obs.NewTracer(sink), obs.NewRegistry())
+	r := Instrument(Oracle{}, rec)
+	if r.Name() != (Oracle{}).Name() {
+		t.Fatal("instrumentation must not change the router name")
+	}
+
+	src, dst := grid.Pt(0, 3), grid.Pt(9, 3)
+	path, err := r.Route(g, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events := sink.Filter(obs.ERoute)
+	if len(events) != 1 {
+		t.Fatalf("got %d route events, want 1", len(events))
+	}
+	e := events[0]
+	if !e.OK || e.Hops != path.Len() || e.Router != "oracle" || e.Model != "regions" {
+		t.Fatalf("route event wrong: %+v", e)
+	}
+	if e.Src != src.String() || e.Dst != dst.String() {
+		t.Fatalf("route endpoints wrong: %+v", e)
+	}
+	if e.Minimal != res.Topo.Dist(src, dst) {
+		t.Fatalf("minimal = %d, want %d", e.Minimal, res.Topo.Dist(src, dst))
+	}
+
+	snap := rec.Metrics().Snapshot()
+	if snap.Counters["route_requests"] != 1 || snap.Counters["route_delivered"] != 1 {
+		t.Fatalf("counters wrong: %v", snap.Counters)
+	}
+	if snap.Histograms["route_hops"].Count != 1 {
+		t.Fatal("route_hops not recorded")
+	}
+	// Misroute accounting: detour hops beyond the fault-free distance.
+	wantMisrouted := int64(0)
+	if path.Len() > res.Topo.Dist(src, dst) {
+		wantMisrouted = 1
+	}
+	if snap.Counters["route_misrouted"] != wantMisrouted {
+		t.Fatalf("route_misrouted = %d, want %d", snap.Counters["route_misrouted"], wantMisrouted)
+	}
+}
+
+func TestInstrumentedRouteFailure(t *testing.T) {
+	fx := fault.Figure1()
+	res, err := core.FormOn(core.Config{
+		Width: fx.Topo.Width(), Height: fx.Topo.Height(), Safety: status.Def2a,
+	}, fx.Topo, fx.Faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGraph(res, ModelRegions)
+	sink := &obs.CollectSink{}
+	rec := obs.NewRecorder(obs.NewTracer(sink), obs.NewRegistry())
+	r := Instrument(XY{}, rec)
+
+	// Route into a disabled node: endpoints not allowed, guaranteed error.
+	var disabled grid.Point
+	found := false
+	for _, p := range res.Topo.Points() {
+		if !res.IsEnabled(p) {
+			disabled, found = p, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("fixture produced no disabled node")
+	}
+	if _, err := r.Route(g, grid.Pt(0, 0), disabled); err == nil {
+		t.Fatal("expected routing failure")
+	}
+	events := sink.Filter(obs.ERoute)
+	if len(events) != 1 || events[0].OK || events[0].Err == "" {
+		t.Fatalf("failure event wrong: %+v", events)
+	}
+	if rec.Metrics().Snapshot().Counters["route_failed"] != 1 {
+		t.Fatal("route_failed not counted")
+	}
+}

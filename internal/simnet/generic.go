@@ -5,6 +5,7 @@ import (
 
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/obs"
 )
 
 // GenericRule is a local status-update rule over an arbitrary comparable
@@ -32,6 +33,10 @@ type GenericOptions[T comparable] struct {
 	MaxRounds int
 	// OnRound observes the label vector after each changing round.
 	OnRound func(round int, labels []T)
+	// Recorder and Phase mirror Options: per-round trace events and
+	// round/message counters, nil-safe. See Options.Recorder.
+	Recorder *obs.Recorder
+	Phase    string
 }
 
 // GenericResult is the outcome of a generic run.
@@ -45,6 +50,67 @@ func (o GenericOptions[T]) maxRounds(env *Env) int {
 		return o.MaxRounds
 	}
 	return env.Topo.Size() + 1
+}
+
+// roundObs is the per-run observability state shared by both engines.
+// The zero value (nil recorder) makes every method a cheap no-op, so
+// the uninstrumented hot path stays unchanged.
+type roundObs struct {
+	rec     *obs.Recorder
+	phase   string
+	msgs    int // status messages exchanged per round (constant for a run)
+	rounds  *obs.Counter
+	msgsCtr *obs.Counter
+}
+
+func newRoundObs[T comparable](env *Env, rule GenericRule[T], opt GenericOptions[T]) roundObs {
+	if opt.Recorder == nil {
+		return roundObs{}
+	}
+	phase := opt.Phase
+	if phase == "" {
+		phase = rule.Name()
+	}
+	return roundObs{
+		rec:     opt.Recorder,
+		phase:   phase,
+		msgs:    liveMessages(env),
+		rounds:  opt.Recorder.Counter("simnet_rounds"),
+		msgsCtr: opt.Recorder.Counter("simnet_messages"),
+	}
+}
+
+// observe records one completed changing round with nchanged flipped
+// labels.
+func (o roundObs) observe(round, nchanged int) {
+	if o.rec == nil {
+		return
+	}
+	o.rec.Emit(obs.Event{
+		Type: obs.ERound, Phase: o.phase, Round: round, Changed: nchanged, Msgs: o.msgs,
+	})
+	o.rounds.Inc()
+	o.msgsCtr.Add(int64(o.msgs))
+}
+
+// liveMessages counts the status messages exchanged in one synchronous
+// round: one per directed link between nonfaulty nodes (ghost and
+// faulty neighbors send nothing; their labels are substituted locally).
+// The count is identical for both engines and equals the number of
+// channel sends the distributed engine performs per round.
+func liveMessages(env *Env) int {
+	n := 0
+	for _, p := range env.Topo.Points() {
+		if env.Faulty.Has(p) {
+			continue
+		}
+		for _, d := range mesh.Directions {
+			if q, ok := env.Topo.NeighborIn(p, d); ok && !env.Faulty.Has(q) {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 func initGenericLabels[T comparable](env *Env, rule GenericRule[T]) []T {
@@ -80,10 +146,11 @@ func RunSequentialGeneric[T comparable](env *Env, rule GenericRule[T], opt Gener
 	next := make([]T, len(cur))
 	maxRounds := opt.maxRounds(env)
 	points := env.Topo.Points()
+	ro := newRoundObs(env, rule, opt)
 
 	rounds := 0
 	for {
-		changed := false
+		nchanged := 0
 		for _, p := range points {
 			i := env.Topo.Index(p)
 			if env.Faulty.Has(p) {
@@ -92,14 +159,15 @@ func RunSequentialGeneric[T comparable](env *Env, rule GenericRule[T], opt Gener
 			}
 			next[i] = rule.Step(env, p, cur[i], genericNeighborLabels(env, rule, cur, p))
 			if next[i] != cur[i] {
-				changed = true
+				nchanged++
 			}
 		}
-		if !changed {
+		if nchanged == 0 {
 			return &GenericResult[T]{Labels: cur, Rounds: rounds}, nil
 		}
 		cur, next = next, cur
 		rounds++
+		ro.observe(rounds, nchanged)
 		if opt.OnRound != nil {
 			opt.OnRound(rounds, cur)
 		}
@@ -116,6 +184,7 @@ func RunChannelsGeneric[T comparable](env *Env, rule GenericRule[T], opt Generic
 	topo := env.Topo
 	labels := initGenericLabels(env, rule)
 	maxRounds := opt.maxRounds(env)
+	ro := newRoundObs(env, rule, opt)
 
 	type nodeInfo struct {
 		idx           int
@@ -206,17 +275,20 @@ func RunChannelsGeneric[T comparable](env *Env, rule GenericRule[T], opt Generic
 		for _, ni := range nodes {
 			ni.cmd <- true
 		}
-		changed := false
+		nchanged := 0
 		for range nodes {
 			r := <-reports
 			labels[r.idx] = r.label
-			changed = changed || r.changed
+			if r.changed {
+				nchanged++
+			}
 		}
-		if !changed {
+		if nchanged == 0 {
 			stopAll()
 			return &GenericResult[T]{Labels: labels, Rounds: rounds}, nil
 		}
 		rounds++
+		ro.observe(rounds, nchanged)
 		if opt.OnRound != nil {
 			opt.OnRound(rounds, labels)
 		}

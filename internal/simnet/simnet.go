@@ -28,6 +28,7 @@ import (
 
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/obs"
 )
 
 // Env is the fixed context of a labeling run: the machine and the fault
@@ -92,6 +93,15 @@ type Options struct {
 	// OnRound, when non-nil, observes the label vector after each
 	// changing round. The slice must not be retained or mutated.
 	OnRound func(round int, labels []bool)
+	// Recorder, when non-nil, receives one obs.ERound event per changing
+	// round (round index, labels changed, status messages exchanged) and
+	// feeds the simnet_rounds / simnet_messages counters. Both engines
+	// emit identical event streams for the same run. A nil Recorder
+	// costs nothing.
+	Recorder *obs.Recorder
+	// Phase labels the recorded events (e.g. "phase1"); it defaults to
+	// the rule name.
+	Phase string
 }
 
 // Result is the outcome of a run.

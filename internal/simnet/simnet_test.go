@@ -2,10 +2,12 @@ package simnet
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/obs"
 )
 
 // spreadRule is a simple monotone test rule: a node becomes marked when
@@ -189,9 +191,30 @@ func TestTorusSpread(t *testing.T) {
 	}
 }
 
-// The two engines must agree exactly — labels and round counts — on
-// random configurations. This is the equivalence result that lets the
-// fast sequential engine stand in for the distributed one in sweeps.
+// traceRun runs the engine with a collecting recorder and returns the
+// result plus the round-event stream, normalized for comparison: Seq and
+// TNS are emission bookkeeping (wall-clock dependent), so they are
+// zeroed; every semantic field must match between engines.
+func traceRun(t *testing.T, eng Engine, env *Env, phase string) (*Result, []obs.Event) {
+	t.Helper()
+	sink := &obs.CollectSink{}
+	rec := obs.NewRecorder(obs.NewTracer(sink), obs.NewRegistry())
+	res, err := eng.Run(env, spreadRule{}, Options{Recorder: rec, Phase: phase})
+	if err != nil {
+		t.Fatalf("%s: %v", eng.Name(), err)
+	}
+	events := sink.Filter(obs.ERound)
+	for i := range events {
+		events[i].Seq, events[i].TNS = 0, 0
+	}
+	return res, events
+}
+
+// The two engines must agree exactly — labels, round counts, and the
+// per-round trace event streams (round index, changed-label count,
+// messages exchanged) — on random configurations. This is the
+// equivalence result that lets the fast sequential engine stand in for
+// the distributed one in sweeps, now pinned at trace granularity.
 func TestEnginesAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(123))
 	for trial := 0; trial < 40; trial++ {
@@ -207,14 +230,8 @@ func TestEnginesAgree(t *testing.T) {
 		}
 		env := mustEnv(t, topo, faults)
 
-		seq, err := Sequential().Run(env, spreadRule{}, Options{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		chn, err := Channels().Run(env, spreadRule{}, Options{})
-		if err != nil {
-			t.Fatal(err)
-		}
+		seq, seqEvents := traceRun(t, Sequential(), env, "p")
+		chn, chnEvents := traceRun(t, Channels(), env, "p")
 		if seq.Rounds != chn.Rounds {
 			t.Fatalf("trial %d (%v): rounds differ: seq=%d chan=%d", trial, topo, seq.Rounds, chn.Rounds)
 		}
@@ -223,6 +240,69 @@ func TestEnginesAgree(t *testing.T) {
 				t.Fatalf("trial %d (%v): label mismatch at %v", trial, topo, topo.PointAt(i))
 			}
 		}
+		if !reflect.DeepEqual(seqEvents, chnEvents) {
+			t.Fatalf("trial %d (%v): trace streams differ:\nseq:  %+v\nchan: %+v",
+				trial, topo, seqEvents, chnEvents)
+		}
+		if len(seqEvents) != seq.Rounds {
+			t.Fatalf("trial %d: %d round events for %d rounds", trial, len(seqEvents), seq.Rounds)
+		}
+	}
+}
+
+// TestRoundEventContents pins the semantics of the round event fields on
+// a hand-checkable configuration.
+func TestRoundEventContents(t *testing.T) {
+	// 4x1 path with a fault at the west end: marking spreads one node per
+	// round; the three nonfaulty nodes exchange 2+2 = 4 messages per
+	// round (the two interior directed links, both senses).
+	topo := mesh.MustNew(4, 1, mesh.Mesh2D)
+	env := mustEnv(t, topo, grid.PointSetOf(grid.Pt(0, 0)))
+	for _, eng := range engines() {
+		res, events := traceRun(t, eng, env, "spreadphase")
+		if res.Rounds != 3 || len(events) != 3 {
+			t.Fatalf("%s: rounds=%d events=%d, want 3/3", eng.Name(), res.Rounds, len(events))
+		}
+		for i, e := range events {
+			if e.Phase != "spreadphase" || e.Round != i+1 || e.Changed != 1 || e.Msgs != 4 {
+				t.Fatalf("%s: event %d = %+v", eng.Name(), i, e)
+			}
+		}
+	}
+}
+
+// TestRecorderMetrics checks the counters fed by the engines.
+func TestRecorderMetrics(t *testing.T) {
+	topo := mesh.MustNew(5, 5, mesh.Mesh2D)
+	env := mustEnv(t, topo, grid.PointSetOf(grid.Pt(0, 0)))
+	rec := obs.NewRecorder(nil, obs.NewRegistry())
+	res, err := Sequential().Run(env, spreadRule{}, Options{Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := rec.Metrics().Snapshot()
+	if got := snap.Counters["simnet_rounds"]; got != int64(res.Rounds) {
+		t.Fatalf("simnet_rounds = %d, want %d", got, res.Rounds)
+	}
+	if got := snap.Counters["simnet_messages"]; got != int64(res.Rounds*liveMessages(env)) {
+		t.Fatalf("simnet_messages = %d, want %d", got, res.Rounds*liveMessages(env))
+	}
+}
+
+// TestChannelEngineTracedUnderRace exercises the distributed engine with
+// tracing and metrics enabled; `go test -race` turns this into the
+// data-race check the observability layer must pass.
+func TestChannelEngineTracedUnderRace(t *testing.T) {
+	topo := mesh.MustNew(8, 8, mesh.Mesh2D)
+	env := mustEnv(t, topo, grid.PointSetOf(grid.Pt(0, 0), grid.Pt(5, 5), grid.Pt(2, 6)))
+	sink := &obs.CollectSink{}
+	rec := obs.NewRecorder(obs.NewTracer(sink), obs.NewRegistry())
+	res, err := Channels().Run(env, spreadRule{}, Options{Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Filter(obs.ERound)) != res.Rounds {
+		t.Fatalf("event count %d != rounds %d", len(sink.Filter(obs.ERound)), res.Rounds)
 	}
 }
 

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// P2Quantile estimates a single quantile of a stream in O(1) memory with
+// the P² algorithm (Jain & Chlamtac, CACM 1985): five markers track the
+// minimum, the target quantile, the quantile's half-neighbors and the
+// maximum; marker heights are adjusted with a piecewise-parabolic fit as
+// observations arrive. Sample deliberately keeps only sum/sumSq and so
+// cannot answer percentile queries; P2Quantile is the bounded-memory
+// complement used by the observability layer's latency and occupancy
+// histograms.
+//
+// The zero value is not usable; construct with NewP2Quantile.
+type P2Quantile struct {
+	p     float64    // target quantile in (0, 1)
+	n     int        // observations seen
+	q     [5]float64 // marker heights
+	pos   [5]float64 // marker positions (1-based)
+	want  [5]float64 // desired marker positions
+	dwant [5]float64 // desired-position increments
+}
+
+// NewP2Quantile returns an estimator for the p-quantile, 0 < p < 1
+// (e.g. 0.5 for the median, 0.99 for the 99th percentile).
+func NewP2Quantile(p float64) (*P2Quantile, error) {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("stats: quantile %v outside (0, 1)", p)
+	}
+	e := &P2Quantile{p: p}
+	e.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	e.dwant = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e, nil
+}
+
+// MustP2Quantile is NewP2Quantile for a compile-time-constant p; it
+// panics on an invalid argument.
+func MustP2Quantile(p float64) *P2Quantile {
+	e, err := NewP2Quantile(p)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// P returns the target quantile.
+func (e *P2Quantile) P() float64 { return e.p }
+
+// N returns the number of observations.
+func (e *P2Quantile) N() int { return e.n }
+
+// Add records one observation.
+func (e *P2Quantile) Add(x float64) {
+	if e.n < 5 {
+		e.q[e.n] = x
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.q[:])
+			for i := range e.pos {
+				e.pos[i] = float64(i + 1)
+			}
+		}
+		return
+	}
+
+	// Locate the cell of x, stretching the extreme markers if needed.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+
+	e.n++
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.want {
+		e.want[i] += e.dwant[i]
+	}
+
+	// Nudge the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := math.Copysign(1, d)
+			if h := e.parabolic(i, s); e.q[i-1] < h && h < e.q[i+1] {
+				e.q[i] = h
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for moving
+// marker i by d (±1).
+func (e *P2Quantile) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback height prediction along the segment in the
+// direction of travel.
+func (e *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it interpolates the sorted sample directly; with none it
+// returns 0.
+func (e *P2Quantile) Value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		buf := make([]float64, e.n)
+		copy(buf, e.q[:e.n])
+		sort.Float64s(buf)
+		rank := e.p * float64(e.n-1)
+		lo := int(rank)
+		if lo >= e.n-1 {
+			return buf[e.n-1]
+		}
+		frac := rank - float64(lo)
+		return buf[lo]*(1-frac) + buf[lo+1]*frac
+	}
+	return e.q[2]
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestP2QuantileValidation(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NewP2Quantile(p); err == nil {
+			t.Errorf("p=%v must be rejected", p)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustP2Quantile(2) must panic")
+		}
+	}()
+	MustP2Quantile(2)
+}
+
+func TestP2QuantileEmptyAndTiny(t *testing.T) {
+	e := MustP2Quantile(0.5)
+	if e.Value() != 0 {
+		t.Fatal("empty estimator must return 0")
+	}
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Fatalf("single observation: %g, want 10", e.Value())
+	}
+	e.Add(20)
+	if v := e.Value(); v != 15 {
+		t.Fatalf("median of {10,20} = %g, want 15", v)
+	}
+	if e.N() != 2 || e.P() != 0.5 {
+		t.Fatalf("accessors wrong: n=%d p=%g", e.N(), e.P())
+	}
+}
+
+// exactQuantile is the sorted-sample interpolated quantile.
+func exactQuantile(xs []float64, p float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	rank := p * float64(len(s)-1)
+	lo := int(rank)
+	if lo >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+func TestP2QuantileTracksDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	dists := []struct {
+		name string
+		draw func() float64
+	}{
+		{"uniform", func() float64 { return rng.Float64() * 100 }},
+		{"normal", func() float64 { return 50 + 10*rng.NormFloat64() }},
+		{"exponential", func() float64 { return rng.ExpFloat64() * 20 }},
+	}
+	for _, d := range dists {
+		for _, p := range []float64{0.5, 0.9, 0.99} {
+			e := MustP2Quantile(p)
+			xs := make([]float64, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				x := d.draw()
+				xs = append(xs, x)
+				e.Add(x)
+			}
+			exact := exactQuantile(xs, p)
+			got := e.Value()
+			// P² is an estimate; accept a few percent of the spread.
+			spread := exactQuantile(xs, 0.999) - exactQuantile(xs, 0.001)
+			if math.Abs(got-exact) > 0.05*spread {
+				t.Errorf("%s p%.0f: estimate %.3f, exact %.3f (spread %.3f)",
+					d.name, p*100, got, exact, spread)
+			}
+		}
+	}
+}
+
+func TestP2QuantileMonotoneInput(t *testing.T) {
+	// Sorted input is the classic hard case for streaming estimators.
+	e := MustP2Quantile(0.5)
+	for i := 1; i <= 1001; i++ {
+		e.Add(float64(i))
+	}
+	if v := e.Value(); math.Abs(v-501) > 50 {
+		t.Fatalf("median of 1..1001 = %g, want ~501", v)
+	}
+}

@@ -3,9 +3,11 @@ package sweep
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"ocpmesh/internal/fault"
 	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/obs"
 	"ocpmesh/internal/stats"
 	"ocpmesh/internal/status"
 )
@@ -25,7 +27,29 @@ import (
 //
 // (x3, the engine cost comparison, lives in the benchmark harness; see
 // bench_test.go.)
+//
+// When the runner has a Recorder, the experiment is bracketed by
+// figure_start/figure_end trace events carrying the figure id.
 func (r *Runner) Figure(id string) ([]*stats.Series, error) {
+	rec := r.cfg.Recorder
+	var start time.Time
+	if rec != nil {
+		start = rec.Now()
+	}
+	rec.Emit(obs.Event{Type: obs.EFigureStart, Name: id})
+	series, err := r.figure(id)
+	end := obs.Event{Type: obs.EFigureEnd, Name: id, N: len(series)}
+	if rec != nil {
+		end.DurNS = rec.Now().Sub(start).Nanoseconds()
+	}
+	if err != nil {
+		end.Err = err.Error()
+	}
+	rec.Emit(end)
+	return series, err
+}
+
+func (r *Runner) figure(id string) ([]*stats.Series, error) {
 	switch id {
 	case "5a":
 		return r.perDefinition("rounds to faulty blocks", RoundsPhase1)

@@ -1,0 +1,124 @@
+package sweep
+
+import (
+	"testing"
+
+	"ocpmesh/internal/obs"
+	"ocpmesh/internal/status"
+)
+
+func tracedRunner(t *testing.T, cfg Config) (*Runner, *obs.CollectSink, *obs.Recorder) {
+	t.Helper()
+	sink := &obs.CollectSink{}
+	rec := obs.NewRecorder(obs.NewTracer(sink), obs.NewRegistry())
+	cfg.Recorder = rec
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, sink, rec
+}
+
+func TestSweepEmitsCellAndPointEvents(t *testing.T) {
+	r, sink, rec := tracedRunner(t, Config{
+		Width: 12, Height: 12, MaxFaults: 4, Step: 2, Replications: 3, Seed: 7,
+	})
+	series, err := r.Sweep(status.Def2a, Uniform, RoundsPhase1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	starts := sink.Filter(obs.ESweepStart)
+	if len(starts) != 1 {
+		t.Fatalf("got %d sweep_start events, want 1", len(starts))
+	}
+	wantCells := 3 * 3 // three sweep points (f=0,2,4), three replications
+	if starts[0].N != wantCells || starts[0].Points != 3 {
+		t.Fatalf("sweep_start wrong: %+v", starts[0])
+	}
+	if starts[0].Rule != "def2a" {
+		t.Fatalf("sweep_start rule = %q, want def2a", starts[0].Rule)
+	}
+
+	cells := sink.Filter(obs.ESweepCell)
+	if len(cells) != wantCells {
+		t.Fatalf("got %d sweep_cell events, want %d", len(cells), wantCells)
+	}
+	points := sink.Filter(obs.ESweepPoint)
+	if len(points) != len(series.Points) {
+		t.Fatalf("got %d sweep_point events, want one per series point (%d)", len(points), len(series.Points))
+	}
+	for i, p := range points {
+		sp := series.Points[i]
+		if p.X != sp.X || p.Value != sp.Y || p.N != sp.N {
+			t.Fatalf("sweep_point %d = %+v, series has %+v", i, p, sp)
+		}
+	}
+
+	// Formation phases run under the same recorder, so the trace also
+	// carries phase and round events from the cells.
+	if len(sink.Filter(obs.EPhaseStart)) == 0 {
+		t.Fatal("sweep trace should include core phase events")
+	}
+	if rec.Metrics().Snapshot().Counters["sweep_cells"] != int64(wantCells) {
+		t.Fatal("sweep_cells counter wrong")
+	}
+	spans := sink.Filter(obs.ESpan)
+	found := false
+	for _, s := range spans {
+		if s.Name == "sweep" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing sweep span event")
+	}
+}
+
+// TestSweepRecorderPreservesResults pins that tracing never changes the
+// science: the same seeded sweep with and without a recorder produces
+// identical series.
+func TestSweepRecorderPreservesResults(t *testing.T) {
+	base := Config{Width: 12, Height: 12, MaxFaults: 4, Step: 2, Replications: 3, Seed: 7}
+	plainRunner, err := NewRunner(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := plainRunner.Sweep(status.Def2b, Uniform, EnabledRatio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _, _ := tracedRunner(t, base)
+	traced, err := r.Sweep(status.Def2b, Uniform, EnabledRatio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Points) != len(traced.Points) {
+		t.Fatalf("series lengths diverge: %d vs %d", len(plain.Points), len(traced.Points))
+	}
+	for i := range plain.Points {
+		if plain.Points[i] != traced.Points[i] {
+			t.Fatalf("point %d diverges: %+v vs %+v", i, plain.Points[i], traced.Points[i])
+		}
+	}
+}
+
+func TestFigureEventsBracketExperiment(t *testing.T) {
+	r, sink, _ := tracedRunner(t, Config{
+		Width: 10, Height: 10, MaxFaults: 2, Step: 2, Replications: 2, Seed: 11,
+	})
+	if _, err := r.Figure("5c"); err != nil {
+		t.Fatal(err)
+	}
+	events := sink.Events()
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	if events[0].Type != obs.EFigureStart || events[0].Name != "5c" {
+		t.Fatalf("first event = %+v, want figure_start 5c", events[0])
+	}
+	last := events[len(events)-1]
+	if last.Type != obs.EFigureEnd || last.Name != "5c" || last.N != 1 || last.Err != "" {
+		t.Fatalf("last event = %+v, want clean figure_end 5c", last)
+	}
+}

@@ -2,10 +2,12 @@ package sweep
 
 import (
 	"math/rand"
+	"time"
 
 	"ocpmesh/internal/core"
 	"ocpmesh/internal/fault"
 	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/obs"
 	"ocpmesh/internal/partition"
 	"ocpmesh/internal/region"
 	"ocpmesh/internal/stats"
@@ -25,17 +27,28 @@ func (r *Runner) PartitionRecovery() ([]*stats.Series, error) {
 	after := &stats.Series{
 		Label: "disabled nonfaulty (after partitioning)", XLabel: "faults", YLabel: "nodes",
 	}
+	rec := r.cfg.Recorder
 	formCfg := core.Config{
 		Width: r.cfg.Width, Height: r.cfg.Height, Kind: r.cfg.Kind,
 		Safety: status.Def2b, Connectivity: region.Conn8, Engine: r.cfg.Engine,
+		Recorder: rec,
 	}
 	topo, err := mesh.New(r.cfg.Width, r.cfg.Height, r.cfg.Kind)
 	if err != nil {
 		return nil, err
 	}
-	for _, f := range r.faultCounts() {
+	counts := r.faultCounts()
+	rec.Emit(obs.Event{
+		Type: obs.ESweepStart, Name: "partition",
+		N: len(counts) * r.cfg.Replications, Points: len(counts),
+	})
+	for _, f := range counts {
 		var sBefore, sAfter stats.Sample
 		for rep := 0; rep < r.cfg.Replications; rep++ {
+			var cellStart time.Time
+			if rec != nil {
+				cellStart = rec.Now()
+			}
 			rng := rand.New(rand.NewSource(r.cfg.Seed + int64(f)*6_700_417 + int64(rep)))
 			k := 1 + f/20
 			faults := fault.Clustered{Count: f, Clusters: k, Spread: 2}.Generate(topo, rng)
@@ -51,6 +64,13 @@ func (r *Runner) PartitionRecovery() ([]*stats.Series, error) {
 			}
 			sBefore.Add(float64(totalBefore))
 			sAfter.Add(float64(totalAfter))
+			if rec != nil {
+				rec.Emit(obs.Event{
+					Type: obs.ESweepCell, X: float64(f), Rep: rep, OK: true,
+					Value: float64(totalAfter), DurNS: rec.Now().Sub(cellStart).Nanoseconds(),
+				})
+				rec.Counter("sweep_cells").Inc()
+			}
 		}
 		if sBefore.N() > 0 {
 			before.Add(float64(f), &sBefore)

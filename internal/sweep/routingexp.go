@@ -3,9 +3,11 @@ package sweep
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"ocpmesh/internal/core"
 	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/obs"
 	"ocpmesh/internal/region"
 	"ocpmesh/internal/routing"
 	"ocpmesh/internal/stats"
@@ -35,17 +37,24 @@ func (r *Runner) RoutingComparison(pairsPerRun int) ([]*stats.Series, error) {
 		}
 	}
 
+	rec := r.cfg.Recorder
 	formCfg := core.Config{
 		Width: r.cfg.Width, Height: r.cfg.Height, Kind: r.cfg.Kind,
 		Safety:       status.Def2a, // the block model the paper improves on
 		Connectivity: region.Conn8, Engine: r.cfg.Engine,
+		Recorder: rec,
 	}
 	topo, err := mesh.New(r.cfg.Width, r.cfg.Height, r.cfg.Kind)
 	if err != nil {
 		return nil, err
 	}
 
-	for _, f := range r.faultCounts() {
+	counts := r.faultCounts()
+	rec.Emit(obs.Event{
+		Type: obs.ESweepStart, Name: "routing",
+		N: len(counts) * r.cfg.Replications, Points: len(counts),
+	})
+	for _, f := range counts {
 		deliverySamples := make(map[routing.Model]*stats.Sample, len(models))
 		stretchSamples := make(map[routing.Model]*stats.Sample, len(models))
 		for _, m := range models {
@@ -53,6 +62,10 @@ func (r *Runner) RoutingComparison(pairsPerRun int) ([]*stats.Series, error) {
 			stretchSamples[m] = &stats.Sample{}
 		}
 		for rep := 0; rep < r.cfg.Replications; rep++ {
+			var cellStart time.Time
+			if rec != nil {
+				cellStart = rec.Now()
+			}
 			rng := rand.New(rand.NewSource(r.cfg.Seed + int64(f)*7_368_787 + int64(rep)))
 			faults := Uniform(f).Generate(topo, rng)
 			res, err := core.FormOn(formCfg, topo, faults)
@@ -68,6 +81,13 @@ func (r *Runner) RoutingComparison(pairsPerRun int) ([]*stats.Series, error) {
 				if st.Delivered > 0 {
 					stretchSamples[m].Add(st.AvgStretch())
 				}
+			}
+			if rec != nil {
+				rec.Emit(obs.Event{
+					Type: obs.ESweepCell, X: float64(f), Rep: rep, OK: true,
+					DurNS: rec.Now().Sub(cellStart).Nanoseconds(),
+				})
+				rec.Counter("sweep_cells").Inc()
 			}
 		}
 		for _, m := range models {

@@ -17,10 +17,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"ocpmesh/internal/core"
 	"ocpmesh/internal/fault"
 	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/obs"
 	"ocpmesh/internal/region"
 	"ocpmesh/internal/stats"
 	"ocpmesh/internal/status"
@@ -50,6 +52,13 @@ type Config struct {
 	// cell owns a seed-derived RNG, so results are identical at any
 	// worker count.
 	Workers int
+	// Recorder, when non-nil, traces the sweep — sweep_start, one
+	// sweep_cell per evaluated (f, replication) cell, one sweep_point per
+	// aggregated point — and is forwarded to the formation core and the
+	// experiment simulators, so phase, round, route and wormhole events
+	// land in the same stream. Nil disables observability at no cost, and
+	// never affects results.
+	Recorder *obs.Recorder
 }
 
 // Normalize fills unset fields with the paper's defaults and validates
@@ -120,9 +129,11 @@ func (r *Runner) faultCounts() []int {
 // the worker count and of scheduling.
 func (r *Runner) Sweep(def status.SafetyDef, gen func(f int) fault.Generator, metric Metric) (*stats.Series, error) {
 	series := &stats.Series{XLabel: "faults", YLabel: "value"}
+	rec := r.cfg.Recorder
 	formCfg := core.Config{
 		Width: r.cfg.Width, Height: r.cfg.Height, Kind: r.cfg.Kind,
 		Safety: def, Connectivity: region.Conn8, Engine: r.cfg.Engine,
+		Recorder: rec,
 	}
 	topo, err := mesh.New(r.cfg.Width, r.cfg.Height, r.cfg.Kind)
 	if err != nil {
@@ -136,6 +147,11 @@ func (r *Runner) Sweep(def status.SafetyDef, gen func(f int) fault.Generator, me
 		ok bool
 	}
 	counts := r.faultCounts()
+	span := rec.StartSpan("sweep")
+	rec.Emit(obs.Event{
+		Type: obs.ESweepStart, Rule: def.String(),
+		N: len(counts) * r.cfg.Replications, Points: len(counts),
+	})
 	cells := make(chan cell)
 	outcomes := make(chan outcome)
 	errs := make(chan error, 1)
@@ -150,10 +166,20 @@ func (r *Runner) Sweep(def status.SafetyDef, gen func(f int) fault.Generator, me
 		go func() {
 			defer wg.Done()
 			for c := range cells {
+				var cellStart time.Time
+				if rec != nil {
+					cellStart = rec.Now()
+				}
 				rng := rand.New(rand.NewSource(r.cfg.Seed + int64(c.f)*1_000_003 + int64(c.rep)))
 				faults := gen(c.f).Generate(topo, rng)
 				res, err := core.FormOn(formCfg, topo, faults)
 				if err != nil {
+					if rec != nil {
+						rec.Emit(obs.Event{
+							Type: obs.ESweepCell, X: float64(c.f), Rep: c.rep,
+							Err: err.Error(), DurNS: rec.Now().Sub(cellStart).Nanoseconds(),
+						})
+					}
 					select {
 					case errs <- fmt.Errorf("sweep: f=%d rep=%d: %w", c.f, c.rep, err):
 					default:
@@ -161,6 +187,13 @@ func (r *Runner) Sweep(def status.SafetyDef, gen func(f int) fault.Generator, me
 					continue
 				}
 				v, ok := metric(res)
+				if rec != nil {
+					rec.Emit(obs.Event{
+						Type: obs.ESweepCell, X: float64(c.f), Rep: c.rep,
+						Value: v, OK: ok, DurNS: rec.Now().Sub(cellStart).Nanoseconds(),
+					})
+					rec.Counter("sweep_cells").Inc()
+				}
 				outcomes <- outcome{f: c.f, v: v, ok: ok}
 			}
 		}()
@@ -205,7 +238,11 @@ func (r *Runner) Sweep(def status.SafetyDef, gen func(f int) fault.Generator, me
 			sample.Add(v)
 		}
 		series.Add(float64(f), &sample)
+		rec.Emit(obs.Event{
+			Type: obs.ESweepPoint, X: float64(f), N: sample.N(), Value: sample.Mean(),
+		})
 	}
+	span.End()
 	return series, nil
 }
 

@@ -3,9 +3,11 @@ package sweep
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"ocpmesh/internal/core"
 	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/obs"
 	"ocpmesh/internal/region"
 	"ocpmesh/internal/routing"
 	"ocpmesh/internal/stats"
@@ -39,16 +41,23 @@ func (r *Runner) WormholeComparison(flowsPerRun, packetLen int) ([]*stats.Series
 		}
 	}
 
+	rec := r.cfg.Recorder
 	formCfg := core.Config{
 		Width: r.cfg.Width, Height: r.cfg.Height, Kind: r.cfg.Kind,
 		Safety: status.Def2a, Connectivity: region.Conn8, Engine: r.cfg.Engine,
+		Recorder: rec,
 	}
 	topo, err := mesh.New(r.cfg.Width, r.cfg.Height, r.cfg.Kind)
 	if err != nil {
 		return nil, err
 	}
 
-	for _, f := range r.faultCounts() {
+	counts := r.faultCounts()
+	rec.Emit(obs.Event{
+		Type: obs.ESweepStart, Name: "wormhole",
+		N: len(counts) * r.cfg.Replications, Points: len(counts),
+	})
+	for _, f := range counts {
 		latSamples := map[routing.Model]*stats.Sample{}
 		delSamples := map[routing.Model]*stats.Sample{}
 		for _, m := range models {
@@ -56,6 +65,10 @@ func (r *Runner) WormholeComparison(flowsPerRun, packetLen int) ([]*stats.Series
 			delSamples[m] = &stats.Sample{}
 		}
 		for rep := 0; rep < r.cfg.Replications; rep++ {
+			var cellStart time.Time
+			if rec != nil {
+				cellStart = rec.Now()
+			}
 			rng := rand.New(rand.NewSource(r.cfg.Seed + int64(f)*15_485_863 + int64(rep)))
 			faults := Uniform(f).Generate(topo, rng)
 			res, err := core.FormOn(formCfg, topo, faults)
@@ -72,7 +85,8 @@ func (r *Runner) WormholeComparison(flowsPerRun, packetLen int) ([]*stats.Series
 			}
 			for _, m := range models {
 				g := routing.NewGraph(res, m)
-				st, err := wormhole.Simulate(g, routing.Oracle{}, flows, wormhole.Config{PacketLen: packetLen})
+				st, err := wormhole.Simulate(g, routing.Instrument(routing.Oracle{}, rec), flows,
+					wormhole.Config{PacketLen: packetLen, Recorder: rec})
 				if err != nil {
 					return nil, fmt.Errorf("sweep: wormhole f=%d rep=%d: %w", f, rep, err)
 				}
@@ -83,6 +97,13 @@ func (r *Runner) WormholeComparison(flowsPerRun, packetLen int) ([]*stats.Series
 					latSamples[m].Add(st.AvgLatency())
 				}
 				delSamples[m].Add(float64(st.Delivered) / float64(len(flows)))
+			}
+			if rec != nil {
+				rec.Emit(obs.Event{
+					Type: obs.ESweepCell, X: float64(f), Rep: rep, OK: true,
+					DurNS: rec.Now().Sub(cellStart).Nanoseconds(),
+				})
+				rec.Counter("sweep_cells").Inc()
 			}
 		}
 		for _, m := range models {

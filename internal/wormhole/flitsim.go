@@ -6,6 +6,7 @@ import (
 
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/obs"
 	"ocpmesh/internal/routing"
 )
 
@@ -20,6 +21,10 @@ type FlitConfig struct {
 	Policy routing.VCPolicy
 	// MaxCycles aborts runaway simulations (default 200_000).
 	MaxCycles int
+	// Recorder, when non-nil, records per-cycle channel and buffer
+	// occupancy, per-packet blocking-time and latency histograms, and a
+	// summary trace event. Nil disables observability at no cost.
+	Recorder *obs.Recorder
 }
 
 // FlitStats extends Stats with flit-level measurements.
@@ -55,6 +60,8 @@ type fpacket struct {
 	vcs      []int    // virtual channel per hop
 	bufs     []bufKey // buffer at each path node (len(path) entries)
 	injected int      // flits injected so far
+	moved    int      // last cycle any flit of this packet advanced (for blocking accounting)
+	blocked  int      // active cycles with no flit movement
 	done     bool
 }
 
@@ -124,7 +131,7 @@ func SimulateFlits(g *routing.Graph, r routing.Router, flows []Flow, cfg FlitCon
 			stats.Unroutable++
 			continue
 		}
-		p := &fpacket{id: i, inject: f.InjectCycle, path: path}
+		p := &fpacket{id: i, inject: f.InjectCycle, path: path, moved: -1}
 		for h := 0; h+1 < len(path); h++ {
 			p.vcs = append(p.vcs, policy(path, h))
 		}
@@ -179,6 +186,7 @@ func SimulateFlits(g *routing.Graph, r routing.Router, flows []Flow, cfg FlitCon
 				buffers[key] = q[1:]
 				buffered--
 				progress = true
+				p.moved = cycle
 				if isTail {
 					p.done = true
 					remaining--
@@ -187,6 +195,10 @@ func SimulateFlits(g *routing.Graph, r routing.Router, flows []Flow, cfg FlitCon
 					stats.TotalLatency += latency
 					if latency > stats.MaxLatency {
 						stats.MaxLatency = latency
+					}
+					if cfg.Recorder != nil {
+						cfg.Recorder.Histogram("wormhole_latency_cycles", nil).Observe(float64(latency))
+						cfg.Recorder.Histogram("wormhole_block_cycles", nil).Observe(float64(p.blocked))
 					}
 				}
 			}
@@ -234,6 +246,7 @@ func SimulateFlits(g *routing.Graph, r routing.Router, flows []Flow, cfg FlitCon
 				linkUsed[l] = true
 				stats.FlitsMoved++
 				progress = true
+				p.moved = cycle
 				if mv.isTail {
 					delete(channelOwner, out) // tail passed: free the channel
 				}
@@ -257,6 +270,10 @@ func SimulateFlits(g *routing.Graph, r routing.Router, flows []Flow, cfg FlitCon
 				if latency > stats.MaxLatency {
 					stats.MaxLatency = latency
 				}
+				if cfg.Recorder != nil {
+					cfg.Recorder.Histogram("wormhole_latency_cycles", nil).Observe(float64(latency))
+					cfg.Recorder.Histogram("wormhole_block_cycles", nil).Observe(float64(p.blocked))
+				}
 				progress = true
 				continue
 			}
@@ -274,10 +291,25 @@ func SimulateFlits(g *routing.Graph, r routing.Router, flows []Flow, cfg FlitCon
 			buffers[key] = append(q, flit{pkt: p, isTail: p.injected == cfg.PacketLen})
 			buffered++
 			progress = true
+			p.moved = cycle
+		}
+
+		// Blocking accounting: an active packet that moved no flit this
+		// cycle is stalled on flow control (busy channel, full buffer, or
+		// atomic-buffer conflict) — the flit-level face of wormhole
+		// blocking.
+		for _, p := range packets {
+			if !p.done && cycle >= p.inject && p.moved != cycle {
+				p.blocked++
+			}
 		}
 
 		if buffered > stats.PeakBufferedFlits {
 			stats.PeakBufferedFlits = buffered
+		}
+		if cfg.Recorder != nil {
+			cfg.Recorder.Histogram("wormhole_channel_occupancy", nil).Observe(float64(len(channelOwner)))
+			cfg.Recorder.Histogram("wormhole_flit_buffered", nil).Observe(float64(buffered))
 		}
 		stats.Cycles = cycle + 1
 		if !progress && cycle >= maxInject {
@@ -285,6 +317,7 @@ func SimulateFlits(g *routing.Graph, r routing.Router, flows []Flow, cfg FlitCon
 			break
 		}
 	}
+	recordSummary(cfg.Recorder, "flit", &stats.Stats)
 	return stats, nil
 }
 

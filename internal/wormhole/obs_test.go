@@ -1,0 +1,154 @@
+package wormhole
+
+import (
+	"testing"
+
+	"ocpmesh/internal/core"
+	"ocpmesh/internal/fault"
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/obs"
+	"ocpmesh/internal/routing"
+	"ocpmesh/internal/status"
+)
+
+func obsGraph(t *testing.T) *routing.Graph {
+	t.Helper()
+	fx := fault.Figure1()
+	res, err := core.FormOn(core.Config{
+		Width: fx.Topo.Width(), Height: fx.Topo.Height(), Safety: status.Def2a,
+	}, fx.Topo, fx.Faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return routing.NewGraph(res, routing.ModelRegions)
+}
+
+func TestSimulateRecords(t *testing.T) {
+	g := obsGraph(t)
+	sink := &obs.CollectSink{}
+	rec := obs.NewRecorder(obs.NewTracer(sink), obs.NewRegistry())
+
+	flows := []Flow{
+		{Src: grid.Pt(0, 0), Dst: grid.Pt(9, 0)},
+		{Src: grid.Pt(0, 1), Dst: grid.Pt(9, 1), InjectCycle: 2},
+	}
+	stats, err := Simulate(g, routing.Oracle{}, flows, Config{PacketLen: 4, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != 2 {
+		t.Fatalf("delivered = %d, want 2", stats.Delivered)
+	}
+
+	events := sink.Filter(obs.EWormhole)
+	if len(events) != 1 {
+		t.Fatalf("got %d wormhole events, want 1", len(events))
+	}
+	e := events[0]
+	if e.Name != "worm" || e.N != 2 || e.Cycles != stats.Cycles || e.Value != stats.AvgLatency() {
+		t.Fatalf("summary event wrong: %+v", e)
+	}
+
+	snap := rec.Metrics().Snapshot()
+	if snap.Counters["wormhole_injected"] != 2 || snap.Counters["wormhole_delivered"] != 2 {
+		t.Fatalf("counters wrong: %v", snap.Counters)
+	}
+	lat := snap.Histograms["wormhole_latency_cycles"]
+	if lat.Count != 2 {
+		t.Fatalf("latency histogram count = %d, want 2", lat.Count)
+	}
+	if lat.Max != float64(stats.MaxLatency) {
+		t.Fatalf("latency histogram max = %v, want %d", lat.Max, stats.MaxLatency)
+	}
+	if snap.Histograms["wormhole_block_cycles"].Count != 2 {
+		t.Fatal("block_cycles histogram missing observations")
+	}
+	occ := snap.Histograms["wormhole_channel_occupancy"]
+	if occ.Count != uint64(stats.Cycles) {
+		t.Fatalf("occupancy observed %d times, want one per cycle (%d)", occ.Count, stats.Cycles)
+	}
+}
+
+func TestSimulateFlitsRecords(t *testing.T) {
+	g := obsGraph(t)
+	sink := &obs.CollectSink{}
+	rec := obs.NewRecorder(obs.NewTracer(sink), obs.NewRegistry())
+
+	// Two flows contending for the same row force flit-level blocking.
+	flows := []Flow{
+		{Src: grid.Pt(0, 0), Dst: grid.Pt(9, 0)},
+		{Src: grid.Pt(1, 0), Dst: grid.Pt(9, 0)},
+	}
+	stats, err := SimulateFlits(g, routing.Oracle{}, flows, FlitConfig{
+		PacketLen: 4, BufDepth: 2, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != 2 {
+		t.Fatalf("delivered = %d, want 2", stats.Delivered)
+	}
+
+	events := sink.Filter(obs.EWormhole)
+	if len(events) != 1 || events[0].Name != "flit" || events[0].N != 2 {
+		t.Fatalf("summary event wrong: %+v", events)
+	}
+
+	snap := rec.Metrics().Snapshot()
+	if snap.Histograms["wormhole_latency_cycles"].Count != 2 {
+		t.Fatal("latency histogram missing observations")
+	}
+	blk := snap.Histograms["wormhole_block_cycles"]
+	if blk.Count != 2 {
+		t.Fatal("block_cycles histogram missing observations")
+	}
+	if blk.Max == 0 {
+		t.Fatal("contending flows should block the loser for at least one cycle")
+	}
+	buf := snap.Histograms["wormhole_flit_buffered"]
+	if buf.Count != uint64(stats.Cycles) {
+		t.Fatalf("buffered observed %d times, want one per cycle (%d)", buf.Count, stats.Cycles)
+	}
+	if buf.Max != float64(stats.PeakBufferedFlits) {
+		t.Fatalf("buffered max = %v, want peak %d", buf.Max, stats.PeakBufferedFlits)
+	}
+	if snap.Histograms["wormhole_channel_occupancy"].Count != uint64(stats.Cycles) {
+		t.Fatal("channel occupancy not observed each cycle")
+	}
+}
+
+// TestSimulateNilRecorderMatches pins the zero-overhead contract: the same
+// workload with and without a recorder must produce identical statistics.
+func TestSimulateNilRecorderMatches(t *testing.T) {
+	g := obsGraph(t)
+	flows := []Flow{
+		{Src: grid.Pt(0, 0), Dst: grid.Pt(9, 5)},
+		{Src: grid.Pt(9, 0), Dst: grid.Pt(0, 5), InjectCycle: 1},
+		{Src: grid.Pt(0, 5), Dst: grid.Pt(9, 0), InjectCycle: 3},
+	}
+	rec := obs.NewRecorder(nil, obs.NewRegistry())
+
+	plain, err := Simulate(g, routing.Oracle{}, flows, Config{PacketLen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := Simulate(g, routing.Oracle{}, flows, Config{PacketLen: 3, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *plain != *traced {
+		t.Fatalf("stats diverge with recorder: %+v vs %+v", plain, traced)
+	}
+
+	fplain, err := SimulateFlits(g, routing.Oracle{}, flows, FlitConfig{PacketLen: 3, BufDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftraced, err := SimulateFlits(g, routing.Oracle{}, flows, FlitConfig{PacketLen: 3, BufDepth: 2, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *fplain != *ftraced {
+		t.Fatalf("flit stats diverge with recorder: %+v vs %+v", fplain, ftraced)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"ocpmesh/internal/grid"
+	"ocpmesh/internal/obs"
 	"ocpmesh/internal/routing"
 )
 
@@ -40,6 +41,10 @@ type Config struct {
 	Policy routing.VCPolicy
 	// MaxCycles aborts runaway simulations (default 100_000).
 	MaxCycles int
+	// Recorder, when non-nil, records per-cycle channel occupancy, the
+	// per-packet blocking-time and latency histograms, and a summary
+	// trace event. Nil disables observability at no cost.
+	Recorder *obs.Recorder
 }
 
 // Stats summarizes a simulation.
@@ -78,6 +83,7 @@ type packet struct {
 	links    []link            // physical links, parallel to channels
 	head     int               // channels acquired so far
 	tail     int               // channels released so far
+	blocked  int               // cycles spent stalled on channel acquisition
 	done     bool
 }
 
@@ -145,6 +151,7 @@ func Simulate(g *routing.Graph, r routing.Router, flows []Flow, cfg Config) (*St
 				c := p.channels[p.head]
 				l := p.links[p.head]
 				if _, busy := reserved[c]; busy || linkUsed[l] {
+					p.blocked++ // wormhole blocking: stalled, holding its channels
 					continue
 				}
 				reserved[c] = p.id
@@ -173,9 +180,16 @@ func Simulate(g *routing.Graph, r routing.Router, flows []Flow, cfg Config) (*St
 				if latency > stats.MaxLatency {
 					stats.MaxLatency = latency
 				}
+				if cfg.Recorder != nil {
+					cfg.Recorder.Histogram("wormhole_latency_cycles", nil).Observe(float64(latency))
+					cfg.Recorder.Histogram("wormhole_block_cycles", nil).Observe(float64(p.blocked))
+				}
 			}
 		}
 
+		if cfg.Recorder != nil {
+			cfg.Recorder.Histogram("wormhole_channel_occupancy", nil).Observe(float64(len(reserved)))
+		}
 		stats.Cycles = cycle + 1
 		if !progress && cycle >= maxInject {
 			// Deterministic system with no event this cycle and none
@@ -184,5 +198,24 @@ func Simulate(g *routing.Graph, r routing.Router, flows []Flow, cfg Config) (*St
 			break
 		}
 	}
+	recordSummary(cfg.Recorder, "worm", stats)
 	return stats, nil
+}
+
+// recordSummary emits the end-of-simulation trace event and counters
+// shared by both simulator levels. Nil-safe.
+func recordSummary(rec *obs.Recorder, level string, s *Stats) {
+	if rec == nil {
+		return
+	}
+	rec.Counter("wormhole_injected").Add(int64(s.Injected))
+	rec.Counter("wormhole_delivered").Add(int64(s.Delivered))
+	rec.Counter("wormhole_unroutable").Add(int64(s.Unroutable))
+	if s.Deadlocked {
+		rec.Counter("wormhole_deadlocks").Inc()
+	}
+	rec.Emit(obs.Event{
+		Type: obs.EWormhole, Name: level,
+		N: s.Delivered, Cycles: s.Cycles, Value: s.AvgLatency(),
+	})
 }
