@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench check
+.PHONY: build vet test race bench churn-bench check
 
 build:
 	$(GO) build ./...
@@ -21,5 +21,11 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchmem . | $(GO) run ./scripts/benchjson > BENCH_obs.json
 	@cat BENCH_obs.json
+
+# churn-bench measures incremental vs from-scratch single-fault deltas
+# on the 100x100 mesh and records the result in BENCH_churn.json.
+churn-bench:
+	$(GO) test -run '^$$' -bench BenchmarkChurn -benchmem . | $(GO) run ./scripts/benchjson > BENCH_churn.json
+	@cat BENCH_churn.json
 
 check: build vet test race

@@ -374,3 +374,53 @@ func BenchmarkObsOverhead(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkChurn compares the cost of absorbing a single-fault delta on
+// the paper's 100x100 mesh: incremental (core.Session frontier
+// restabilization, one add + one remove per iteration to stay in steady
+// state) versus a full from-scratch recompute of both fixpoints and the
+// region lists. The ratio is the point of the incremental engine — the
+// delta cost tracks the perturbation, not the mesh.
+func BenchmarkChurn(b *testing.B) {
+	for _, f := range []int{10, 50, 100} {
+		topo, faults := paperMachine(b, f, 11)
+		cfg := core.Config{Width: 100, Height: 100}
+		// A pool of churn sites away from the background faults.
+		rng := rand.New(rand.NewSource(13))
+		var sites []grid.Point
+		for len(sites) < 256 {
+			p := grid.Pt(rng.Intn(100), rng.Intn(100))
+			if !faults.Has(p) {
+				sites = append(sites, p)
+			}
+		}
+
+		b.Run(fmt.Sprintf("incremental/f=%d", f), func(b *testing.B) {
+			s, err := core.NewSessionOn(cfg, topo, faults)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := sites[i%len(sites)]
+				if _, err := s.AddFaults(p); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.RemoveFaults(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("full/f=%d", f), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				churned := faults.Clone()
+				churned.Add(sites[i%len(sites)])
+				if _, err := core.FormOn(cfg, topo, churned); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

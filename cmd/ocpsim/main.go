@@ -9,7 +9,9 @@
 //
 // Figures: 5a, 5b (convergence rounds), 5c, 5d (enabled ratio),
 // x1 (sacrificed nodes per definition), x2 (routing payoff),
-// x4 (mesh vs torus), x5 (uniform vs clustered faults), or "all".
+// x4 (mesh vs torus), x5 (uniform vs clustered faults), x6 (wormhole
+// latency), x7 (partition recovery), x8 (incremental churn: steady-state
+// cost per fault arrival), or "all".
 //
 // With paper parameters (-n 100 -maxf 100 -reps 20) a full "all" run
 // takes a few minutes; reduce -n/-reps for a quick look.

@@ -173,10 +173,13 @@ func runPhase(rec *obs.Recorder, cfg Config, eng simnet.Engine, env *simnet.Env,
 	rec.Emit(obs.Event{Type: obs.EPhaseStart, Phase: phase, Engine: eng.Name(), Rule: rule.Name()})
 	start := rec.Now()
 	res, err := eng.Run(env, rule, opts)
+	dur := rec.Now().Sub(start)
 	if err != nil {
+		// Close the phase even on failure so every phase_start has a
+		// matching phase_end and trace consumers see the error in place.
+		rec.Emit(obs.Event{Type: obs.EPhaseEnd, Phase: phase, DurNS: dur.Nanoseconds(), Err: err.Error()})
 		return nil, err
 	}
-	dur := rec.Now().Sub(start)
 	rec.Emit(obs.Event{Type: obs.EPhaseEnd, Phase: phase, Rounds: res.Rounds, DurNS: dur.Nanoseconds()})
 	rec.Histogram("core_"+phase+"_rounds", nil).Observe(float64(res.Rounds))
 	rec.Histogram("core_"+phase+"_ns", obs.NSBuckets).Observe(float64(dur.Nanoseconds()))

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/incremental"
+	"ocpmesh/internal/mesh"
+)
+
+// Delta summarizes one incremental fault delta applied to a Session.
+type Delta = incremental.Delta
+
+// Session keeps a formation result current under fault churn. Where
+// Form recomputes both fixpoints over the whole mesh, a Session applies
+// fault deltas by re-iterating only over the dirty frontier's closure
+// and relabeling only the touched blocks and regions, at a cost
+// proportional to the perturbation (see package incremental for the
+// correctness argument). After every delta the session's state is
+// bit-for-bit identical to a from-scratch formation on the current
+// fault set.
+type Session struct {
+	cfg   Config
+	field *incremental.Field
+}
+
+// NewSession computes a full formation for the initial fault list and
+// returns the session tracking it. The Engine field of cfg is ignored:
+// incremental maintenance always uses the frontier engine.
+func NewSession(cfg Config, faults []grid.Point) (*Session, error) {
+	topo, err := mesh.New(cfg.Width, cfg.Height, cfg.Kind)
+	if err != nil {
+		return nil, err
+	}
+	return NewSessionOn(cfg, topo, grid.PointSetOf(faults...))
+}
+
+// NewSessionOn is NewSession on an existing topology and fault set. The
+// set is cloned, not retained.
+func NewSessionOn(cfg Config, topo *mesh.Topology, faults *grid.PointSet) (*Session, error) {
+	field, err := incremental.New(topo, faults, incremental.Config{
+		Safety:       cfg.Safety,
+		Connectivity: cfg.Connectivity,
+		MaxRounds:    cfg.MaxRounds,
+		Recorder:     cfg.Recorder,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: session: %w", err)
+	}
+	return &Session{cfg: cfg, field: field}, nil
+}
+
+// AddFaults marks the given nodes faulty and restabilizes the formation
+// incrementally. Already-faulty points are skipped.
+func (s *Session) AddFaults(ps ...grid.Point) (Delta, error) {
+	return s.field.Add(ps...)
+}
+
+// RemoveFaults repairs the given nodes and restabilizes the formation
+// incrementally. Non-faulty points are skipped.
+func (s *Session) RemoveFaults(ps ...grid.Point) (Delta, error) {
+	return s.field.Remove(ps...)
+}
+
+// Result snapshots the current formation as a Result, interchangeable
+// with the output of a from-scratch Form on the same fault set. The
+// fault set and label slices are copied, so the snapshot stays valid
+// across later deltas; the region structures are shared (they are
+// replaced, never mutated, by deltas). RoundsPhase1/RoundsPhase2 report
+// the initial full formation's rounds — per-delta restabilization
+// rounds are on the Delta values the mutating calls return.
+func (s *Session) Result() *Result {
+	f := s.field
+	return &Result{
+		Topo:         f.Topo(),
+		Faults:       f.Faults().Clone(),
+		Unsafe:       append([]bool(nil), f.Unsafe()...),
+		Enabled:      append([]bool(nil), f.Enabled()...),
+		Blocks:       f.Blocks(),
+		Regions:      f.Regions(),
+		RoundsPhase1: initialRounds1(f),
+		RoundsPhase2: initialRounds2(f),
+	}
+}
+
+func initialRounds1(f *incremental.Field) int { r, _ := f.InitialRounds(); return r }
+func initialRounds2(f *incremental.Field) int { _, r := f.InitialRounds(); return r }
+
+// Topo returns the machine.
+func (s *Session) Topo() *mesh.Topology { return s.field.Topo() }
+
+// Faults returns the current fault set. The caller must not mutate it.
+func (s *Session) Faults() *grid.PointSet { return s.field.Faults() }

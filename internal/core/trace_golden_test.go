@@ -6,11 +6,13 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"ocpmesh/internal/fault"
+	"ocpmesh/internal/grid"
 	"ocpmesh/internal/obs"
 	"ocpmesh/internal/status"
 )
@@ -86,5 +88,39 @@ func TestTraceGolden(t *testing.T) {
 	}
 	if starts != 2 {
 		t.Fatalf("want 2 phase_start events (phase1, phase2), got %d in %v", starts, types)
+	}
+}
+
+// TestTraceBalancedOnEngineError forces an engine failure (MaxRounds=1
+// on a configuration needing more rounds) and checks the trace still
+// closes every phase: each phase_start has a matching phase_end, and
+// the failing phase's phase_end carries the engine error (previously
+// the error path left the phase dangling open).
+func TestTraceBalancedOnEngineError(t *testing.T) {
+	sink := &obs.CollectSink{}
+	rec := obs.NewRecorder(obs.NewTracer(sink), obs.NewRegistry())
+	cfg := Config{Width: 12, Height: 12, MaxRounds: 1, Recorder: rec}
+	// A long diagonal chain: Definition 2b captures the staircase between
+	// the faults over several rounds, so round 2 still changes labels.
+	_, err := Form(cfg, []grid.Point{
+		grid.Pt(2, 2), grid.Pt(3, 3), grid.Pt(4, 4), grid.Pt(5, 5), grid.Pt(6, 6),
+	})
+	if err == nil {
+		t.Fatal("MaxRounds=1 must fail on a multi-round configuration")
+	}
+	starts := sink.Filter(obs.EPhaseStart)
+	ends := sink.Filter(obs.EPhaseEnd)
+	if len(starts) == 0 || len(starts) != len(ends) {
+		t.Fatalf("unbalanced trace: %d phase_start, %d phase_end", len(starts), len(ends))
+	}
+	last := ends[len(ends)-1]
+	if last.Err == "" {
+		t.Fatalf("failing phase_end carries no error: %+v", last)
+	}
+	if !strings.Contains(err.Error(), last.Err) {
+		t.Fatalf("phase_end error %q not part of returned error %q", last.Err, err)
+	}
+	if last.Phase != starts[len(starts)-1].Phase {
+		t.Fatalf("phase_end phase %q does not close phase_start %q", last.Phase, starts[len(starts)-1].Phase)
 	}
 }

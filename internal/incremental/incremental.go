@@ -1,0 +1,362 @@
+// Package incremental maintains the paper's two-phase formation result
+// under fault churn: instead of recomputing both fixpoints over the
+// whole mesh on every change, a Field applies fault deltas by seeding a
+// dirty frontier from the changed nodes and re-iterating only over the
+// frontier's closure (simnet.RunFrontierGeneric), then relabels only the
+// touched faulty blocks and disabled regions (region.UpdateRegions).
+//
+// Correctness rests on two properties the repository's tests pin:
+//
+//   - Both status rules are monotone, so any chaotic iteration from a
+//     state at or below the fixpoint reaches the same least fixpoint the
+//     synchronous engines compute — adding faults is pure frontier
+//     propagation from the new faults' neighborhoods.
+//   - Both fixpoints decompose per faulty block: every unsafe node is
+//     derivable from the faults of its own block, and every
+//     enabled/disabled label depends only on its block's footprint
+//     (blocks sit at pairwise distance >= 2, so no derivation crosses
+//     between them). Removing faults therefore only requires resetting
+//     the affected blocks' footprints to their initial labels and
+//     re-iterating inside them.
+//
+// The resulting label fields, faulty blocks and disabled regions are
+// bit-for-bit identical to a from-scratch formation on the current fault
+// set (TestChurnMatchesFromScratch), at a cost proportional to the
+// perturbation instead of the mesh (BenchmarkChurn).
+package incremental
+
+import (
+	"fmt"
+
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/obs"
+	"ocpmesh/internal/region"
+	"ocpmesh/internal/simnet"
+	"ocpmesh/internal/status"
+)
+
+// Config parameterizes a Field. The zero value matches core.Config
+// defaults: Definition 2b, 8-connected region grouping.
+type Config struct {
+	// Safety selects the phase-1 definition.
+	Safety status.SafetyDef
+	// Connectivity selects the disabled-region grouping.
+	Connectivity region.Connectivity
+	// MaxRounds bounds each fixpoint (0 = automatic safe bound).
+	MaxRounds int
+	// Recorder, when non-nil, traces the field: per-round events during
+	// (re)computation and one obs.EDelta event per applied delta, plus
+	// incremental_* metrics. Nil disables observability at no cost.
+	Recorder *obs.Recorder
+}
+
+// Delta summarizes one applied fault delta.
+type Delta struct {
+	// Op is "add" or "remove".
+	Op string
+	// Points is the number of faults actually added or removed (inputs
+	// already in / absent from the fault set are skipped).
+	Points int
+	// Frontier is the size of the dirty frontier the delta seeded: the
+	// nodes whose inputs changed and had to be recomputed first.
+	Frontier int
+	// ChangedPhase1 and ChangedPhase2 count the nodes whose unsafe and
+	// enabled labels settled differently than before the delta.
+	ChangedPhase1, ChangedPhase2 int
+	// RoundsPhase1 and RoundsPhase2 count the frontier rounds each phase
+	// needed to restabilize — the incremental analogue of the paper's
+	// Figure 5(a)/(b) cost metric.
+	RoundsPhase1, RoundsPhase2 int
+}
+
+// Rounds returns the total rounds across both phases.
+func (d Delta) Rounds() int { return d.RoundsPhase1 + d.RoundsPhase2 }
+
+// Field holds a formation result kept current under fault churn.
+type Field struct {
+	cfg    Config
+	topo   *mesh.Topology
+	faults *grid.PointSet
+
+	unsafe  []bool
+	enabled []bool
+	blocks  []*region.Region
+	regions []*region.Region
+
+	// rounds of the initial full formation (reported by Session.Result
+	// until the first delta).
+	rounds1, rounds2 int
+}
+
+// New computes a full formation on topo for the given fault set and
+// returns the field tracking it. faults is cloned, not retained.
+func New(topo *mesh.Topology, faults *grid.PointSet, cfg Config) (*Field, error) {
+	if faults == nil {
+		faults = grid.NewPointSet()
+	}
+	env, err := simnet.NewEnv(topo, faults.Clone(), nil)
+	if err != nil {
+		return nil, err
+	}
+	f := &Field{cfg: cfg, topo: topo, faults: env.Faulty}
+	p1, err := simnet.RunSequentialGeneric[bool](env, status.UnsafeRule(cfg.Safety), f.genericOpts("phase1"))
+	if err != nil {
+		return nil, fmt.Errorf("incremental: phase 1: %w", err)
+	}
+	env2, err := simnet.NewEnv(topo, f.faults, p1.Labels)
+	if err != nil {
+		return nil, err
+	}
+	p2, err := simnet.RunSequentialGeneric[bool](env2, status.EnabledRule(), f.genericOpts("phase2"))
+	if err != nil {
+		return nil, fmt.Errorf("incremental: phase 2: %w", err)
+	}
+	f.unsafe, f.enabled = p1.Labels, p2.Labels
+	f.rounds1, f.rounds2 = p1.Rounds, p2.Rounds
+	f.blocks = region.FaultyBlocks(topo, f.faults, f.unsafe)
+	f.regions = region.DisabledRegions(topo, f.faults, f.enabled, cfg.Connectivity)
+	return f, nil
+}
+
+func (f *Field) genericOpts(phase string) simnet.GenericOptions[bool] {
+	return simnet.GenericOptions[bool]{MaxRounds: f.cfg.MaxRounds, Recorder: f.cfg.Recorder, Phase: phase}
+}
+
+// Topo returns the machine.
+func (f *Field) Topo() *mesh.Topology { return f.topo }
+
+// Config returns the field's configuration.
+func (f *Field) Config() Config { return f.cfg }
+
+// Faults returns the current fault set. The caller must not mutate it.
+func (f *Field) Faults() *grid.PointSet { return f.faults }
+
+// Unsafe returns the current phase-1 label field. Read-only.
+func (f *Field) Unsafe() []bool { return f.unsafe }
+
+// Enabled returns the current phase-2 label field. Read-only.
+func (f *Field) Enabled() []bool { return f.enabled }
+
+// Blocks returns the current faulty blocks in canonical order. Read-only.
+func (f *Field) Blocks() []*region.Region { return f.blocks }
+
+// Regions returns the current disabled regions in canonical order.
+// Read-only.
+func (f *Field) Regions() []*region.Region { return f.regions }
+
+// InitialRounds returns the round counts of the initial full formation.
+func (f *Field) InitialRounds() (phase1, phase2 int) { return f.rounds1, f.rounds2 }
+
+// Add marks the given nodes faulty and restabilizes both label fields by
+// frontier propagation: new faults become unsafe immediately and the
+// unsafe closure grows monotonically outward from their neighborhoods,
+// after which the affected blocks' enabled labels are recomputed
+// locally. Points already faulty are skipped; points outside the machine
+// are an error, reported before anything is mutated.
+func (f *Field) Add(ps ...grid.Point) (Delta, error) {
+	var added []grid.Point
+	for _, p := range ps {
+		if !f.topo.Contains(p) {
+			return Delta{}, fmt.Errorf("incremental: fault %v outside %v", p, f.topo)
+		}
+		if !f.faults.Has(p) {
+			added = append(added, p)
+		}
+	}
+	d := Delta{Op: "add", Points: len(added)}
+	if len(added) == 0 {
+		return d, nil
+	}
+	start := f.startDelta()
+
+	for _, p := range added {
+		f.faults.Add(p)
+	}
+	env := &simnet.Env{Topo: f.topo, Faulty: f.faults}
+
+	// Phase 1: pin the new faults unsafe and propagate from their
+	// neighborhoods. Existing labels are the old fixpoint, which sits at
+	// or below the new one (the rule is monotone in the fault set).
+	touched1 := grid.NewPointSet()
+	var seed []int
+	for _, p := range added {
+		touched1.Add(p)
+		i := f.topo.Index(p)
+		if !f.unsafe[i] {
+			f.unsafe[i] = true
+			d.ChangedPhase1++
+		}
+		for _, q := range f.topo.Neighbors(p) {
+			if !f.faults.Has(q) {
+				seed = append(seed, f.topo.Index(q))
+			}
+		}
+	}
+	d.Frontier = len(seed)
+	fr1, err := simnet.RunFrontierGeneric[bool](env, status.UnsafeRule(f.cfg.Safety), f.unsafe, seed, f.genericOpts("phase1"))
+	if err != nil {
+		return Delta{}, fmt.Errorf("incremental: phase 1: %w", err)
+	}
+	d.RoundsPhase1 = fr1.Rounds
+	d.ChangedPhase1 += len(fr1.Changed)
+	for _, i := range fr1.Changed {
+		touched1.Add(f.topo.PointAt(i))
+	}
+
+	// Phase 2: every enabled label the delta can affect lies in the
+	// footprints of the blocks the touched nodes now belong to. Reset
+	// those footprints to their initial labels (all footprint nodes are
+	// unsafe, hence initially disabled) and re-derive locally; the
+	// surrounding safe nodes are enabled and never change.
+	area := f.unsafeArea(touched1)
+	d.ChangedPhase2, d.RoundsPhase2, err = f.recomputeEnabled(area)
+	if err != nil {
+		return Delta{}, err
+	}
+
+	f.blocks = region.UpdateRegions(f.topo, f.faults, f.unsafe, true, region.Conn4, f.blocks, touched1)
+	f.regions = region.UpdateRegions(f.topo, f.faults, f.enabled, false, f.cfg.Connectivity, f.regions, area)
+	f.observe(d, start)
+	return d, nil
+}
+
+// Remove clears the given faults and restabilizes both label fields by
+// resetting the affected blocks' footprints to their initial labels and
+// re-iterating inside them (the closure of the remaining faults can
+// never escape the old footprint, and unaffected blocks depend only on
+// their own faults). Points not currently faulty are skipped; points
+// outside the machine are an error, reported before anything is mutated.
+func (f *Field) Remove(ps ...grid.Point) (Delta, error) {
+	var removed []grid.Point
+	for _, p := range ps {
+		if !f.topo.Contains(p) {
+			return Delta{}, fmt.Errorf("incremental: fault %v outside %v", p, f.topo)
+		}
+		if f.faults.Has(p) {
+			removed = append(removed, p)
+		}
+	}
+	d := Delta{Op: "remove", Points: len(removed)}
+	if len(removed) == 0 {
+		return d, nil
+	}
+	start := f.startDelta()
+
+	// The affected area: the full footprints of the blocks the removed
+	// faults belong to, computed on the labels before the removal.
+	area := f.unsafeArea(grid.PointSetOf(removed...))
+	for _, p := range removed {
+		f.faults.Remove(p)
+	}
+	env := &simnet.Env{Topo: f.topo, Faulty: f.faults}
+
+	// Phase 1: reset the footprints to their initial labels (remaining
+	// faults unsafe, everything else safe) and recompute the closure of
+	// the remaining faults inside.
+	var seed []int
+	for _, p := range area.Points() {
+		i := f.topo.Index(p)
+		now := f.faults.Has(p)
+		if f.unsafe[i] != now {
+			f.unsafe[i] = now
+			d.ChangedPhase1++ // provisional; corrected after the fixpoint below
+		}
+		if !now {
+			seed = append(seed, i)
+		}
+	}
+	d.Frontier = len(seed)
+	fr1, err := simnet.RunFrontierGeneric[bool](env, status.UnsafeRule(f.cfg.Safety), f.unsafe, seed, f.genericOpts("phase1"))
+	if err != nil {
+		return Delta{}, fmt.Errorf("incremental: phase 1: %w", err)
+	}
+	d.RoundsPhase1 = fr1.Rounds
+	// Nodes re-derived unsafe by the fixpoint were reset for nothing:
+	// they end where they started, so they are not net changes.
+	d.ChangedPhase1 -= len(fr1.Changed)
+
+	d.ChangedPhase2, d.RoundsPhase2, err = f.recomputeEnabled(area)
+	if err != nil {
+		return Delta{}, err
+	}
+
+	f.blocks = region.UpdateRegions(f.topo, f.faults, f.unsafe, true, region.Conn4, f.blocks, area)
+	f.regions = region.UpdateRegions(f.topo, f.faults, f.enabled, false, f.cfg.Connectivity, f.regions, area)
+	f.observe(d, start)
+	return d, nil
+}
+
+// unsafeArea returns the union of the footprints of the unsafe
+// components (faulty blocks) the touched nodes belong to — every node
+// whose phase-2 label the delta could possibly affect, plus the touched
+// nodes themselves (some of which may have just turned safe).
+func (f *Field) unsafeArea(touched *grid.PointSet) *grid.PointSet {
+	area := grid.NewPointSet()
+	var queue []grid.Point
+	for _, p := range touched.Points() {
+		if area.Add(p) && f.unsafe[f.topo.Index(p)] {
+			queue = append(queue, p)
+		}
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, q := range f.topo.Neighbors(p) {
+			if f.unsafe[f.topo.Index(q)] && area.Add(q) {
+				queue = append(queue, q)
+			}
+		}
+	}
+	return area
+}
+
+// recomputeEnabled resets the enabled labels of the given area to their
+// initial values (enabled iff safe) and re-derives the phase-2 fixpoint
+// inside it. It returns the number of labels that settled differently
+// than before the reset and the frontier rounds used.
+func (f *Field) recomputeEnabled(area *grid.PointSet) (changed, rounds int, err error) {
+	pts := area.Points()
+	before := make([]bool, len(pts))
+	var seed []int
+	for k, p := range pts {
+		i := f.topo.Index(p)
+		before[k] = f.enabled[i]
+		f.enabled[i] = !f.unsafe[i] // init: safe => enabled (faulty nodes are unsafe)
+		if !f.faults.Has(p) {
+			seed = append(seed, i)
+		}
+	}
+	env := &simnet.Env{Topo: f.topo, Faulty: f.faults, Aux: f.unsafe}
+	fr, err := simnet.RunFrontierGeneric[bool](env, status.EnabledRule(), f.enabled, seed, f.genericOpts("phase2"))
+	if err != nil {
+		return 0, 0, fmt.Errorf("incremental: phase 2: %w", err)
+	}
+	for k, p := range pts {
+		if f.enabled[f.topo.Index(p)] != before[k] {
+			changed++
+		}
+	}
+	return changed, fr.Rounds, nil
+}
+
+func (f *Field) startDelta() obs.Span {
+	return f.cfg.Recorder.StartSpan("incremental_delta")
+}
+
+// observe emits the per-delta trace event and metrics. Nil-safe.
+func (f *Field) observe(d Delta, span obs.Span) {
+	rec := f.cfg.Recorder
+	if rec == nil {
+		return
+	}
+	dur := span.End()
+	rec.Emit(obs.Event{
+		Type: obs.EDelta, Name: d.Op, N: d.Points, Frontier: d.Frontier,
+		Rounds: d.Rounds(), Changed: d.ChangedPhase1 + d.ChangedPhase2,
+		DurNS: dur.Nanoseconds(),
+	})
+	rec.Counter("incremental_deltas").Inc()
+	rec.Histogram("incremental_frontier", nil).Observe(float64(d.Frontier))
+	rec.Histogram("incremental_delta_rounds", nil).Observe(float64(d.Rounds()))
+}

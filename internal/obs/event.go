@@ -65,6 +65,13 @@ const (
 	// level ("worm" or "flit"), N the delivered packets, Cycles the
 	// simulated cycles, Value the mean packet latency.
 	EWormhole = "wormhole"
+	// EDelta summarizes one incremental formation delta
+	// (incremental.Field): Name is the operation ("add" or "remove"),
+	// N the number of faults in the delta, Frontier the dirty-frontier
+	// seed size, Rounds the total frontier rounds across both phases,
+	// Changed the number of labels that settled differently, DurNS the
+	// delta wall-clock time.
+	EDelta = "delta"
 )
 
 // Event is one flat trace record. Only the fields relevant to the event
@@ -89,10 +96,11 @@ type Event struct {
 	// Rule is the status rule name on phase_start events.
 	Rule string `json:"rule,omitempty"`
 
-	Round   int `json:"round,omitempty"`
-	Rounds  int `json:"rounds,omitempty"`
-	Changed int `json:"changed,omitempty"`
-	Msgs    int `json:"msgs,omitempty"`
+	Round    int `json:"round,omitempty"`
+	Rounds   int `json:"rounds,omitempty"`
+	Changed  int `json:"changed,omitempty"`
+	Msgs     int `json:"msgs,omitempty"`
+	Frontier int `json:"frontier,omitempty"`
 
 	X      float64 `json:"x,omitempty"`
 	Rep    int     `json:"rep,omitempty"`

@@ -13,6 +13,7 @@ package region
 
 import (
 	"fmt"
+	"sort"
 
 	"ocpmesh/internal/geometry"
 	"ocpmesh/internal/grid"
@@ -72,17 +73,11 @@ func (r *Region) String() string {
 	return fmt.Sprintf("region{%v, %d nodes, %d faulty}", r.Bounds(), r.Size(), r.Faults.Len())
 }
 
-// extract groups the true-labeled cells of want into regions, using the
-// topology's own adjacency so that torus regions merge across the
-// wraparound seam.
-func extract(topo *mesh.Topology, faults *grid.PointSet, labels []bool, want bool, conn Connectivity) []*Region {
-	cells := grid.NewPointSet()
-	for i, l := range labels {
-		if l == want {
-			cells.Add(topo.PointAt(i))
-		}
-	}
-	neighbors := func(p grid.Point) []grid.Point {
+// neighborsFunc returns the adjacency used to group cells: the
+// topology's own (so torus regions merge across the wraparound seam),
+// plus the diagonals for Conn8.
+func neighborsFunc(topo *mesh.Topology, conn Connectivity) func(grid.Point) []grid.Point {
+	return func(p grid.Point) []grid.Point {
 		out := topo.Neighbors(p)
 		if conn == Conn8 {
 			for _, d := range [4]grid.Point{{X: -1, Y: -1}, {X: 1, Y: -1}, {X: -1, Y: 1}, {X: 1, Y: 1}} {
@@ -94,30 +89,118 @@ func extract(topo *mesh.Topology, faults *grid.PointSet, labels []bool, want boo
 		}
 		return out
 	}
+}
+
+// component floods the connected component of start among the cells with
+// label want, marking every visited cell in seen.
+func component(topo *mesh.Topology, labels []bool, want bool, neighbors func(grid.Point) []grid.Point, start grid.Point, seen *grid.PointSet) *grid.PointSet {
+	comp := grid.NewPointSet()
+	queue := []grid.Point{start}
+	seen.Add(start)
+	comp.Add(start)
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, q := range neighbors(p) {
+			if labels[topo.Index(q)] == want && !seen.Has(q) {
+				seen.Add(q)
+				comp.Add(q)
+				queue = append(queue, q)
+			}
+		}
+	}
+	return comp
+}
+
+// extract groups the true-labeled cells of want into regions.
+func extract(topo *mesh.Topology, faults *grid.PointSet, labels []bool, want bool, conn Connectivity) []*Region {
+	cells := grid.NewPointSet()
+	for i, l := range labels {
+		if l == want {
+			cells.Add(topo.PointAt(i))
+		}
+	}
+	neighbors := neighborsFunc(topo, conn)
 	seen := grid.NewPointSet()
 	var out []*Region
 	for _, start := range cells.Points() { // canonical order => deterministic output
 		if seen.Has(start) {
 			continue
 		}
-		comp := grid.NewPointSet()
-		queue := []grid.Point{start}
-		seen.Add(start)
-		comp.Add(start)
-		for len(queue) > 0 {
-			p := queue[0]
-			queue = queue[1:]
-			for _, q := range neighbors(p) {
-				if cells.Has(q) && !seen.Has(q) {
-					seen.Add(q)
-					comp.Add(q)
-					queue = append(queue, q)
-				}
-			}
-		}
+		comp := component(topo, labels, want, neighbors, start, seen)
 		out = append(out, &Region{Nodes: comp, Faults: comp.Clone().Intersect(faults)})
 	}
 	return out
+}
+
+// minNode returns the canonical (row-major minimal) node of the region,
+// the key extract orders its output by.
+func minNode(r *Region) grid.Point {
+	first := true
+	var best grid.Point
+	r.Nodes.Each(func(p grid.Point) {
+		if first || p.Less(best) {
+			best = p
+			first = false
+		}
+	})
+	return best
+}
+
+// UpdateRegions incrementally updates a region list after a label delta.
+// touched must cover every cell whose label changed AND, for every
+// region affected by the delta, that region's full former footprint
+// (incremental formation guarantees this by resetting whole block
+// footprints). The function re-extracts only the components reachable
+// from touched cells, keeps every old region the delta could not have
+// reached, and returns the combined list in the same canonical order as
+// a from-scratch extraction — bit for bit.
+func UpdateRegions(topo *mesh.Topology, faults *grid.PointSet, labels []bool, want bool, conn Connectivity, old []*Region, touched *grid.PointSet) []*Region {
+	neighbors := neighborsFunc(topo, conn)
+	seen := grid.NewPointSet()
+	var out []*Region
+	for _, start := range touched.Points() {
+		if seen.Has(start) || labels[topo.Index(start)] != want {
+			continue
+		}
+		comp := component(topo, labels, want, neighbors, start, seen)
+		out = append(out, &Region{Nodes: comp, Faults: comp.Clone().Intersect(faults)})
+	}
+	for _, r := range old {
+		// A surviving region is untouched and disjoint from every fresh
+		// component (a fresh component overlapping any of its cells has
+		// necessarily swallowed all of them, so one membership test per
+		// cell against the accumulated seen set suffices).
+		keep := true
+		r.Nodes.Each(func(p grid.Point) {
+			if keep && (touched.Has(p) || seen.Has(p)) {
+				keep = false
+			}
+		})
+		if keep {
+			out = append(out, r)
+		}
+	}
+	keys := make([]grid.Point, len(out))
+	for i, r := range out {
+		keys[i] = minNode(r)
+	}
+	sort.Sort(&regionsByMin{regions: out, keys: keys})
+	return out
+}
+
+// regionsByMin sorts regions by their canonical node, keeping the
+// precomputed keys aligned with the regions.
+type regionsByMin struct {
+	regions []*Region
+	keys    []grid.Point
+}
+
+func (s *regionsByMin) Len() int           { return len(s.regions) }
+func (s *regionsByMin) Less(i, j int) bool { return s.keys[i].Less(s.keys[j]) }
+func (s *regionsByMin) Swap(i, j int) {
+	s.regions[i], s.regions[j] = s.regions[j], s.regions[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // FaultyBlocks groups the unsafe nodes (phase-1 labels, true = unsafe)

@@ -346,3 +346,70 @@ func TestDisabledRegionPerimeterLaw(t *testing.T) {
 		}
 	}
 }
+
+// TestUpdateRegionsMatchesExtract perturbs random label fields and
+// checks that UpdateRegions, given a touched set covering the changed
+// cells and the full former footprint of every affected region, returns
+// exactly what a from-scratch extraction returns — same components,
+// same canonical order.
+func TestUpdateRegionsMatchesExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 40; trial++ {
+		kind := mesh.Mesh2D
+		if trial%2 == 1 {
+			kind = mesh.Torus2D
+		}
+		topo := mesh.MustNew(7+rng.Intn(8), 7+rng.Intn(8), kind)
+		conn := Conn8
+		if trial%4 >= 2 {
+			conn = Conn4
+		}
+		labels := make([]bool, topo.Size())
+		faults := grid.NewPointSet()
+		for i := range labels {
+			labels[i] = rng.Intn(3) == 0
+			if labels[i] && rng.Intn(2) == 0 {
+				faults.Add(topo.PointAt(i))
+			}
+		}
+		old := extract(topo, faults, labels, true, conn)
+
+		// Perturb: flip the labels of a random rectangle, and build the
+		// touched set as the rectangle plus the full footprint of every
+		// old region it intersects (the contract UpdateRegions documents).
+		x0, y0 := rng.Intn(topo.Width()), rng.Intn(topo.Height())
+		touched := grid.NewPointSet()
+		for dx := 0; dx < 1+rng.Intn(4); dx++ {
+			for dy := 0; dy < 1+rng.Intn(4); dy++ {
+				p := grid.Pt(x0+dx, y0+dy)
+				if !topo.Contains(p) {
+					continue
+				}
+				labels[topo.Index(p)] = rng.Intn(2) == 0
+				touched.Add(p)
+			}
+		}
+		for _, r := range old {
+			hit := false
+			r.Nodes.Each(func(p grid.Point) {
+				if touched.Has(p) {
+					hit = true
+				}
+			})
+			if hit {
+				r.Nodes.Each(func(p grid.Point) { touched.Add(p) })
+			}
+		}
+
+		got := UpdateRegions(topo, faults, labels, true, conn, old, touched)
+		want := extract(topo, faults, labels, true, conn)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d regions, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Nodes.Equal(want[i].Nodes) || !got[i].Faults.Equal(want[i].Faults) {
+				t.Fatalf("trial %d: region %d = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/obs"
+)
+
+// frontierFullSeed returns every nonfaulty node index, i.e. a frontier
+// covering the whole machine.
+func frontierFullSeed(env *Env) []int {
+	var seed []int
+	for _, p := range env.Topo.Points() {
+		if !env.Faulty.Has(p) {
+			seed = append(seed, env.Topo.Index(p))
+		}
+	}
+	return seed
+}
+
+// TestFrontierAgreesWithSequential pins the frontier engine to the
+// sequential engine: seeded with the full machine from initial labels it
+// must reach the same fixpoint, and seeded with just a perturbation it
+// must update an existing fixpoint to the perturbed one bit for bit.
+func TestFrontierAgreesWithSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		topo := mesh.MustNew(8+rng.Intn(10), 8+rng.Intn(10), mesh.Mesh2D)
+		faults := grid.NewPointSet()
+		for i := 0; i < 5+rng.Intn(10); i++ {
+			faults.Add(grid.Pt(rng.Intn(topo.Width()), rng.Intn(topo.Height())))
+		}
+		env, err := NewEnv(topo, faults, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rule := testMajorityRule{}
+
+		want, err := Sequential().Run(env, rule, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Full-seed frontier run from initial labels.
+		labels := initGenericLabels[bool](env, rule)
+		fr, err := RunFrontierGeneric[bool](env, rule, labels, frontierFullSeed(env), GenericOptions[bool]{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range labels {
+			if labels[i] != want.Labels[i] {
+				t.Fatalf("trial %d: full-seed frontier label %d = %t, want %t", trial, i, labels[i], want.Labels[i])
+			}
+		}
+		if len(fr.Changed) == 0 && faults.Len() > 0 && countTrue(want.Labels) > faults.Len() {
+			t.Fatalf("trial %d: frontier reported no changes", trial)
+		}
+
+		// Perturbation: add one more fault, seed only its neighborhood.
+		p := grid.Pt(rng.Intn(topo.Width()), rng.Intn(topo.Height()))
+		if faults.Has(p) {
+			continue
+		}
+		faults2 := faults.Clone()
+		faults2.Add(p)
+		env2, err := NewEnv(topo, faults2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want2, err := Sequential().Run(env2, rule, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels[topo.Index(p)] = rule.FaultyLabel()
+		var seed []int
+		for _, q := range topo.Neighbors(p) {
+			if !faults2.Has(q) {
+				seed = append(seed, topo.Index(q))
+			}
+		}
+		if _, err := RunFrontierGeneric[bool](env2, rule, labels, seed, GenericOptions[bool]{}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range labels {
+			if labels[i] != want2.Labels[i] {
+				t.Fatalf("trial %d: perturbed frontier label %d = %t, want %t", trial, i, labels[i], want2.Labels[i])
+			}
+		}
+	}
+}
+
+func countTrue(labels []bool) int {
+	n := 0
+	for _, l := range labels {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
+// testMajorityRule is a simple monotone rule (true once two neighbors are
+// true) exercising the frontier machinery without depending on package
+// status.
+type testMajorityRule struct{}
+
+func (testMajorityRule) Name() string               { return "test/majority" }
+func (testMajorityRule) Init(*Env, grid.Point) bool { return false }
+func (testMajorityRule) GhostLabel() bool           { return false }
+func (testMajorityRule) FaultyLabel() bool          { return true }
+func (testMajorityRule) Step(_ *Env, _ grid.Point, cur bool, nbr [4]bool) bool {
+	if cur {
+		return true
+	}
+	n := 0
+	for _, v := range nbr {
+		if v {
+			n++
+		}
+	}
+	return n >= 2
+}
+
+// TestFrontierValidation covers the error paths and the obs stream.
+func TestFrontierValidation(t *testing.T) {
+	topo := mesh.MustNew(5, 5, mesh.Mesh2D)
+	env, err := NewEnv(topo, grid.PointSetOf(grid.Pt(2, 2)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := testMajorityRule{}
+	if _, err := RunFrontierGeneric[bool](env, rule, make([]bool, 3), nil, GenericOptions[bool]{}); err == nil {
+		t.Fatal("short label vector must fail")
+	}
+	labels := initGenericLabels[bool](env, rule)
+	if _, err := RunFrontierGeneric[bool](env, rule, labels, []int{-1}, GenericOptions[bool]{}); err == nil {
+		t.Fatal("out-of-range seed must fail")
+	}
+
+	sink := &obs.CollectSink{}
+	rec := obs.NewRecorder(obs.NewTracer(sink), obs.NewRegistry())
+	faults := grid.PointSetOf(grid.Pt(1, 2), grid.Pt(3, 2), grid.Pt(2, 1), grid.Pt(2, 3))
+	env2, err := NewEnv(topo, faults, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels2 := initGenericLabels[bool](env2, rule)
+	fr, err := RunFrontierGeneric[bool](env2, rule, labels2, frontierFullSeed(env2), GenericOptions[bool]{
+		Recorder: rec, Phase: "frontier-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := sink.Filter(obs.ERound)
+	if len(rounds) != fr.Rounds || fr.Rounds == 0 {
+		t.Fatalf("got %d round events, want %d > 0", len(rounds), fr.Rounds)
+	}
+	for _, e := range rounds {
+		if e.Phase != "frontier-test" || e.Changed == 0 || e.Msgs == 0 {
+			t.Fatalf("bad round event: %+v", e)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 //	x5   uniform vs clustered faults: enabled ratio (Def 2b)
 //	x6   wormhole latency and delivery per fault model vs f
 //	x7   open problem: disabled nonfaulty nodes before/after partitioning
+//	x8   incremental churn: steady-state cost per fault arrival vs f
 //
 // (x3, the engine cost comparison, lives in the benchmark harness; see
 // bench_test.go.)
@@ -79,6 +80,8 @@ func (r *Runner) figure(id string) ([]*stats.Series, error) {
 		return r.WormholeComparison(0, 0)
 	case "x7":
 		return r.PartitionRecovery()
+	case "x8":
+		return r.ChurnCost(0)
 	case "x4":
 		return r.meshVsTorus()
 	case "x5":
@@ -90,7 +93,7 @@ func (r *Runner) figure(id string) ([]*stats.Series, error) {
 
 // FigureIDs lists the experiments Figure accepts, in display order.
 func FigureIDs() []string {
-	ids := []string{"5a", "5b", "5c", "5d", "x1", "x2", "x4", "x5", "x6", "x7"}
+	ids := []string{"5a", "5b", "5c", "5d", "x1", "x2", "x4", "x5", "x6", "x7", "x8"}
 	sort.Strings(ids)
 	return ids
 }

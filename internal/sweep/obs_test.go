@@ -122,3 +122,30 @@ func TestFigureEventsBracketExperiment(t *testing.T) {
 		t.Fatalf("last event = %+v, want clean figure_end 5c", last)
 	}
 }
+
+// TestSweepEmitsSkippedPointEvent checks that an f whose every
+// replication returned ok=false stays out of the series but leaves an
+// explicit N=0 sweep_point in the trace instead of vanishing silently.
+func TestSweepEmitsSkippedPointEvent(t *testing.T) {
+	r, sink, _ := tracedRunner(t, Config{
+		Width: 10, Height: 10, MaxFaults: 5, Step: 10, Replications: 2, Seed: 3,
+	})
+	s, err := r.Sweep(status.Def2b, Uniform, EnabledRatio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Points {
+		if p.X == 0 {
+			t.Fatal("f=0 has no unsafe nonfaulty nodes; the point must be dropped")
+		}
+	}
+	skipped := false
+	for _, e := range sink.Filter(obs.ESweepPoint) {
+		if e.X == 0 && e.N == 0 {
+			skipped = true
+		}
+	}
+	if !skipped {
+		t.Fatal("all-undefined sweep point left no n=0 sweep_point event in the trace")
+	}
+}

@@ -142,9 +142,10 @@ func (r *Runner) Sweep(def status.SafetyDef, gen func(f int) fault.Generator, me
 
 	type cell struct{ f, rep int }
 	type outcome struct {
-		f  int
-		v  float64
-		ok bool
+		f      int
+		v      float64
+		ok     bool
+		failed bool
 	}
 	counts := r.faultCounts()
 	span := rec.StartSpan("sweep")
@@ -181,9 +182,10 @@ func (r *Runner) Sweep(def status.SafetyDef, gen func(f int) fault.Generator, me
 						})
 					}
 					select {
-					case errs <- fmt.Errorf("sweep: f=%d rep=%d: %w", c.f, c.rep, err):
+					case errs <- fmt.Errorf("f=%d rep=%d: %w", c.f, c.rep, err):
 					default:
 					}
+					outcomes <- outcome{f: c.f, failed: true}
 					continue
 				}
 				v, ok := metric(res)
@@ -210,24 +212,33 @@ func (r *Runner) Sweep(def status.SafetyDef, gen func(f int) fault.Generator, me
 	}()
 
 	values := make(map[int][]float64, len(counts))
-	received := 0
+	received, failed := 0, 0
 	for o := range outcomes {
 		received++
+		if o.failed {
+			failed++
+			continue
+		}
 		if o.ok {
 			values[o.f] = append(values[o.f], o.v)
 		}
 	}
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
+	if failed > 0 {
+		err := <-errs // at least one worker reported before sending its failed outcome
+		return nil, fmt.Errorf("sweep: %d of %d cells failed: first error: %w",
+			failed, len(counts)*r.cfg.Replications, err)
 	}
 	if want := len(counts) * r.cfg.Replications; received != want {
-		return nil, fmt.Errorf("sweep: %d of %d cells failed", want-received, want)
+		return nil, fmt.Errorf("sweep: internal error: %d of %d cell outcomes received", received, want)
 	}
 	for _, f := range counts {
 		vs := values[f]
 		if len(vs) == 0 {
+			// Every replication returned ok=false: the metric is undefined
+			// at this f. The point is deliberately absent from the series,
+			// but the skip is recorded in the trace rather than dropped
+			// silently.
+			rec.Emit(obs.Event{Type: obs.ESweepPoint, X: float64(f), N: 0})
 			continue
 		}
 		// Accumulate in sorted order so floating-point sums (hence means

@@ -1,10 +1,13 @@
 package sweep
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
 	"ocpmesh/internal/core"
+	"ocpmesh/internal/fault"
+	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
 	"ocpmesh/internal/stats"
 	"ocpmesh/internal/status"
@@ -225,5 +228,40 @@ func TestSweepWorkerCountInvariant(t *testing.T) {
 			}
 		}
 		prev = s
+	}
+}
+
+// failingGen generates an out-of-machine fault whenever f > 0, making
+// every such formation cell fail inside core.FormOn.
+type failingGen struct{ f int }
+
+func (g failingGen) Name() string { return "failing" }
+func (g failingGen) Generate(t *mesh.Topology, rng *rand.Rand) *grid.PointSet {
+	if g.f == 0 {
+		return grid.NewPointSet()
+	}
+	return grid.PointSetOf(grid.Pt(-1, -1))
+}
+
+// TestSweepReportsFailedCells injects a generator whose cells fail for
+// every f > 0 and checks the error reports the exact failed-cell count
+// (previously, failed cells were silently dropped from the tally and
+// the count message was unreachable).
+func TestSweepReportsFailedCells(t *testing.T) {
+	r, err := NewRunner(Config{Width: 10, Height: 10, MaxFaults: 4, Step: 2, Replications: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Sweep(status.Def2b, func(f int) fault.Generator { return failingGen{f: f} }, RoundsPhase1)
+	if err == nil {
+		t.Fatal("sweep with failing cells must fail")
+	}
+	// Three sweep points (f=0,2,4), three replications: the six f>0 cells
+	// fail, the three f=0 cells succeed.
+	if !strings.Contains(err.Error(), "6 of 9 cells failed") {
+		t.Fatalf("error does not carry the failed-cell count: %v", err)
+	}
+	if !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("error does not carry the first cell error: %v", err)
 	}
 }
