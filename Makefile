@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 20s
 
-.PHONY: build vet test race bench churn-bench check
+.PHONY: build vet test race bench churn-bench parallel-bench fuzz check
 
 build:
 	$(GO) build ./...
@@ -27,5 +28,20 @@ bench:
 churn-bench:
 	$(GO) test -run '^$$' -bench BenchmarkChurn -benchmem . | $(GO) run ./scripts/benchjson > BENCH_churn.json
 	@cat BENCH_churn.json
+
+# parallel-bench compares the sequential and tiled parallel engines on
+# large meshes across worker counts and records the result in
+# BENCH_parallel.json. Speedups need real cores: run it on a
+# multi-core machine (CI uses ubuntu-latest).
+parallel-bench:
+	$(GO) test -run '^$$' -bench BenchmarkParallel -benchmem -timeout 30m . | $(GO) run ./scripts/benchjson > BENCH_parallel.json
+	@cat BENCH_parallel.json
+
+# fuzz runs each native fuzz target for FUZZTIME (default 20s). The
+# targets check the paper's theorems plus sequential/parallel engine
+# agreement, so any reported input is a real counterexample.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzFormation$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzRegionOCP$$' -fuzztime $(FUZZTIME) ./internal/core
 
 check: build vet test race

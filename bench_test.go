@@ -375,6 +375,38 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkParallel is the tiled-parallel-engine scaling benchmark: the
+// full two-phase formation on large meshes with clustered faults (the
+// workload with the deepest fixpoints, hence the most rounds to
+// amortize tile spawning over), sequential baseline vs EngineParallel
+// at 1, 2, 4 and 8 workers. `make parallel-bench` converts the output
+// to BENCH_parallel.json; speedups require real cores, so the recorded
+// numbers come from multi-core CI, not a 1-CPU container.
+func BenchmarkParallel(b *testing.B) {
+	for _, n := range []int{512, 2048} {
+		topo := mesh.MustNew(n, n, mesh.Mesh2D)
+		rng := rand.New(rand.NewSource(42))
+		faults := fault.Clustered{Count: n / 2, Clusters: 4, Spread: n / 32}.Generate(topo, rng)
+
+		b.Run(fmt.Sprintf("sequential/n=%d", n), func(b *testing.B) {
+			cfg := core.Config{Width: n, Height: n}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				form(b, cfg, topo, faults)
+			}
+		})
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("parallel/n=%d/w=%d", n, w), func(b *testing.B) {
+				cfg := core.Config{Width: n, Height: n, Engine: core.EngineParallel, Workers: w}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					form(b, cfg, topo, faults)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkChurn compares the cost of absorbing a single-fault delta on
 // the paper's 100x100 mesh: incremental (core.Session frontier
 // restabilization, one add + one remove per iteration to stay in steady

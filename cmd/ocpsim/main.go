@@ -59,8 +59,9 @@ func run(args []string, out io.Writer) (retErr error) {
 		reps    = fs.Int("reps", 20, "replications per sweep point")
 		seed    = fs.Int64("seed", 1, "base random seed")
 		torus   = fs.Bool("torus", false, "use a 2-D torus instead of a mesh")
-		chans   = fs.Bool("channels", false, "use the goroutine-per-node engine (slower, same results)")
-		workers = fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+		engine  = fs.String("engine", "sequential", "fixpoint engine: sequential, channels, or parallel (all result-identical)")
+		chans   = fs.Bool("channels", false, "deprecated alias for -engine channels")
+		workers = fs.Int("workers", 0, "parallel sweep workers, and the tile count of -engine parallel (0 = GOMAXPROCS)")
 		format  = fs.String("format", "ascii", "output format: ascii or csv")
 		width   = fs.Int("width", 60, "ascii plot width")
 
@@ -75,6 +76,10 @@ func run(args []string, out io.Writer) (retErr error) {
 	if *n < 1 {
 		return fmt.Errorf("mesh side must be >= 1, got %d", *n)
 	}
+	eng, err := parseEngine(*engine, *chans)
+	if err != nil {
+		return err
+	}
 
 	var extra []obs.Sink
 	if *progress {
@@ -82,7 +87,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	runCfg := map[string]any{
 		"figure": *figure, "n": *n, "maxf": *maxf, "step": *step, "reps": *reps,
-		"torus": *torus, "channels": *chans, "workers": *workers, "format": *format,
+		"torus": *torus, "engine": eng.String(), "workers": *workers, "format": *format,
 	}
 	rec, finish, err := obs.Setup(obs.NewRun("ocpsim", *seed, runCfg), *tracePath, *metricsPath, extra...)
 	if err != nil {
@@ -100,12 +105,13 @@ func run(args []string, out io.Writer) (retErr error) {
 	cfg := sweep.Config{
 		Width: *n, Height: *n, MaxFaults: *maxf, Step: *step,
 		Replications: *reps, Seed: *seed, Workers: *workers, Recorder: rec,
+		Engine: eng,
+	}
+	if eng == core.EngineParallel {
+		cfg.EngineWorkers = *workers
 	}
 	if *torus {
 		cfg.Kind = mesh.Torus2D
-	}
-	if *chans {
-		cfg.Engine = core.EngineChannels
 	}
 	runner, err := sweep.NewRunner(cfg)
 	if err != nil {
@@ -156,6 +162,24 @@ func servePprof(addr string, rec *obs.Recorder) {
 			fmt.Fprintln(os.Stderr, "ocpsim: pprof server:", err)
 		}
 	}()
+}
+
+// parseEngine maps the -engine flag (and the deprecated -channels alias)
+// onto an engine kind.
+func parseEngine(name string, channelsAlias bool) (core.EngineKind, error) {
+	switch name {
+	case "", "sequential":
+		if channelsAlias {
+			return core.EngineChannels, nil
+		}
+		return core.EngineSequential, nil
+	case "channels":
+		return core.EngineChannels, nil
+	case "parallel":
+		return core.EngineParallel, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (want sequential, channels, or parallel)", name)
+	}
 }
 
 func kindName(torus bool) string {

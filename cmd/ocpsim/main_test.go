@@ -51,6 +51,52 @@ func TestRunTorusAndChannels(t *testing.T) {
 	}
 }
 
+func TestRunEngineFlag(t *testing.T) {
+	for _, eng := range []string{"sequential", "channels", "parallel"} {
+		var b strings.Builder
+		err := run([]string{"-figure", "5a", "-n", "10", "-maxf", "5", "-step", "5", "-reps", "1",
+			"-engine", eng, "-workers", "2"}, &b)
+		if err != nil {
+			t.Fatalf("-engine %s: %v", eng, err)
+		}
+		if !strings.Contains(b.String(), "== figure 5a (10x10 mesh") {
+			t.Fatalf("-engine %s: missing header: %q", eng, b.String())
+		}
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	cases := []struct {
+		name  string
+		alias bool
+		want  string
+		err   bool
+	}{
+		{"sequential", false, "sequential", false},
+		{"", false, "sequential", false},
+		{"", true, "channels", false},
+		{"sequential", true, "channels", false},
+		{"channels", false, "channels", false},
+		{"parallel", false, "parallel", false},
+		{"parallel", true, "parallel", false},
+		{"warp", false, "", true},
+	}
+	for _, c := range cases {
+		eng, err := parseEngine(c.name, c.alias)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseEngine(%q, %v): want error", c.name, c.alias)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseEngine(%q, %v): %v", c.name, c.alias, err)
+		} else if eng.String() != c.want {
+			t.Errorf("parseEngine(%q, %v) = %s, want %s", c.name, c.alias, eng, c.want)
+		}
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-figure", "bogus", "-n", "10", "-maxf", "5", "-reps", "1"}, &b); err == nil {
@@ -62,6 +108,10 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 	if err := run([]string{"-n", "0"}, &b); err == nil {
 		t.Fatal("invalid mesh size must fail")
+	}
+	if err := run([]string{"-figure", "5a", "-n", "10", "-maxf", "5", "-reps", "1",
+		"-engine", "warp"}, &b); err == nil {
+		t.Fatal("unknown engine must fail")
 	}
 	if err := run([]string{"-bogusflag"}, &b); err == nil {
 		t.Fatal("unknown flag must fail")

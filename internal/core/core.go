@@ -40,21 +40,35 @@ const (
 	// EngineChannels is the distributed simulation: one goroutine per
 	// nonfaulty node, channels for links, lock-step rounds.
 	EngineChannels
+	// EngineParallel is the tiled parallel engine: the mesh is split into
+	// row bands, one worker goroutine per band, with double-buffered
+	// labels and a per-round barrier. Results are identical to
+	// EngineSequential at any worker count; Config.Workers sets the
+	// band count (0 = GOMAXPROCS).
+	EngineParallel
 )
 
 // String returns the engine name.
 func (e EngineKind) String() string {
-	if e == EngineChannels {
+	switch e {
+	case EngineChannels:
 		return "channels"
+	case EngineParallel:
+		return "parallel"
+	default:
+		return "sequential"
 	}
-	return "sequential"
 }
 
-func (e EngineKind) engine() simnet.Engine {
-	if e == EngineChannels {
+func (e EngineKind) engine(workers int) simnet.Engine {
+	switch e {
+	case EngineChannels:
 		return simnet.Channels()
+	case EngineParallel:
+		return simnet.Parallel(workers)
+	default:
+		return simnet.Sequential()
 	}
-	return simnet.Sequential()
 }
 
 // Config describes a formation run. The zero value of every field other
@@ -72,6 +86,10 @@ type Config struct {
 	Connectivity region.Connectivity
 	// Engine selects the fixpoint engine.
 	Engine EngineKind
+	// Workers is the worker (tile) count of EngineParallel and of a
+	// Session's parallel frontier recomputation; 0 means GOMAXPROCS.
+	// The sequential and channel engines ignore it.
+	Workers int
 	// MaxRounds bounds each phase (0 = automatic safe bound).
 	MaxRounds int
 	// Recorder, when non-nil, traces the run (phase_start / round /
@@ -127,7 +145,7 @@ func FormOn(cfg Config, topo *mesh.Topology, faults *grid.PointSet) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	eng := cfg.Engine.engine()
+	eng := cfg.Engine.engine(cfg.Workers)
 	rec := cfg.Recorder
 
 	p1, err := runPhase(rec, cfg, eng, env, "phase1", status.UnsafeRule(cfg.Safety))

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/incremental"
@@ -25,8 +26,11 @@ type Session struct {
 }
 
 // NewSession computes a full formation for the initial fault list and
-// returns the session tracking it. The Engine field of cfg is ignored:
-// incremental maintenance always uses the frontier engine.
+// returns the session tracking it. Incremental maintenance always uses
+// the frontier engine, so of the Engine choices only EngineParallel
+// changes anything: it runs the initial formation on the tiled parallel
+// engine and fans each delta's frontier waves out over cfg.Workers
+// goroutines (0 = GOMAXPROCS), with bit-for-bit identical results.
 func NewSession(cfg Config, faults []grid.Point) (*Session, error) {
 	topo, err := mesh.New(cfg.Width, cfg.Height, cfg.Kind)
 	if err != nil {
@@ -42,6 +46,7 @@ func NewSessionOn(cfg Config, topo *mesh.Topology, faults *grid.PointSet) (*Sess
 		Safety:       cfg.Safety,
 		Connectivity: cfg.Connectivity,
 		MaxRounds:    cfg.MaxRounds,
+		Workers:      sessionWorkers(cfg),
 		Recorder:     cfg.Recorder,
 	})
 	if err != nil {
@@ -81,6 +86,19 @@ func (s *Session) Result() *Result {
 		RoundsPhase1: initialRounds1(f),
 		RoundsPhase2: initialRounds2(f),
 	}
+}
+
+// sessionWorkers maps a formation Config onto the incremental worker
+// count: parallelism is opted into via EngineParallel, whose Workers
+// field defaults to GOMAXPROCS; every other engine stays sequential.
+func sessionWorkers(cfg Config) int {
+	if cfg.Engine != EngineParallel {
+		return 1
+	}
+	if cfg.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return cfg.Workers
 }
 
 func initialRounds1(f *incremental.Field) int { r, _ := f.InitialRounds(); return r }

@@ -45,6 +45,12 @@ type Config struct {
 	Connectivity region.Connectivity
 	// MaxRounds bounds each fixpoint (0 = automatic safe bound).
 	MaxRounds int
+	// Workers, when above one, runs the initial full formation on the
+	// tiled parallel engine and fans each frontier wave of a delta out
+	// over that many goroutines (simnet.RunParallelFrontierGeneric).
+	// Results are bit-for-bit identical at any worker count; 0 or 1 keeps
+	// everything sequential.
+	Workers int
 	// Recorder, when non-nil, traces the field: per-round events during
 	// (re)computation and one obs.EDelta event per applied delta, plus
 	// incremental_* metrics. Nil disables observability at no cost.
@@ -100,7 +106,7 @@ func New(topo *mesh.Topology, faults *grid.PointSet, cfg Config) (*Field, error)
 		return nil, err
 	}
 	f := &Field{cfg: cfg, topo: topo, faults: env.Faulty}
-	p1, err := simnet.RunSequentialGeneric[bool](env, status.UnsafeRule(cfg.Safety), f.genericOpts("phase1"))
+	p1, err := f.runFull(env, status.UnsafeRule(cfg.Safety), "phase1")
 	if err != nil {
 		return nil, fmt.Errorf("incremental: phase 1: %w", err)
 	}
@@ -108,7 +114,7 @@ func New(topo *mesh.Topology, faults *grid.PointSet, cfg Config) (*Field, error)
 	if err != nil {
 		return nil, err
 	}
-	p2, err := simnet.RunSequentialGeneric[bool](env2, status.EnabledRule(), f.genericOpts("phase2"))
+	p2, err := f.runFull(env2, status.EnabledRule(), "phase2")
 	if err != nil {
 		return nil, fmt.Errorf("incremental: phase 2: %w", err)
 	}
@@ -121,6 +127,24 @@ func New(topo *mesh.Topology, faults *grid.PointSet, cfg Config) (*Field, error)
 
 func (f *Field) genericOpts(phase string) simnet.GenericOptions[bool] {
 	return simnet.GenericOptions[bool]{MaxRounds: f.cfg.MaxRounds, Recorder: f.cfg.Recorder, Phase: phase}
+}
+
+// runFull computes one full synchronous fixpoint, on the tiled parallel
+// engine when the field is configured with more than one worker.
+func (f *Field) runFull(env *simnet.Env, rule simnet.Rule, phase string) (*simnet.GenericResult[bool], error) {
+	if f.cfg.Workers > 1 {
+		return simnet.RunParallelGeneric[bool](env, rule, f.genericOpts(phase), f.cfg.Workers)
+	}
+	return simnet.RunSequentialGeneric[bool](env, rule, f.genericOpts(phase))
+}
+
+// runFrontier restabilizes labels from the given seed, fanning waves out
+// over the configured worker count.
+func (f *Field) runFrontier(env *simnet.Env, rule simnet.Rule, labels []bool, seed []int, phase string) (*simnet.FrontierResult, error) {
+	if f.cfg.Workers > 1 {
+		return simnet.RunParallelFrontierGeneric[bool](env, rule, labels, seed, f.genericOpts(phase), f.cfg.Workers)
+	}
+	return simnet.RunFrontierGeneric[bool](env, rule, labels, seed, f.genericOpts(phase))
 }
 
 // Topo returns the machine.
@@ -194,7 +218,7 @@ func (f *Field) Add(ps ...grid.Point) (Delta, error) {
 		}
 	}
 	d.Frontier = len(seed)
-	fr1, err := simnet.RunFrontierGeneric[bool](env, status.UnsafeRule(f.cfg.Safety), f.unsafe, seed, f.genericOpts("phase1"))
+	fr1, err := f.runFrontier(env, status.UnsafeRule(f.cfg.Safety), f.unsafe, seed, "phase1")
 	if err != nil {
 		return Delta{}, fmt.Errorf("incremental: phase 1: %w", err)
 	}
@@ -267,7 +291,7 @@ func (f *Field) Remove(ps ...grid.Point) (Delta, error) {
 		}
 	}
 	d.Frontier = len(seed)
-	fr1, err := simnet.RunFrontierGeneric[bool](env, status.UnsafeRule(f.cfg.Safety), f.unsafe, seed, f.genericOpts("phase1"))
+	fr1, err := f.runFrontier(env, status.UnsafeRule(f.cfg.Safety), f.unsafe, seed, "phase1")
 	if err != nil {
 		return Delta{}, fmt.Errorf("incremental: phase 1: %w", err)
 	}
@@ -328,7 +352,7 @@ func (f *Field) recomputeEnabled(area *grid.PointSet) (changed, rounds int, err 
 		}
 	}
 	env := &simnet.Env{Topo: f.topo, Faulty: f.faults, Aux: f.unsafe}
-	fr, err := simnet.RunFrontierGeneric[bool](env, status.EnabledRule(), f.enabled, seed, f.genericOpts("phase2"))
+	fr, err := f.runFrontier(env, status.EnabledRule(), f.enabled, seed, "phase2")
 	if err != nil {
 		return 0, 0, fmt.Errorf("incremental: phase 2: %w", err)
 	}

@@ -10,6 +10,7 @@ import (
 	"ocpmesh/internal/mesh"
 	"ocpmesh/internal/obs"
 	"ocpmesh/internal/region"
+	"ocpmesh/internal/simnet/simnettest"
 	"ocpmesh/internal/status"
 )
 
@@ -69,19 +70,15 @@ func TestChurnMatchesFromScratch(t *testing.T) {
 		{Connectivity: region.Conn4},
 		{Safety: status.Def2a, Connectivity: region.Conn4},
 	}
-	kinds := []mesh.Kind{mesh.Mesh2D, mesh.Torus2D}
 	rng := rand.New(rand.NewSource(97))
 	for trial := 0; trial < 12; trial++ {
 		cfg := configs[trial%len(configs)]
-		topo := mesh.MustNew(8+rng.Intn(9), 8+rng.Intn(9), kinds[trial%len(kinds)])
+		topo := simnettest.RandomTopology(rng, 8, 16, 0.5)
 		randPt := func() grid.Point {
 			return grid.Pt(rng.Intn(topo.Width()), rng.Intn(topo.Height()))
 		}
 
-		faults := grid.NewPointSet()
-		for i := 0; i < 4+rng.Intn(8); i++ {
-			faults.Add(randPt())
-		}
+		faults := simnettest.RandomFaultCount(rng, topo, 4+rng.Intn(8))
 		f, err := incremental.New(topo, faults, cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -121,6 +118,65 @@ func TestChurnMatchesFromScratch(t *testing.T) {
 				t.Fatalf("trial %d step %d: nonsense delta %+v", trial, step, d)
 			}
 			assertMatchesFromScratch(t, f, "churn")
+		}
+	}
+}
+
+// TestTorusSeamRemoval exercises removal (and re-addition) of faults
+// whose blocks straddle the torus wrap-around seams — the corner block
+// spanning both seams at once, and edge blocks spanning exactly one.
+// Wrap-around is where the dirty-frontier closure is easiest to get
+// wrong (the frontier must follow torus neighbors, not flat
+// coordinates), so every delta is pinned against a from-scratch
+// formation.
+func TestTorusSeamRemoval(t *testing.T) {
+	topo := mesh.MustNew(9, 9, mesh.Torus2D)
+	groups := map[string][]grid.Point{
+		// A 2x2 block straddling both seams: the four machine corners are
+		// pairwise torus-adjacent.
+		"both-seams": {grid.Pt(8, 8), grid.Pt(0, 0), grid.Pt(8, 0), grid.Pt(0, 8)},
+		// A 2x2 block straddling only the vertical seam.
+		"x-seam": {grid.Pt(8, 4), grid.Pt(0, 4), grid.Pt(8, 5), grid.Pt(0, 5)},
+		// A 2x2 block straddling only the horizontal seam.
+		"y-seam": {grid.Pt(4, 8), grid.Pt(4, 0), grid.Pt(5, 8), grid.Pt(5, 0)},
+	}
+	configs := []incremental.Config{
+		{},
+		{Safety: status.Def2a},
+		{Connectivity: region.Conn4},
+		{Workers: 3},
+	}
+	for name, pts := range groups {
+		for ci, cfg := range configs {
+			f, err := incremental.New(topo, grid.PointSetOf(pts...), cfg)
+			if err != nil {
+				t.Fatalf("%s cfg%d: %v", name, ci, err)
+			}
+			assertMatchesFromScratch(t, f, name+": initial")
+
+			// Peel the block off one fault at a time, across the seam.
+			for _, p := range pts {
+				if _, err := f.Remove(p); err != nil {
+					t.Fatalf("%s cfg%d: remove %v: %v", name, ci, p, err)
+				}
+				assertMatchesFromScratch(t, f, name+": after removal")
+			}
+			if f.Faults().Len() != 0 {
+				t.Fatalf("%s cfg%d: faults remain after full removal", name, ci)
+			}
+
+			// Rebuild the straddling block in reverse order, then tear it
+			// down in one batch.
+			for i := len(pts) - 1; i >= 0; i-- {
+				if _, err := f.Add(pts[i]); err != nil {
+					t.Fatalf("%s cfg%d: re-add %v: %v", name, ci, pts[i], err)
+				}
+				assertMatchesFromScratch(t, f, name+": after re-add")
+			}
+			if _, err := f.Remove(pts...); err != nil {
+				t.Fatalf("%s cfg%d: batch remove: %v", name, ci, err)
+			}
+			assertMatchesFromScratch(t, f, name+": after batch removal")
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
 	"ocpmesh/internal/simnet"
+	"ocpmesh/internal/simnet/simnettest"
 	"ocpmesh/internal/status"
 )
 
@@ -218,14 +219,10 @@ func TestPipelineInvariantsRandom(t *testing.T) {
 		trials = 25
 	}
 	for trial := 0; trial < trials; trial++ {
-		w, h := 4+rng.Intn(12), 4+rng.Intn(12)
-		kind := mesh.Mesh2D
-		if trial%4 == 0 {
-			kind = mesh.Torus2D
-		}
-		topo := mesh.MustNew(w, h, kind)
-		f := rng.Intn(topo.Size() / 3)
-		faults := fault.Uniform{Count: f}.Generate(topo, rng)
+		topo := simnettest.RandomTopology(rng, 4, 15, 0.25)
+		kind := topo.Kind()
+		faults := simnettest.RandomFaults(rng, topo, 1.0/3)
+		f := faults.Len()
 		for _, def := range []status.SafetyDef{status.Def2a, status.Def2b} {
 			unsafe, enabled := label(t, topo, faults, def)
 

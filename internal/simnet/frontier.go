@@ -1,13 +1,5 @@
 package simnet
 
-import (
-	"fmt"
-	"sort"
-
-	"ocpmesh/internal/mesh"
-	"ocpmesh/internal/obs"
-)
-
 // FrontierResult is the outcome of a frontier-driven run.
 type FrontierResult struct {
 	// Changed lists the indexes of the nodes whose label flipped during
@@ -43,90 +35,10 @@ type FrontierResult struct {
 // With a Recorder, each changing wave emits one obs.ERound event whose
 // Msgs field counts the status messages needed to recompute that wave
 // (one per live incident link of each recomputed node).
+//
+// RunParallelFrontierGeneric runs the same wave loop with each wave's
+// recomputation fanned out over worker goroutines, with identical
+// results.
 func RunFrontierGeneric[T comparable](env *Env, rule GenericRule[T], labels []T, seed []int, opt GenericOptions[T]) (*FrontierResult, error) {
-	topo := env.Topo
-	if len(labels) != topo.Size() {
-		return nil, fmt.Errorf("simnet: frontier labels have %d entries, want %d", len(labels), topo.Size())
-	}
-	maxRounds := opt.maxRounds(env)
-	rec := opt.Recorder
-	phase := opt.Phase
-	if rec != nil && phase == "" {
-		phase = rule.Name()
-	}
-
-	inFrontier := make([]bool, topo.Size())
-	frontier := make([]int, 0, len(seed))
-	for _, i := range seed {
-		if i < 0 || i >= topo.Size() {
-			return nil, fmt.Errorf("simnet: frontier seed index %d out of range [0,%d)", i, topo.Size())
-		}
-		if inFrontier[i] || env.Faulty.Has(topo.PointAt(i)) {
-			continue
-		}
-		inFrontier[i] = true
-		frontier = append(frontier, i)
-	}
-
-	type update struct {
-		idx   int
-		label T
-	}
-	var (
-		updates    []update
-		changedAll []int
-		rounds     int
-	)
-	for len(frontier) > 0 {
-		sort.Ints(frontier)
-		updates = updates[:0]
-		msgs := 0
-		for _, i := range frontier {
-			inFrontier[i] = false
-			p := topo.PointAt(i)
-			if rec != nil {
-				for _, d := range mesh.Directions {
-					if q, ok := topo.NeighborIn(p, d); ok && !env.Faulty.Has(q) {
-						msgs++
-					}
-				}
-			}
-			next := rule.Step(env, p, labels[i], genericNeighborLabels(env, rule, labels, p))
-			if next != labels[i] {
-				updates = append(updates, update{idx: i, label: next})
-			}
-		}
-		if len(updates) == 0 {
-			break
-		}
-		frontier = frontier[:0]
-		for _, u := range updates {
-			labels[u.idx] = u.label
-			changedAll = append(changedAll, u.idx)
-			for _, q := range topo.Neighbors(topo.PointAt(u.idx)) {
-				j := topo.Index(q)
-				if !inFrontier[j] && !env.Faulty.Has(q) {
-					inFrontier[j] = true
-					frontier = append(frontier, j)
-				}
-			}
-		}
-		rounds++
-		if rec != nil {
-			rec.Emit(obs.Event{
-				Type: obs.ERound, Phase: phase, Round: rounds, Changed: len(updates), Msgs: msgs,
-			})
-			rec.Counter("simnet_rounds").Inc()
-			rec.Counter("simnet_messages").Add(int64(msgs))
-		}
-		if opt.OnRound != nil {
-			opt.OnRound(rounds, labels)
-		}
-		if rounds > maxRounds {
-			return nil, fmt.Errorf("simnet: rule %q did not stabilize within %d rounds (non-monotone rule?)",
-				rule.Name(), maxRounds)
-		}
-	}
-	sort.Ints(changedAll)
-	return &FrontierResult{Changed: changedAll, Rounds: rounds}, nil
+	return runFrontierGeneric(env, rule, labels, seed, opt, 1)
 }

@@ -1,0 +1,344 @@
+package simnet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/obs"
+)
+
+// ParallelEngine computes the synchronous fixpoint with a tiled
+// domain decomposition: the mesh is partitioned into contiguous row
+// bands, one worker goroutine per band, over a shared pair of
+// double-buffered label slices. Every round each worker recomputes its
+// own band reading only the previous round's buffer — the one-cell halo
+// a band needs from its neighbors is exactly the adjacent bands' border
+// rows of that read-only buffer, so the per-round barrier takes the
+// place of an explicit halo exchange. Global quiescence is detected
+// through a shared atomic change counter the coordinator reads at the
+// barrier. Results — labels, round counts, and per-round trace events —
+// are bit-for-bit identical to SeqEngine's (TestParallelDifferential
+// pins this at every worker count).
+type ParallelEngine struct {
+	// Workers is the number of tiles (and worker goroutines); 0 means
+	// runtime.GOMAXPROCS(0). The tile count is additionally capped at the
+	// mesh height, since tiles are row bands.
+	Workers int
+}
+
+// Parallel returns the tiled parallel engine with the given worker
+// count (0 = GOMAXPROCS).
+func Parallel(workers int) Engine { return ParallelEngine{Workers: workers} }
+
+// Name implements Engine.
+func (ParallelEngine) Name() string { return "parallel" }
+
+// Run implements Engine.
+func (e ParallelEngine) Run(env *Env, rule Rule, opt Options) (*Result, error) {
+	res, err := RunParallelGeneric[bool](env, rule, GenericOptions[bool]{
+		MaxRounds: opt.MaxRounds, OnRound: opt.OnRound,
+		Recorder: opt.Recorder, Phase: opt.Phase,
+	}, e.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Labels: res.Labels, Rounds: res.Rounds}, nil
+}
+
+// tileRows splits h rows into at most p contiguous bands of near-equal
+// height, returned as [start, end) row ranges. p is clamped to [1, h].
+func tileRows(h, p int) [][2]int {
+	if p < 1 {
+		p = 1
+	}
+	if p > h {
+		p = h
+	}
+	out := make([][2]int, p)
+	for t := 0; t < p; t++ {
+		out[t] = [2]int{t * h / p, (t + 1) * h / p}
+	}
+	return out
+}
+
+// parCmd is one coordinator-to-worker message: run one round, or stop.
+type parCmd struct{ run bool }
+
+// RunParallelGeneric computes the synchronous fixpoint of a generic rule
+// with the tiled parallel sweep described on ParallelEngine. workers <= 0
+// means runtime.GOMAXPROCS(0); the tile count is capped at the mesh
+// height. The per-round label stream, round count, and obs trace events
+// are identical to RunSequentialGeneric's for every worker count; with a
+// Recorder the run additionally emits one "parallel_tile_<i>" span per
+// tile (its cumulative compute time), feeds the parallel_tile_ns
+// histogram, increments parallel_runs, and sets the parallel_workers
+// gauge.
+func RunParallelGeneric[T comparable](env *Env, rule GenericRule[T], opt GenericOptions[T], workers int) (*GenericResult[T], error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	topo := env.Topo
+	width := topo.Width()
+	cur := initGenericLabels(env, rule)
+	next := make([]T, len(cur))
+	maxRounds := opt.maxRounds(env)
+	ro := newRoundObs(env, rule, opt)
+	rec := opt.Recorder
+
+	tiles := tileRows(topo.Height(), workers)
+	nTiles := len(tiles)
+
+	var (
+		changedCtr atomic.Int64 // shared change counter, read at the barrier
+		barrier    = make(chan int, nTiles)
+		cmds       = make([]chan parCmd, nTiles)
+		busyNS     = make([]int64, nTiles) // per-tile cumulative compute time
+	)
+	for t := range tiles {
+		cmds[t] = make(chan parCmd, 1)
+		lo, hi := tiles[t][0]*width, tiles[t][1]*width
+		go func(t, lo, hi int) {
+			// Each worker tracks the buffer roles locally, swapping after
+			// every round exactly like the coordinator, so all goroutines
+			// agree on which buffer is readable without sharing pointers.
+			curL, nextL := cur, next
+			for cmd := range cmds[t] {
+				if !cmd.run {
+					return
+				}
+				var start time.Time
+				if rec != nil {
+					start = rec.Now()
+				}
+				changed := 0
+				for i := lo; i < hi; i++ {
+					p := topo.PointAt(i)
+					if env.Faulty.Has(p) {
+						nextL[i] = curL[i]
+						continue
+					}
+					nextL[i] = rule.Step(env, p, curL[i], genericNeighborLabels(env, rule, curL, p))
+					if nextL[i] != curL[i] {
+						changed++
+					}
+				}
+				if rec != nil {
+					busyNS[t] += rec.Now().Sub(start).Nanoseconds()
+				}
+				changedCtr.Add(int64(changed))
+				curL, nextL = nextL, curL
+				barrier <- t
+			}
+		}(t, lo, hi)
+	}
+
+	stopAll := func() {
+		for _, c := range cmds {
+			c <- parCmd{run: false}
+		}
+	}
+	finishObs := func() {
+		if rec == nil {
+			return
+		}
+		rec.Counter("parallel_runs").Inc()
+		rec.Gauge("parallel_workers").Set(float64(nTiles))
+		for t, ns := range busyNS {
+			rec.Emit(obs.Event{Type: obs.ESpan, Name: fmt.Sprintf("parallel_tile_%d", t), DurNS: ns})
+			rec.Histogram("parallel_tile_ns", obs.NSBuckets).Observe(float64(ns))
+		}
+	}
+
+	rounds := 0
+	for {
+		for _, c := range cmds {
+			c <- parCmd{run: true}
+		}
+		for range cmds {
+			<-barrier
+		}
+		// The barrier has passed: every worker has added its tile's count,
+		// so the load below sees the complete round total and no worker
+		// touches the counter again until the next round is released.
+		nchanged := int(changedCtr.Swap(0))
+		if nchanged == 0 {
+			stopAll()
+			finishObs()
+			return &GenericResult[T]{Labels: cur, Rounds: rounds}, nil
+		}
+		cur, next = next, cur
+		rounds++
+		ro.observe(rounds, nchanged)
+		if opt.OnRound != nil {
+			opt.OnRound(rounds, cur)
+		}
+		if rounds > maxRounds {
+			stopAll()
+			finishObs()
+			return nil, fmt.Errorf("simnet: rule %q did not stabilize within %d rounds (non-monotone rule?)",
+				rule.Name(), maxRounds)
+		}
+	}
+}
+
+// RunParallelFrontierGeneric is RunFrontierGeneric with each wave's
+// recomputation fanned out over up to `workers` goroutines: the sorted
+// frontier is split into contiguous chunks, every chunk's updates are
+// computed against the shared (read-only during the wave) label slice,
+// and the per-chunk update lists are concatenated in chunk order — which
+// preserves the ascending-index application order, so waves, rounds,
+// changed sets, and trace events are identical to the sequential
+// frontier engine's. It is the engine incremental.Field uses when its
+// Config.Workers is above one.
+func RunParallelFrontierGeneric[T comparable](env *Env, rule GenericRule[T], labels []T, seed []int, opt GenericOptions[T], workers int) (*FrontierResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return runFrontierGeneric(env, rule, labels, seed, opt, workers)
+}
+
+// frontierUpdate is one pending label change of a frontier wave.
+type frontierUpdate[T comparable] struct {
+	idx   int
+	label T
+}
+
+// frontierChunkMin is the smallest frontier chunk worth a goroutine;
+// below it the spawn overhead dwarfs the rule evaluations.
+const frontierChunkMin = 64
+
+// computeWave evaluates one wave's frontier (sorted ascending) and
+// returns the pending updates in ascending index order plus the status
+// messages the wave would exchange (counted only when countMsgs is set).
+// With workers > 1 the frontier is split into contiguous chunks computed
+// concurrently; labels are only read.
+func computeWave[T comparable](env *Env, rule GenericRule[T], labels []T, frontier []int, countMsgs bool, workers int) ([]frontierUpdate[T], int) {
+	topo := env.Topo
+	eval := func(frontier []int) ([]frontierUpdate[T], int) {
+		var updates []frontierUpdate[T]
+		msgs := 0
+		for _, i := range frontier {
+			p := topo.PointAt(i)
+			if countMsgs {
+				for _, d := range mesh.Directions {
+					if q, ok := topo.NeighborIn(p, d); ok && !env.Faulty.Has(q) {
+						msgs++
+					}
+				}
+			}
+			next := rule.Step(env, p, labels[i], genericNeighborLabels(env, rule, labels, p))
+			if next != labels[i] {
+				updates = append(updates, frontierUpdate[T]{idx: i, label: next})
+			}
+		}
+		return updates, msgs
+	}
+
+	if workers <= 1 || len(frontier) < 2*frontierChunkMin {
+		return eval(frontier)
+	}
+	nChunks := (len(frontier) + frontierChunkMin - 1) / frontierChunkMin
+	if nChunks > workers {
+		nChunks = workers
+	}
+	type waveOut struct {
+		updates []frontierUpdate[T]
+		msgs    int
+	}
+	outs := make([]waveOut, nChunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nChunks; c++ {
+		lo, hi := c*len(frontier)/nChunks, (c+1)*len(frontier)/nChunks
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			u, m := eval(frontier[lo:hi])
+			outs[c] = waveOut{updates: u, msgs: m}
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	var updates []frontierUpdate[T]
+	msgs := 0
+	for _, o := range outs {
+		updates = append(updates, o.updates...)
+		msgs += o.msgs
+	}
+	return updates, msgs
+}
+
+// runFrontierGeneric is the wave loop shared by the sequential and
+// parallel frontier engines; see RunFrontierGeneric for the contract.
+func runFrontierGeneric[T comparable](env *Env, rule GenericRule[T], labels []T, seed []int, opt GenericOptions[T], workers int) (*FrontierResult, error) {
+	topo := env.Topo
+	if len(labels) != topo.Size() {
+		return nil, fmt.Errorf("simnet: frontier labels have %d entries, want %d", len(labels), topo.Size())
+	}
+	maxRounds := opt.maxRounds(env)
+	rec := opt.Recorder
+	phase := opt.Phase
+	if rec != nil && phase == "" {
+		phase = rule.Name()
+	}
+
+	inFrontier := make([]bool, topo.Size())
+	frontier := make([]int, 0, len(seed))
+	for _, i := range seed {
+		if i < 0 || i >= topo.Size() {
+			return nil, fmt.Errorf("simnet: frontier seed index %d out of range [0,%d)", i, topo.Size())
+		}
+		if inFrontier[i] || env.Faulty.Has(topo.PointAt(i)) {
+			continue
+		}
+		inFrontier[i] = true
+		frontier = append(frontier, i)
+	}
+
+	var (
+		changedAll []int
+		rounds     int
+	)
+	for len(frontier) > 0 {
+		sort.Ints(frontier)
+		updates, msgs := computeWave(env, rule, labels, frontier, rec != nil, workers)
+		for _, i := range frontier {
+			inFrontier[i] = false
+		}
+		if len(updates) == 0 {
+			break
+		}
+		frontier = frontier[:0]
+		for _, u := range updates {
+			labels[u.idx] = u.label
+			changedAll = append(changedAll, u.idx)
+			for _, q := range topo.Neighbors(topo.PointAt(u.idx)) {
+				j := topo.Index(q)
+				if !inFrontier[j] && !env.Faulty.Has(q) {
+					inFrontier[j] = true
+					frontier = append(frontier, j)
+				}
+			}
+		}
+		rounds++
+		if rec != nil {
+			rec.Emit(obs.Event{
+				Type: obs.ERound, Phase: phase, Round: rounds, Changed: len(updates), Msgs: msgs,
+			})
+			rec.Counter("simnet_rounds").Inc()
+			rec.Counter("simnet_messages").Add(int64(msgs))
+		}
+		if opt.OnRound != nil {
+			opt.OnRound(rounds, labels)
+		}
+		if rounds > maxRounds {
+			return nil, fmt.Errorf("simnet: rule %q did not stabilize within %d rounds (non-monotone rule?)",
+				rule.Name(), maxRounds)
+		}
+	}
+	sort.Ints(changedAll)
+	return &FrontierResult{Changed: changedAll, Rounds: rounds}, nil
+}

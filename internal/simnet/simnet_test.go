@@ -8,6 +8,7 @@ import (
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
 	"ocpmesh/internal/obs"
+	"ocpmesh/internal/simnet/simnettest"
 )
 
 // spreadRule is a simple monotone test rule: a node becomes marked when
@@ -41,7 +42,7 @@ func (flipRule) GhostLabel() bool                                    { return fa
 func (flipRule) FaultyLabel() bool                                   { return false }
 func (flipRule) Step(_ *Env, _ grid.Point, cur bool, _ [4]bool) bool { return !cur }
 
-func engines() []Engine { return []Engine{Sequential(), Channels()} }
+func engines() []Engine { return []Engine{Sequential(), Channels(), Parallel(3)} }
 
 func mustEnv(t *testing.T, topo *mesh.Topology, faults *grid.PointSet) *Env {
 	t.Helper()
@@ -218,31 +219,26 @@ func traceRun(t *testing.T, eng Engine, env *Env, phase string) (*Result, []obs.
 func TestEnginesAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(123))
 	for trial := 0; trial < 40; trial++ {
-		w, h := 2+rng.Intn(8), 2+rng.Intn(8)
-		kind := mesh.Mesh2D
-		if w >= 3 && h >= 3 && trial%3 == 0 {
-			kind = mesh.Torus2D
-		}
-		topo := mesh.MustNew(w, h, kind)
-		faults := grid.NewPointSet()
-		for i := 0; i < rng.Intn(topo.Size()); i++ {
-			faults.Add(topo.PointAt(rng.Intn(topo.Size())))
-		}
+		topo, faults := simnettest.RandomConfig(rng)
 		env := mustEnv(t, topo, faults)
 
 		seq, seqEvents := traceRun(t, Sequential(), env, "p")
-		chn, chnEvents := traceRun(t, Channels(), env, "p")
-		if seq.Rounds != chn.Rounds {
-			t.Fatalf("trial %d (%v): rounds differ: seq=%d chan=%d", trial, topo, seq.Rounds, chn.Rounds)
-		}
-		for i := range seq.Labels {
-			if seq.Labels[i] != chn.Labels[i] {
-				t.Fatalf("trial %d (%v): label mismatch at %v", trial, topo, topo.PointAt(i))
+		for _, eng := range []Engine{Channels(), Parallel(1), Parallel(2), Parallel(5)} {
+			got, gotEvents := traceRun(t, eng, env, "p")
+			if seq.Rounds != got.Rounds {
+				t.Fatalf("trial %d (%v): rounds differ: seq=%d %s=%d",
+					trial, topo, seq.Rounds, eng.Name(), got.Rounds)
 			}
-		}
-		if !reflect.DeepEqual(seqEvents, chnEvents) {
-			t.Fatalf("trial %d (%v): trace streams differ:\nseq:  %+v\nchan: %+v",
-				trial, topo, seqEvents, chnEvents)
+			for i := range seq.Labels {
+				if seq.Labels[i] != got.Labels[i] {
+					t.Fatalf("trial %d (%v): %s label mismatch at %v",
+						trial, topo, eng.Name(), topo.PointAt(i))
+				}
+			}
+			if !reflect.DeepEqual(seqEvents, gotEvents) {
+				t.Fatalf("trial %d (%v): trace streams differ:\nseq: %+v\n%s: %+v",
+					trial, topo, seqEvents, eng.Name(), gotEvents)
+			}
 		}
 		if len(seqEvents) != seq.Rounds {
 			t.Fatalf("trial %d: %d round events for %d rounds", trial, len(seqEvents), seq.Rounds)

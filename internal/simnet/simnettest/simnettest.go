@@ -1,0 +1,72 @@
+// Package simnettest provides seeded random topology and fault-set
+// generators shared by the property tests in simnet, region, core, and
+// incremental. Centralizing the draws keeps the packages exploring the
+// same configuration space — small meshes and tori with fault densities
+// from empty to saturated — and keeps every test reproducible from its
+// seed alone.
+//
+// The package imports only mesh, grid, and fault, so both white-box
+// simnet tests (package simnet) and black-box tests of packages built on
+// simnet can use it without import cycles.
+package simnettest
+
+import (
+	"math/rand"
+
+	"ocpmesh/internal/fault"
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+)
+
+// RandomTopology draws a topology with both side lengths uniform in
+// [minSide, maxSide] and, with probability torusFrac, torus wrap-around.
+// Sides below 3 always yield a mesh: a width- or height-2 torus would
+// give doubled links between the same node pair, which the paper's
+// machine model excludes. The torus draw is consumed from rng even when
+// the sides force a mesh, so the draw sequence depends only on the
+// trial index.
+func RandomTopology(rng *rand.Rand, minSide, maxSide int, torusFrac float64) *mesh.Topology {
+	if minSide < 1 || maxSide < minSide {
+		panic("simnettest: need 1 <= minSide <= maxSide")
+	}
+	w := minSide + rng.Intn(maxSide-minSide+1)
+	h := minSide + rng.Intn(maxSide-minSide+1)
+	kind := mesh.Mesh2D
+	if rng.Float64() < torusFrac && w >= 3 && h >= 3 {
+		kind = mesh.Torus2D
+	}
+	return mesh.MustNew(w, h, kind)
+}
+
+// RandomFaults draws a fault count uniform in [0, maxFrac*Size()] and
+// places that many distinct faults uniformly at random. maxFrac is
+// clamped to [0, 1].
+func RandomFaults(rng *rand.Rand, topo *mesh.Topology, maxFrac float64) *grid.PointSet {
+	if maxFrac < 0 {
+		maxFrac = 0
+	}
+	if maxFrac > 1 {
+		maxFrac = 1
+	}
+	max := int(maxFrac * float64(topo.Size()))
+	return fault.Uniform{Count: rng.Intn(max + 1)}.Generate(topo, rng)
+}
+
+// RandomFaultCount places exactly min(count, Size()) distinct faults
+// uniformly at random — for tests that need a fault count independent of
+// the machine size (e.g. incremental churn, where the perturbation cost
+// is the quantity under test).
+func RandomFaultCount(rng *rand.Rand, topo *mesh.Topology, count int) *grid.PointSet {
+	if count > topo.Size() {
+		count = topo.Size()
+	}
+	return fault.Uniform{Count: count}.Generate(topo, rng)
+}
+
+// RandomConfig draws one configuration from the default space used by
+// the cross-engine differential tests: sides in [2, 12], a torus one
+// time in three, and up to half the nodes faulty.
+func RandomConfig(rng *rand.Rand) (*mesh.Topology, *grid.PointSet) {
+	topo := RandomTopology(rng, 2, 12, 1.0/3)
+	return topo, RandomFaults(rng, topo, 0.5)
+}

@@ -30,7 +30,7 @@ func (r *Runner) PartitionRecovery() ([]*stats.Series, error) {
 	rec := r.cfg.Recorder
 	formCfg := core.Config{
 		Width: r.cfg.Width, Height: r.cfg.Height, Kind: r.cfg.Kind,
-		Safety: status.Def2b, Connectivity: region.Conn8, Engine: r.cfg.Engine,
+		Safety: status.Def2b, Connectivity: region.Conn8, Engine: r.cfg.Engine, Workers: r.cfg.EngineWorkers,
 		Recorder: rec,
 	}
 	topo, err := mesh.New(r.cfg.Width, r.cfg.Height, r.cfg.Kind)

@@ -47,6 +47,9 @@ type Config struct {
 	// Engine selects the fixpoint engine (sequential by default; the
 	// engines are result-equivalent, see simnet).
 	Engine core.EngineKind
+	// EngineWorkers is the per-formation tile count when Engine is
+	// core.EngineParallel (0 = GOMAXPROCS). Other engines ignore it.
+	EngineWorkers int
 	// Workers is the number of goroutines evaluating sweep cells
 	// concurrently; 0 means runtime.GOMAXPROCS(0). Each (f, replication)
 	// cell owns a seed-derived RNG, so results are identical at any
@@ -132,7 +135,7 @@ func (r *Runner) Sweep(def status.SafetyDef, gen func(f int) fault.Generator, me
 	rec := r.cfg.Recorder
 	formCfg := core.Config{
 		Width: r.cfg.Width, Height: r.cfg.Height, Kind: r.cfg.Kind,
-		Safety: def, Connectivity: region.Conn8, Engine: r.cfg.Engine,
+		Safety: def, Connectivity: region.Conn8, Engine: r.cfg.Engine, Workers: r.cfg.EngineWorkers,
 		Recorder: rec,
 	}
 	topo, err := mesh.New(r.cfg.Width, r.cfg.Height, r.cfg.Kind)
