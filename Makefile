@@ -1,7 +1,29 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: build vet test race bench churn-bench parallel-bench fuzz check
+.PHONY: build vet test race bench churn-bench parallel-bench bench-check serve-demo fuzz check
+
+# serve-demo smoke-tests the live telemetry side-car: it starts a real
+# sweep with -serve, scrapes /healthz, /runz and /metrics while the
+# sweep is in flight, then tears the run down. SERVE_ADDR can be
+# overridden when 7070 is taken.
+SERVE_ADDR ?= localhost:7070
+
+serve-demo: build
+	@$(GO) build -o .serve-demo-ocpsim ./cmd/ocpsim
+	@./.serve-demo-ocpsim -figure 5a -reps 40 -serve $(SERVE_ADDR) -format csv > /dev/null 2>&1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2> /dev/null; rm -f .serve-demo-ocpsim' EXIT; \
+	ok=0; \
+	for i in $$(seq 1 100); do \
+		curl -sf http://$(SERVE_ADDR)/healthz > /dev/null 2>&1 && { ok=1; break; }; \
+		kill -0 $$pid 2> /dev/null || break; \
+		sleep 0.1; \
+	done; \
+	[ $$ok -eq 1 ] || { echo "serve-demo: telemetry endpoint never came up" >&2; exit 1; }; \
+	echo "== /healthz"; curl -sf http://$(SERVE_ADDR)/healthz; echo; \
+	echo "== /runz";    curl -sf http://$(SERVE_ADDR)/runz; echo; \
+	echo "== /metrics"; curl -sf http://$(SERVE_ADDR)/metrics | grep -E '^(sweep_|core_|simnet_|ocpmesh_run_info)' | head -20
 
 build:
 	$(GO) build ./...
@@ -36,6 +58,16 @@ churn-bench:
 parallel-bench:
 	$(GO) test -run '^$$' -bench BenchmarkParallel -benchmem -timeout 30m . | $(GO) run ./scripts/benchjson > BENCH_parallel.json
 	@cat BENCH_parallel.json
+
+# bench-check is the local perf regression gate: it regenerates the
+# fast observability benchmark into a scratch file and compares it
+# against the committed BENCH_obs.json via octrace (fails on a >25%
+# median ns/op regression). CI's bench-check job runs the same gate
+# over all three committed BENCH_*.json baselines.
+bench-check:
+	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchmem . | $(GO) run ./scripts/benchjson > .bench-obs-fresh.json
+	$(GO) run ./cmd/octrace bench check -tol 0.25 BENCH_obs.json .bench-obs-fresh.json
+	@rm -f .bench-obs-fresh.json
 
 # fuzz runs each native fuzz target for FUZZTIME (default 20s). The
 # targets check the paper's theorems plus sequential/parallel engine

@@ -22,6 +22,7 @@ import (
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
 	"ocpmesh/internal/obs"
+	"ocpmesh/internal/obs/serve"
 	"ocpmesh/internal/routing"
 	"ocpmesh/internal/safety"
 	"ocpmesh/internal/status"
@@ -49,15 +50,26 @@ func run(args []string, out io.Writer) (retErr error) {
 
 		tracePath   = fs.String("trace", "", "write an NDJSON event trace to this file")
 		metricsPath = fs.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
+		serveAddr   = fs.String("serve", "", "serve live telemetry (/metrics, /runz, /eventz, /healthz, pprof) on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	rec, finish, err := obs.Setup(obs.NewRun("ocproute", *seed, map[string]any{
-		"fixture": *fixture, "n": *n, "f": *f, "model": *model, "router": *router,
-		"src": *srcStr, "dst": *dstStr, "torus": *torus,
-	}), *tracePath, *metricsPath)
+	var live *obs.LiveSink
+	var extra []obs.Sink
+	if *serveAddr != "" {
+		live = obs.NewLiveSink(256)
+		extra = append(extra, live)
+	}
+	rec, finish, err := obs.SetupWith(obs.SetupConfig{
+		Run: obs.NewRun("ocproute", *seed, map[string]any{
+			"fixture": *fixture, "n": *n, "f": *f, "model": *model, "router": *router,
+			"src": *srcStr, "dst": *dstStr, "torus": *torus,
+		}),
+		TracePath: *tracePath, MetricsPath: *metricsPath,
+		Metrics: *serveAddr != "", Extra: extra,
+	})
 	if err != nil {
 		return err
 	}
@@ -66,6 +78,15 @@ func run(args []string, out io.Writer) (retErr error) {
 			retErr = ferr
 		}
 	}()
+	if *serveAddr != "" {
+		srv := serve.New(rec, live)
+		addr, err := srv.Start(*serveAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ocproute: telemetry on http://%s/\n", addr)
+	}
 
 	var (
 		topo   *mesh.Topology

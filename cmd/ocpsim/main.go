@@ -16,11 +16,14 @@
 // With paper parameters (-n 100 -maxf 100 -reps 20) a full "all" run
 // takes a few minutes; reduce -n/-reps for a quick look.
 //
-// Observability (see the README's Observability section): -trace FILE
-// writes an NDJSON event trace, -metrics FILE a JSON metrics snapshot,
-// -pprof ADDR serves net/http/pprof plus an expvar metrics view, and
-// -progress (default: on when stderr is a terminal) prints per-point
-// sweep progress to stderr.
+// Observability (see TRACE.md and the README's Observability section):
+// -trace FILE writes an NDJSON event trace, -metrics FILE a JSON
+// metrics snapshot, -serve ADDR starts the live telemetry server
+// (/metrics in Prometheus format, /runz, /eventz, /healthz, pprof) so a
+// long sweep can be watched while it runs, -pprof ADDR serves bare
+// net/http/pprof plus an expvar metrics view, and -progress (default:
+// on when stderr is a terminal) prints per-point sweep progress to
+// stderr.
 package main
 
 import (
@@ -38,6 +41,7 @@ import (
 	"ocpmesh/internal/core"
 	"ocpmesh/internal/mesh"
 	"ocpmesh/internal/obs"
+	"ocpmesh/internal/obs/serve"
 	"ocpmesh/internal/stats"
 	"ocpmesh/internal/sweep"
 )
@@ -67,6 +71,7 @@ func run(args []string, out io.Writer) (retErr error) {
 
 		tracePath   = fs.String("trace", "", "write an NDJSON event trace to this file")
 		metricsPath = fs.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
+		serveAddr   = fs.String("serve", "", "serve live telemetry (/metrics, /runz, /eventz, /healthz, pprof) on this address (e.g. localhost:7070)")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 		progress    = fs.Bool("progress", stderrIsTerminal(), "print per-sweep-point progress to stderr")
 	)
@@ -85,11 +90,19 @@ func run(args []string, out io.Writer) (retErr error) {
 	if *progress {
 		extra = append(extra, newProgressSink(os.Stderr, stderrIsTerminal()))
 	}
+	var live *obs.LiveSink
+	if *serveAddr != "" {
+		live = obs.NewLiveSink(1024)
+		extra = append(extra, live)
+	}
 	runCfg := map[string]any{
 		"figure": *figure, "n": *n, "maxf": *maxf, "step": *step, "reps": *reps,
 		"torus": *torus, "engine": eng.String(), "workers": *workers, "format": *format,
 	}
-	rec, finish, err := obs.Setup(obs.NewRun("ocpsim", *seed, runCfg), *tracePath, *metricsPath, extra...)
+	rec, finish, err := obs.SetupWith(obs.SetupConfig{
+		Run: obs.NewRun("ocpsim", *seed, runCfg), TracePath: *tracePath,
+		MetricsPath: *metricsPath, Metrics: *serveAddr != "", Extra: extra,
+	})
 	if err != nil {
 		return err
 	}
@@ -98,6 +111,15 @@ func run(args []string, out io.Writer) (retErr error) {
 			retErr = ferr
 		}
 	}()
+	if *serveAddr != "" {
+		srv := serve.New(rec, live)
+		addr, err := srv.Start(*serveAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ocpsim: telemetry on http://%s/\n", addr)
+	}
 	if *pprofAddr != "" {
 		servePprof(*pprofAddr, rec)
 	}

@@ -1,0 +1,183 @@
+// Command octrace analyzes the artifacts the observability layer
+// writes offline: NDJSON event traces (-trace on the other commands)
+// and BENCH_*.json benchmark documents (make bench / churn-bench /
+// parallel-bench).
+//
+// Usage:
+//
+//	octrace report t.ndjson [more.ndjson ...]
+//	    Per-trace summary: event counts, per-phase/per-engine round and
+//	    timing breakdowns, span roll-ups, figure wall-clock, sweep /
+//	    route / churn totals. -json emits the report as JSON.
+//
+//	octrace diff a.ndjson b.ndjson
+//	    Compare the engine-invariant skeletons of two traces — e.g. a
+//	    sequential and a parallel run of the same configuration, which
+//	    must match event for event. Exits 1 on divergence. -unordered
+//	    compares multisets (needed for sweeps recorded with -workers >1,
+//	    where cell scheduling interleaves events).
+//
+//	octrace bench check [-tol 0.25] [-each] baseline.json fresh.json
+//	    Compare a fresh benchmark document against a committed baseline
+//	    and exit 1 when the median slowdown across benchmarks exceeds
+//	    the tolerance (or, with -each, when any single benchmark does).
+//	    The CI perf gate runs this against the committed BENCH_*.json.
+//
+// See TRACE.md for the trace schema and more examples.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ocpmesh/internal/obs"
+	"ocpmesh/internal/obs/analyze"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "octrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: octrace <report|diff|bench> ... (see go doc ocpmesh/cmd/octrace)")
+	}
+	switch args[0] {
+	case "report":
+		return runReport(args[1:], out)
+	case "diff":
+		return runDiff(args[1:], out)
+	case "bench":
+		if len(args) < 2 || args[1] != "check" {
+			return fmt.Errorf("usage: octrace bench check [-tol 0.25] [-each] baseline.json fresh.json")
+		}
+		return runBenchCheck(args[2:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want report, diff, or bench check)", args[0])
+	}
+}
+
+func runReport(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("octrace report", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: octrace report [-json] trace.ndjson ...")
+	}
+	for i, path := range fs.Args() {
+		events, err := readTrace(path)
+		if err != nil {
+			return err
+		}
+		rep := analyze.Summarize(events)
+		if *asJSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				return err
+			}
+			continue
+		}
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		fmt.Fprintf(out, "== %s ==\n", path)
+		rep.WriteText(out)
+	}
+	return nil
+}
+
+func runDiff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("octrace diff", flag.ContinueOnError)
+	unordered := fs.Bool("unordered", false, "compare as multisets (for traces of concurrent sweeps)")
+	max := fs.Int("max", 10, "maximum divergences to report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: octrace diff [-unordered] a.ndjson b.ndjson")
+	}
+	a, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := readTrace(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	diffs := analyze.Diff(a, b, analyze.DiffOptions{Unordered: *unordered, MaxDiffs: *max})
+	if len(diffs) == 0 {
+		fmt.Fprintf(out, "traces equivalent: %d comparable events\n", len(analyze.Comparable(a)))
+		return nil
+	}
+	for _, d := range diffs {
+		fmt.Fprintln(out, d)
+	}
+	return fmt.Errorf("traces diverge (%d difference(s) shown)", len(diffs))
+}
+
+func runBenchCheck(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("octrace bench check", flag.ContinueOnError)
+	tol := fs.Float64("tol", 0.25, "allowed slowdown fraction (0.25 = fail beyond +25%)")
+	each := fs.Bool("each", false, "fail when any single benchmark regresses, not just the median")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: octrace bench check [-tol 0.25] [-each] baseline.json fresh.json")
+	}
+	base, err := readBench(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fresh, err := readBench(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	check := analyze.CompareBench(base, fresh)
+	check.WriteText(out, *tol)
+	regressed := check.Regressed(*tol)
+	if *each {
+		regressed = check.AnyRegressed(*tol)
+	}
+	if regressed {
+		return fmt.Errorf("bench check failed: %s regressed beyond +%.0f%% vs %s",
+			fs.Arg(1), *tol*100, fs.Arg(0))
+	}
+	fmt.Fprintln(out, "bench check ok")
+	return nil
+}
+
+func readTrace(path string) ([]obs.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := analyze.ReadEvents(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, nil
+}
+
+func readBench(path string) (*analyze.BenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := analyze.ReadBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}

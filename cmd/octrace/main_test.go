@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ocpmesh/internal/core"
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/obs"
+	"ocpmesh/internal/obs/analyze"
+)
+
+// writeTrace runs one formation on the given engine with a trace file
+// and returns the path.
+func writeTrace(t *testing.T, dir, name string, engine core.EngineKind) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	rec, finish, err := obs.Setup(obs.NewRun("octrace-test", 1, nil), path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := []grid.Point{{X: 2, Y: 2}, {X: 3, Y: 3}, {X: 4, Y: 4}, {X: 6, Y: 7}}
+	if _, err := core.Form(core.Config{Width: 12, Height: 12, Engine: engine, Recorder: rec}, faults); err != nil {
+		t.Fatal(err)
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReportOnRealTrace drives `octrace report` over a real formation
+// trace.
+func TestReportOnRealTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTrace(t, dir, "seq.ndjson", core.EngineSequential)
+	var out strings.Builder
+	if err := run([]string{"report", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"octrace-test", "phase1", "phase2", "sequential"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"report", "-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep analyze.Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("-json output not JSON: %v", err)
+	}
+	if len(rep.Phases) != 2 {
+		t.Fatalf("phases = %+v, want phase1 and phase2", rep.Phases)
+	}
+}
+
+// TestDiffEngineInvariance asserts the PR 3 invariance property from
+// real traces: a sequential and a parallel run of the same
+// configuration produce equivalent trace skeletons, and a different
+// configuration does not.
+func TestDiffEngineInvariance(t *testing.T) {
+	dir := t.TempDir()
+	seq := writeTrace(t, dir, "seq.ndjson", core.EngineSequential)
+	par := writeTrace(t, dir, "par.ndjson", core.EngineParallel)
+	var out strings.Builder
+	if err := run([]string{"diff", seq, par}, &out); err != nil {
+		t.Fatalf("sequential vs parallel traces diverge: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "traces equivalent") {
+		t.Fatalf("diff output: %s", out.String())
+	}
+
+	// Perturb the configuration: the skeletons must diverge.
+	other := filepath.Join(dir, "other.ndjson")
+	rec, finish, err := obs.Setup(obs.NewRun("octrace-test", 1, nil), other, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Form(core.Config{Width: 12, Height: 12, Recorder: rec},
+		[]grid.Point{{X: 5, Y: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"diff", seq, other}, &out); err == nil {
+		t.Fatalf("different configurations reported equivalent:\n%s", out.String())
+	}
+}
+
+// TestBenchCheckOnCommittedBaselines is the acceptance check for the CI
+// perf gate: every committed BENCH_*.json passes against itself, and a
+// synthetically regressed copy fails.
+func TestBenchCheckOnCommittedBaselines(t *testing.T) {
+	baselines, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baselines) == 0 {
+		t.Fatal("no committed BENCH_*.json baselines found")
+	}
+	for _, path := range baselines {
+		var out strings.Builder
+		if err := run([]string{"bench", "check", path, path}, &out); err != nil {
+			t.Errorf("%s vs itself failed: %v\n%s", path, err, out.String())
+		}
+		if !strings.Contains(out.String(), "bench check ok") {
+			t.Errorf("%s: missing ok marker:\n%s", path, out.String())
+		}
+	}
+
+	// Regress a copy of the first baseline by 2x: the gate must fail.
+	raw, err := os.ReadFile(baselines[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep analyze.BenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Results {
+		rep.Results[i].NsPerOp *= 2
+	}
+	regressed := filepath.Join(t.TempDir(), "regressed.json")
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(regressed, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"bench", "check", baselines[0], regressed}, &out); err == nil {
+		t.Fatalf("2x regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "!!") {
+		t.Errorf("regressed benchmarks not marked:\n%s", out.String())
+	}
+
+	// And an improved copy (0.5x) passes: the gate is one-sided.
+	for i := range rep.Results {
+		rep.Results[i].NsPerOp /= 8 // 2x * 1/8 = 0.25x of baseline
+	}
+	improved := filepath.Join(t.TempDir(), "improved.json")
+	data, _ = json.Marshal(rep)
+	if err := os.WriteFile(improved, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"bench", "check", baselines[0], improved}, &out); err != nil {
+		t.Fatalf("improvement failed the gate: %v", err)
+	}
+}
+
+// TestUsageErrors pins the CLI's error surface.
+func TestUsageErrors(t *testing.T) {
+	var out strings.Builder
+	for _, args := range [][]string{
+		nil,
+		{"frobnicate"},
+		{"bench"},
+		{"bench", "frob"},
+		{"diff", "only-one.ndjson"},
+		{"report"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want usage error", args)
+		}
+	}
+	if err := run([]string{"report", filepath.Join(t.TempDir(), "missing.ndjson")}, &out); err == nil {
+		t.Error("missing trace file not reported")
+	}
+}

@@ -194,8 +194,13 @@ func runPhase(rec *obs.Recorder, cfg Config, eng simnet.Engine, env *simnet.Env,
 	dur := rec.Now().Sub(start)
 	if err != nil {
 		// Close the phase even on failure so every phase_start has a
-		// matching phase_end and trace consumers see the error in place.
+		// matching phase_end and trace consumers see the error in place,
+		// then push the buffered trace to disk: a caller aborting (or a
+		// process dying) on this error must still leave valid NDJSON
+		// behind. The flush error is dropped like other trace I/O errors
+		// — the engine failure is the one the caller needs.
 		rec.Emit(obs.Event{Type: obs.EPhaseEnd, Phase: phase, DurNS: dur.Nanoseconds(), Err: err.Error()})
+		_ = rec.Flush()
 		return nil, err
 	}
 	rec.Emit(obs.Event{Type: obs.EPhaseEnd, Phase: phase, Rounds: res.Rounds, DurNS: dur.Nanoseconds()})

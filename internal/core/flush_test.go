@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ocpmesh/internal/core"
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/obs"
+)
+
+// diagonal is a fault pattern whose phase-1 fixpoint needs several
+// changing rounds, so MaxRounds: 1 reliably kills the run mid-phase.
+var diagonal = []grid.Point{{X: 2, Y: 2}, {X: 3, Y: 3}, {X: 4, Y: 4}, {X: 5, Y: 5}}
+
+// parseNDJSON asserts every line of buf is one complete JSON event —
+// the validity property the error-path flush exists to preserve — and
+// returns the events.
+func parseNDJSON(t *testing.T, buf []byte) []obs.Event {
+	t.Helper()
+	var events []obs.Event
+	for i, line := range strings.Split(strings.TrimRight(string(buf), "\n"), "\n") {
+		var e obs.Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%q", i+1, err, line)
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+// TestFormErrorFlushesTrace kills a formation mid-phase (MaxRounds too
+// low) and checks that the buffered NDJSON trace was flushed through to
+// the writer as complete lines, without the tracer ever being closed —
+// the on-disk state a crashed or killed run would leave behind.
+func TestFormErrorFlushesTrace(t *testing.T) {
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(obs.NewTracer(obs.NewNDJSONSink(&buf)), nil)
+
+	_, err := core.Form(core.Config{Width: 10, Height: 10, MaxRounds: 1, Recorder: rec}, diagonal)
+	if err == nil {
+		t.Fatal("expected MaxRounds=1 to abort the formation")
+	}
+	if buf.Len() == 0 {
+		t.Fatal("error path did not flush the trace sink")
+	}
+
+	events := parseNDJSON(t, buf.Bytes())
+	last := events[len(events)-1]
+	if last.Type != obs.EPhaseEnd || last.Err == "" {
+		t.Fatalf("last flushed event = %+v, want phase_end carrying the error", last)
+	}
+	starts, ends := 0, 0
+	for _, e := range events {
+		switch e.Type {
+		case obs.EPhaseStart:
+			starts++
+		case obs.EPhaseEnd:
+			ends++
+		}
+	}
+	if starts != ends {
+		t.Fatalf("unbalanced phases in partial trace: %d starts, %d ends", starts, ends)
+	}
+}
+
+// TestSessionErrorFlushesTrace does the same through the incremental
+// path: the initial (fault-free) formation stabilizes in 0 rounds, then
+// a delta whose frontier needs several waves trips MaxRounds and must
+// flush the partial trace.
+func TestSessionErrorFlushesTrace(t *testing.T) {
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(obs.NewTracer(obs.NewNDJSONSink(&buf)), nil)
+
+	s, err := core.NewSession(core.Config{Width: 10, Height: 10, MaxRounds: 1, Recorder: rec}, nil)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	if _, err := s.AddFaults(diagonal...); err == nil {
+		t.Fatal("expected MaxRounds=1 to abort the delta")
+	}
+	if buf.Len() == 0 {
+		t.Fatal("delta error path did not flush the trace sink")
+	}
+	parseNDJSON(t, buf.Bytes())
+}

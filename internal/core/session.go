@@ -56,15 +56,26 @@ func NewSessionOn(cfg Config, topo *mesh.Topology, faults *grid.PointSet) (*Sess
 }
 
 // AddFaults marks the given nodes faulty and restabilizes the formation
-// incrementally. Already-faulty points are skipped.
+// incrementally. Already-faulty points are skipped. On error the trace
+// is flushed so a session abandoned mid-churn still leaves valid NDJSON
+// behind.
 func (s *Session) AddFaults(ps ...grid.Point) (Delta, error) {
-	return s.field.Add(ps...)
+	d, err := s.field.Add(ps...)
+	if err != nil {
+		_ = s.cfg.Recorder.Flush()
+	}
+	return d, err
 }
 
 // RemoveFaults repairs the given nodes and restabilizes the formation
-// incrementally. Non-faulty points are skipped.
+// incrementally. Non-faulty points are skipped. Errors flush the trace
+// like AddFaults.
 func (s *Session) RemoveFaults(ps ...grid.Point) (Delta, error) {
-	return s.field.Remove(ps...)
+	d, err := s.field.Remove(ps...)
+	if err != nil {
+		_ = s.cfg.Recorder.Flush()
+	}
+	return d, err
 }
 
 // Result snapshots the current formation as a Result, interchangeable

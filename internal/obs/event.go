@@ -133,6 +133,14 @@ type Sink interface {
 	Close() error
 }
 
+// Flusher is the optional Sink extension for buffered sinks: Flush
+// pushes buffered events downstream without closing the sink. The
+// engine error paths in core flush the trace so that a run dying
+// mid-phase still leaves valid NDJSON on disk.
+type Flusher interface {
+	Flush() error
+}
+
 // NDJSONSink writes one JSON object per line to w, buffered. If w is an
 // io.Closer it is closed by Close.
 type NDJSONSink struct {
@@ -150,6 +158,11 @@ func NewNDJSONSink(w io.Writer) *NDJSONSink {
 // Emit implements Sink. Encoding errors are deliberately dropped: a
 // failing trace disk must not take down the experiment.
 func (s *NDJSONSink) Emit(e Event) { _ = s.enc.Encode(e) }
+
+// Flush implements Flusher: it pushes buffered lines to the underlying
+// writer without closing it, so a trace interrupted later (crash, kill)
+// still ends on a complete NDJSON line as of the flush.
+func (s *NDJSONSink) Flush() error { return s.bw.Flush() }
 
 // Close flushes the buffer and closes the underlying writer when it is
 // an io.Closer.
@@ -224,6 +237,20 @@ func (m multiSink) Close() error {
 	for _, s := range m {
 		if err := s.Close(); err != nil && first == nil {
 			first = err
+		}
+	}
+	return first
+}
+
+// Flush implements Flusher, flushing every constituent sink that
+// buffers and returning the first error.
+func (m multiSink) Flush() error {
+	var first error
+	for _, s := range m {
+		if f, ok := s.(Flusher); ok {
+			if err := f.Flush(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
 	return first

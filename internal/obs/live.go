@@ -1,0 +1,215 @@
+package obs
+
+import "sync"
+
+// LiveStatus is the point-in-time view of a run that /runz serves: the
+// manifest, where the run currently is (figure, phase, round), how much
+// of the current sweep is done, and per-event-type counts. It is
+// assembled from the event stream alone, so it needs no cooperation
+// from the instrumented code beyond what the trace already carries.
+//
+// Under a parallel sweep several cells run formations concurrently and
+// their phase/round events interleave in one serialized stream; the
+// phase/round fields then show the most recent event, which is the
+// right "is it still moving?" signal even if it hops between cells.
+type LiveStatus struct {
+	// Run is the manifest from the run_start event.
+	Run *Run `json:"run,omitempty"`
+	// Seq is the sequence number of the last event seen; Events is the
+	// total number of events, TNS the stream-relative time of the last.
+	Seq    int64 `json:"seq"`
+	Events int64 `json:"events"`
+	TNS    int64 `json:"t_ns"`
+	// Figure is the experiment currently running (figure_start .. _end).
+	Figure string `json:"figure,omitempty"`
+	// Phase, Engine, Rule describe the innermost running fixpoint phase;
+	// Round and Changed track its latest round event.
+	Phase   string `json:"phase,omitempty"`
+	Engine  string `json:"engine,omitempty"`
+	Rule    string `json:"rule,omitempty"`
+	Round   int    `json:"round,omitempty"`
+	Changed int    `json:"changed,omitempty"`
+	// LastRounds is the round count of the most recently completed phase.
+	LastRounds int `json:"last_rounds,omitempty"`
+	// SweepDone/SweepTotal count evaluated cells against the sweep_start
+	// announcement; SweepPoints counts aggregated points so far.
+	SweepDone   int `json:"sweep_done,omitempty"`
+	SweepTotal  int `json:"sweep_total,omitempty"`
+	SweepPoints int `json:"sweep_points,omitempty"`
+	// Errors counts events that carried an error; LastErr is the latest.
+	Errors  int64  `json:"errors,omitempty"`
+	LastErr string `json:"last_err,omitempty"`
+	// Done reports that run_end has been seen.
+	Done bool `json:"done,omitempty"`
+	// Counts is the number of events seen per event type.
+	Counts map[string]int64 `json:"counts"`
+	// Dropped counts events a slow /eventz subscriber missed.
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// LiveSink is an in-process Sink that keeps a ring buffer of recent
+// events, a rolling LiveStatus, and a set of subscribers for live
+// tailing — the in-memory backend of the serve package's /runz and
+// /eventz endpoints. Emit never blocks: a subscriber whose channel is
+// full loses events (counted in LiveStatus.Dropped) rather than
+// stalling the instrumented run.
+//
+// Unlike most sinks it is internally locked, because HTTP handlers read
+// it while the tracer is still emitting.
+type LiveSink struct {
+	mu      sync.Mutex
+	ring    []Event
+	next    int // ring write cursor
+	filled  bool
+	status  LiveStatus
+	subs    map[int]chan Event
+	subSeq  int
+	dropped int64
+}
+
+// NewLiveSink returns a live sink retaining the last size events
+// (minimum 1; a typical CLI uses a few hundred).
+func NewLiveSink(size int) *LiveSink {
+	if size < 1 {
+		size = 1
+	}
+	return &LiveSink{
+		ring: make([]Event, size),
+		subs: make(map[int]chan Event),
+	}
+}
+
+// Emit implements Sink.
+func (s *LiveSink) Emit(e Event) {
+	s.mu.Lock()
+	s.ring[s.next] = e
+	s.next++
+	if s.next == len(s.ring) {
+		s.next, s.filled = 0, true
+	}
+	s.update(e)
+	for _, ch := range s.subs {
+		select {
+		case ch <- e:
+		default:
+			s.dropped++
+		}
+	}
+	s.mu.Unlock()
+}
+
+// update folds one event into the rolling status. Called with mu held.
+func (s *LiveSink) update(e Event) {
+	st := &s.status
+	st.Seq = e.Seq
+	st.TNS = e.TNS
+	st.Events++
+	if st.Counts == nil {
+		st.Counts = make(map[string]int64)
+	}
+	st.Counts[e.Type]++
+	if e.Err != "" {
+		st.Errors++
+		st.LastErr = e.Err
+	}
+	switch e.Type {
+	case ERunStart:
+		st.Run = e.Run
+	case ERunEnd:
+		st.Done = true
+	case EFigureStart:
+		st.Figure = e.Name
+	case EFigureEnd:
+		st.Figure = ""
+	case EPhaseStart:
+		st.Phase, st.Engine, st.Rule = e.Phase, e.Engine, e.Rule
+		st.Round, st.Changed = 0, 0
+	case ERound:
+		st.Phase = e.Phase
+		st.Round, st.Changed = e.Round, e.Changed
+	case EPhaseEnd:
+		st.Phase, st.Engine, st.Rule = "", "", ""
+		st.LastRounds = e.Rounds
+	case ESweepStart:
+		st.SweepDone, st.SweepTotal, st.SweepPoints = 0, e.N, 0
+	case ESweepCell:
+		st.SweepDone++
+	case ESweepPoint:
+		st.SweepPoints++
+	}
+}
+
+// Close implements Sink: it closes every subscriber channel so /eventz
+// streams terminate when the run finishes.
+func (s *LiveSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, ch := range s.subs {
+		close(ch)
+		delete(s.subs, id)
+	}
+	return nil
+}
+
+// Status returns a copy of the rolling status.
+func (s *LiveSink) Status() LiveStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.status
+	st.Dropped = s.dropped
+	counts := make(map[string]int64, len(s.status.Counts))
+	for k, v := range s.status.Counts {
+		counts[k] = v
+	}
+	st.Counts = counts
+	return st
+}
+
+// Recent returns up to n of the most recent events, oldest first.
+func (s *LiveSink) Recent(n int) []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	have := s.next
+	if s.filled {
+		have = len(s.ring)
+	}
+	if n > have {
+		n = have
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Event, 0, n)
+	for i := s.next - n; i < s.next; i++ {
+		out = append(out, s.ring[(i+len(s.ring))%len(s.ring)])
+	}
+	return out
+}
+
+// Subscribe registers a live tail with the given channel buffer and
+// returns its id and receive channel. The channel is closed by Close;
+// events emitted while the buffer is full are dropped for this
+// subscriber only.
+func (s *LiveSink) Subscribe(buf int) (int, <-chan Event) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan Event, buf)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subSeq++
+	id := s.subSeq
+	s.subs[id] = ch
+	return id, ch
+}
+
+// Unsubscribe removes a subscriber; its channel is closed. Unknown ids
+// are ignored (the subscriber may have been removed by Close already).
+func (s *LiveSink) Unsubscribe(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ch, ok := s.subs[id]; ok {
+		close(ch)
+		delete(s.subs, id)
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestLiveSinkStatusTracksRun(t *testing.T) {
+	s := NewLiveSink(16)
+	run := Run{Tool: "test", Seed: 7}
+	s.Emit(Event{Seq: 1, Type: ERunStart, Run: &run})
+	s.Emit(Event{Seq: 2, Type: EFigureStart, Name: "5a"})
+	s.Emit(Event{Seq: 3, Type: ESweepStart, N: 40, Points: 4})
+	s.Emit(Event{Seq: 4, Type: EPhaseStart, Phase: "phase1", Engine: "parallel", Rule: "def2b"})
+	s.Emit(Event{Seq: 5, Type: ERound, Phase: "phase1", Round: 3, Changed: 12})
+
+	st := s.Status()
+	if st.Run == nil || st.Run.Tool != "test" {
+		t.Fatalf("run manifest not captured: %+v", st.Run)
+	}
+	if st.Figure != "5a" || st.Phase != "phase1" || st.Engine != "parallel" || st.Rule != "def2b" {
+		t.Fatalf("in-flight position wrong: %+v", st)
+	}
+	if st.Round != 3 || st.Changed != 12 {
+		t.Fatalf("round tracking wrong: round=%d changed=%d", st.Round, st.Changed)
+	}
+	if st.SweepTotal != 40 || st.SweepDone != 0 {
+		t.Fatalf("sweep progress wrong: %d/%d", st.SweepDone, st.SweepTotal)
+	}
+	if st.Seq != 5 || st.Events != 5 {
+		t.Fatalf("seq=%d events=%d, want 5 and 5", st.Seq, st.Events)
+	}
+
+	s.Emit(Event{Seq: 6, Type: EPhaseEnd, Phase: "phase1", Rounds: 9})
+	s.Emit(Event{Seq: 7, Type: ESweepCell, X: 5, Rep: 0})
+	s.Emit(Event{Seq: 8, Type: ESweepCell, X: 5, Rep: 1, Err: "boom"})
+	s.Emit(Event{Seq: 9, Type: ESweepPoint, X: 5, N: 2})
+	s.Emit(Event{Seq: 10, Type: ERunEnd})
+
+	st = s.Status()
+	if st.Phase != "" || st.LastRounds != 9 {
+		t.Fatalf("phase close not tracked: %+v", st)
+	}
+	if st.SweepDone != 2 || st.SweepPoints != 1 {
+		t.Fatalf("sweep counts wrong: done=%d points=%d", st.SweepDone, st.SweepPoints)
+	}
+	if st.Errors != 1 || st.LastErr != "boom" {
+		t.Fatalf("error tracking wrong: %d %q", st.Errors, st.LastErr)
+	}
+	if !st.Done {
+		t.Fatal("run_end not reflected")
+	}
+	if st.Counts[ESweepCell] != 2 || st.Counts[ERound] != 1 {
+		t.Fatalf("type counts wrong: %v", st.Counts)
+	}
+}
+
+func TestLiveSinkRingWraps(t *testing.T) {
+	s := NewLiveSink(4)
+	for i := 1; i <= 10; i++ {
+		s.Emit(Event{Seq: int64(i), Type: ESpan})
+	}
+	recent := s.Recent(100)
+	if len(recent) != 4 {
+		t.Fatalf("recent length = %d, want ring size 4", len(recent))
+	}
+	for i, e := range recent {
+		if want := int64(7 + i); e.Seq != want {
+			t.Fatalf("recent[%d].Seq = %d, want %d (oldest first)", i, e.Seq, want)
+		}
+	}
+	if got := s.Recent(2); len(got) != 2 || got[1].Seq != 10 {
+		t.Fatalf("Recent(2) = %+v, want the last two", got)
+	}
+	if s.Recent(0) != nil {
+		t.Fatal("Recent(0) should be nil")
+	}
+}
+
+func TestLiveSinkSubscribe(t *testing.T) {
+	s := NewLiveSink(4)
+	id, ch := s.Subscribe(2)
+	s.Emit(Event{Seq: 1, Type: ERound})
+	if e := <-ch; e.Seq != 1 {
+		t.Fatalf("subscriber got %+v", e)
+	}
+
+	// Overflow the buffer: emits must not block, drops are counted.
+	for i := 2; i <= 6; i++ {
+		s.Emit(Event{Seq: int64(i), Type: ERound})
+	}
+	if st := s.Status(); st.Dropped == 0 {
+		t.Fatal("expected dropped events with a full subscriber buffer")
+	}
+	s.Unsubscribe(id)
+	if _, ok := <-ch; ok {
+		// Drain buffered events until the close is visible.
+		for range ch {
+		}
+	}
+
+	// Close terminates remaining subscribers.
+	_, ch2 := s.Subscribe(1)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-ch2; ok {
+		t.Fatal("channel should be closed after Close")
+	}
+}

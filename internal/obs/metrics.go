@@ -34,11 +34,15 @@ func NewRegistry() *Registry {
 	}
 }
 
-// Counter returns the named counter, creating it on first use.
+// Counter returns the named counter, creating it on first use. The name
+// is canonicalized with SanitizeMetricName so every registered metric is
+// valid in the Prometheus exposition format (see prom.go); names that
+// sanitize identically share one counter.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	name = SanitizeMetricName(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
@@ -49,11 +53,13 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Gauge returns the named gauge, creating it on first use.
+// Gauge returns the named gauge, creating it on first use. Names are
+// canonicalized like Counter's.
 func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	name = SanitizeMetricName(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
@@ -66,11 +72,13 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns the named histogram, creating it with the given
 // bucket upper bounds on first use (nil bounds = DefBuckets). Bounds
-// passed on later lookups of an existing histogram are ignored.
+// passed on later lookups of an existing histogram are ignored. Names
+// are canonicalized like Counter's.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
+	name = SanitizeMetricName(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.histograms[name]

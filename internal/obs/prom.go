@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format version this package emits.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// ValidMetricName reports whether name matches the Prometheus metric
+// name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func ValidMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if !validMetricByte(name[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func validMetricByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	default:
+		return false
+	}
+}
+
+// SanitizeMetricName maps an arbitrary name onto the Prometheus metric
+// name grammar by replacing every invalid byte with '_' (an empty name
+// becomes a single '_'). Valid names pass through unchanged, so the
+// common case allocates nothing. Registry canonicalizes every metric
+// name through this function, which is what guarantees the exposition
+// endpoint can never emit an unscrapable page; distinct raw names that
+// sanitize to the same string share one metric.
+func SanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	if ValidMetricName(name) {
+		return name
+	}
+	b := []byte(name)
+	for i := range b {
+		if !validMetricByte(b[i], i == 0) {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges under their own names,
+// histograms as summaries carrying the P² p50/p90/p99 quantiles plus
+// _sum/_count/_min/_max series. When the snapshot carries a Run
+// manifest, an ocpmesh_run_info gauge exports its provenance as labels.
+// Output is sorted by metric name, so scrapes are diff-stable.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	if s.Run != nil {
+		b.WriteString("# HELP ocpmesh_run_info Run manifest of the producing process.\n")
+		b.WriteString("# TYPE ocpmesh_run_info gauge\n")
+		fmt.Fprintf(&b, "ocpmesh_run_info{tool=\"%s\",version=\"%s\",go_version=\"%s\",seed=\"%d\"} 1\n",
+			escapeLabel(s.Run.Tool), escapeLabel(s.Run.Version),
+			escapeLabel(s.Run.GoVersion), s.Run.Seed)
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		n := SanitizeMetricName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %s\n", n, n, promFloat(float64(s.Counters[name])))
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := SanitizeMetricName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		n := SanitizeMetricName(name)
+		fmt.Fprintf(&b, "# TYPE %s summary\n", n)
+		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %s\n", n, promFloat(h.P50))
+		fmt.Fprintf(&b, "%s{quantile=\"0.9\"} %s\n", n, promFloat(h.P90))
+		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %s\n", n, promFloat(h.P99))
+		fmt.Fprintf(&b, "%s_sum %s\n", n, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %s\n", n, promFloat(float64(h.Count)))
+		fmt.Fprintf(&b, "# TYPE %s_min gauge\n%s_min %s\n", n, n, promFloat(h.Min))
+		fmt.Fprintf(&b, "# TYPE %s_max gauge\n%s_max %s\n", n, n, promFloat(h.Max))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promFloat formats a sample value for the text format, which spells the
+// specials NaN, +Inf and -Inf.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}

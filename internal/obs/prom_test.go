@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"core_forms", "core_forms"},
+		{"span_ns:sweep", "span_ns:sweep"},
+		{"UpperCase_09", "UpperCase_09"},
+		{"", "_"},
+		{"9leading_digit", "_leading_digit"},
+		{"dots.and-dashes", "dots_and_dashes"},
+		{"spaces and &!", "spaces_and___"},
+		{"héllo", "h__llo"}, // é is two UTF-8 bytes
+	}
+	for _, c := range cases {
+		if got := SanitizeMetricName(c.in); got != c.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", c.in, got, c.want)
+		}
+		if !ValidMetricName(SanitizeMetricName(c.in)) {
+			t.Errorf("sanitized %q is still invalid", c.in)
+		}
+	}
+}
+
+// TestRegistryCanonicalizesNames checks that metrics registered under
+// exposition-invalid names land in the snapshot under their sanitized
+// form, and that the raw and sanitized spellings alias one metric.
+func TestRegistryCanonicalizesNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bad name!").Add(2)
+	r.Counter("bad_name_").Add(3) // same after sanitization
+	r.Gauge("1st").Set(4)
+	r.Histogram("héllo", nil).Observe(1)
+
+	s := r.Snapshot()
+	if got := s.Counters["bad_name_"]; got != 5 {
+		t.Fatalf("counter alias: got %d, want 5 (snapshot %+v)", got, s.Counters)
+	}
+	if _, ok := s.Counters["bad name!"]; ok {
+		t.Fatal("raw invalid name leaked into the snapshot")
+	}
+	if got := s.Gauges["_st"]; got != 4 {
+		t.Fatalf("gauge: got %v, want 4", got)
+	}
+	if _, ok := s.Histograms["h__llo"]; !ok {
+		t.Fatalf("histogram not under sanitized name: %v", s.Histograms)
+	}
+}
+
+// promLine matches one sample line of the text exposition format:
+// a valid metric name, optional label set, and a float value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// checkPromPage asserts page is scrapable: every line is either a
+// well-formed comment or a sample line whose value parses.
+func checkPromPage(t *testing.T, page string) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(page, "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty exposition page")
+	}
+	for i, line := range lines {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		m := promLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d not valid exposition format: %q", i+1, line)
+		}
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		if val != "NaN" && val != "+Inf" && val != "-Inf" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Fatalf("line %d: bad sample value %q: %v", i+1, val, err)
+			}
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests total").Add(7) // invalid raw name
+	r.Gauge("temp").Set(-2.5)
+	h := r.Histogram("lat_ns", NSBuckets)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	run := NewRun("ocpsim", 42, nil)
+	run.Version = `wei"rd\ver` + "\nsion" // must be escaped, not break the page
+	r.mu.Lock()
+	r.run = &run
+	r.mu.Unlock()
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	page := b.String()
+	checkPromPage(t, page)
+
+	for _, want := range []string{
+		"requests_total 7",
+		"temp -2.5",
+		"lat_ns_count 100",
+		`lat_ns{quantile="0.5"}`,
+		`lat_ns{quantile="0.99"}`,
+		"lat_ns_min 1",
+		"lat_ns_max 100",
+		`tool="ocpsim"`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q:\n%s", want, page)
+		}
+	}
+}
+
+func TestWritePrometheusEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := NewRegistry().Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		checkPromPage(t, b.String())
+	}
+}
+
+// TestHistogramFewObservations pins the P² estimators' direct
+// interpolation path: with fewer than five observations the snapshot
+// quantiles come from the sorted sample itself.
+func TestHistogramFewObservations(t *testing.T) {
+	h := NewHistogram(nil)
+	s := h.snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Fatalf("empty histogram snapshot = %+v, want zeros", s)
+	}
+
+	h.Observe(10)
+	s = h.snapshot()
+	if s.P50 != 10 || s.P90 != 10 || s.P99 != 10 {
+		t.Fatalf("single observation: p50=%g p90=%g p99=%g, want all 10", s.P50, s.P90, s.P99)
+	}
+
+	h2 := NewHistogram(nil)
+	h2.Observe(10)
+	h2.Observe(20)
+	s = h2.snapshot()
+	if s.P50 != 15 { // linear interpolation between the two points
+		t.Fatalf("two observations: p50=%g, want 15", s.P50)
+	}
+	if s.Min != 10 || s.Max != 20 || s.Mean != 15 {
+		t.Fatalf("two observations: min=%g max=%g mean=%g", s.Min, s.Max, s.Mean)
+	}
+	if s.P99 < s.P50 || s.P99 > 20 {
+		t.Fatalf("two observations: p99=%g outside [p50, max]", s.P99)
+	}
+
+	h4 := NewHistogram(nil)
+	for _, v := range []float64{4, 1, 3, 2} {
+		h4.Observe(v)
+	}
+	s = h4.snapshot()
+	if s.P50 != 2.5 {
+		t.Fatalf("four observations: p50=%g, want 2.5", s.P50)
+	}
+}
+
+// TestHistogramAllEqual checks the degenerate stream where every
+// observation is identical: all quantile markers must collapse onto the
+// value (the P² parabolic fit divides by marker-position differences,
+// so this exercises its guard paths).
+func TestHistogramAllEqual(t *testing.T) {
+	for _, n := range []int{3, 5, 1000} {
+		h := NewHistogram(nil)
+		for i := 0; i < n; i++ {
+			h.Observe(7)
+		}
+		s := h.snapshot()
+		if s.P50 != 7 || s.P90 != 7 || s.P99 != 7 {
+			t.Fatalf("n=%d all-equal: p50=%g p90=%g p99=%g, want all 7", n, s.P50, s.P90, s.P99)
+		}
+		if s.Min != 7 || s.Max != 7 || s.Mean != 7 {
+			t.Fatalf("n=%d all-equal: min=%g max=%g mean=%g, want all 7", n, s.Min, s.Max, s.Mean)
+		}
+		if math.IsNaN(h.Quantile(0.5)) {
+			t.Fatalf("n=%d all-equal: bucket quantile is NaN", n)
+		}
+	}
+}
+
+// TestHistogramConcurrentObserveSnapshot races observers against
+// snapshot readers; run under -race this pins the lock discipline, and
+// the final snapshot must account for every observation.
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			if h, ok := s.Histograms["conc"]; ok {
+				if h.Min > h.Max {
+					t.Error("snapshot min > max")
+					return
+				}
+				if h.Count > 0 && (h.P50 < h.Min || h.P50 > h.Max) {
+					t.Errorf("snapshot p50=%g outside [%g, %g]", h.P50, h.Min, h.Max)
+					return
+				}
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			h := r.Histogram("conc", nil)
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g*per + i))
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	s := r.Snapshot().Histograms["conc"]
+	if s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	if s.Min != 0 || s.Max != goroutines*per-1 {
+		t.Fatalf("min=%g max=%g, want 0 and %d", s.Min, s.Max, goroutines*per-1)
+	}
+}

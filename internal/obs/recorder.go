@@ -74,6 +74,17 @@ func (r *Recorder) Histogram(name string, bounds []float64) *Histogram {
 	return r.metrics.Histogram(name, bounds)
 }
 
+// Flush pushes buffered trace events to their backing writer (see
+// Tracer.Flush). The formation engines call it on error paths so a run
+// that dies mid-phase still leaves a valid NDJSON trace behind.
+// Nil-safe.
+func (r *Recorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	return r.tracer.Flush()
+}
+
 // Now returns the current time from the tracer's clock (so spans stay
 // deterministic under an injected test clock). Nil-safe.
 func (r *Recorder) Now() time.Time {

@@ -1,0 +1,180 @@
+// Package serve is the live telemetry endpoint over the observability
+// layer: an opt-in HTTP server that exposes the metrics registry in the
+// Prometheus text exposition format, a JSON view of the in-flight run,
+// a server-sent-events tail of the live trace, and net/http/pprof — so
+// a multi-hour sweep or churn session can be watched and profiled while
+// it runs.
+//
+// Endpoints:
+//
+//	/metrics       Prometheus text format (counters, gauges, summaries)
+//	/healthz       liveness probe, always "ok"
+//	/runz          JSON snapshot of the current run (manifest, figure,
+//	               phase, round, sweep progress, error counts)
+//	/eventz        SSE stream tailing live trace events
+//	               (?replay=N prepends the last N buffered events)
+//	/debug/pprof/  the standard pprof handlers
+//
+// The CLIs wire it up behind a -serve addr flag; see obs.LiveSink for
+// the event plumbing behind /runz and /eventz.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"ocpmesh/internal/obs"
+)
+
+// Server serves live telemetry for one process. Both halves are
+// optional: without a metrics registry /metrics renders an empty (but
+// valid) page, without a live sink /runz and /eventz answer 404.
+type Server struct {
+	rec  *obs.Recorder
+	live *obs.LiveSink
+	http *http.Server
+	ln   net.Listener
+}
+
+// New returns a telemetry server reading rec's metrics registry and
+// live's event stream.
+func New(rec *obs.Recorder, live *obs.LiveSink) *Server {
+	return &Server{rec: rec, live: live}
+}
+
+// Handler returns the telemetry mux (also used directly by tests via
+// httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.index)
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/runz", s.runz)
+	mux.HandleFunc("/eventz", s.eventz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start listens on addr and serves in the background, returning the
+// bound address (useful with ":0"). Serve errors after a successful
+// listen are ignored: the telemetry side-car must never take down the
+// experiment it watches.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.http.Serve(ln) }()
+	return ln.Addr(), nil
+}
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error {
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Close()
+}
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, "ocpmesh telemetry\n\n"+
+		"/metrics        Prometheus text exposition\n"+
+		"/healthz        liveness probe\n"+
+		"/runz           JSON snapshot of the in-flight run\n"+
+		"/eventz         SSE tail of live trace events (?replay=N)\n"+
+		"/debug/pprof/   profiling\n")
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	_ = s.rec.Metrics().Snapshot().WritePrometheus(w)
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) runz(w http.ResponseWriter, _ *http.Request) {
+	if s.live == nil {
+		http.Error(w, "no live event sink attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.live.Status())
+}
+
+// eventz streams trace events as server-sent events: one "data:" line
+// holding the event's JSON per message. ?replay=N prepends up to N
+// buffered events before going live. The stream ends when the client
+// disconnects or the run's tracer closes the sink.
+func (s *Server) eventz(w http.ResponseWriter, r *http.Request) {
+	if s.live == nil {
+		http.Error(w, "no live event sink attached", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	write := func(e obs.Event) bool {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	// Subscribe before replaying so no event can fall in the gap; the
+	// replayed tail may then overlap the live stream by a few events,
+	// which SSE consumers dedupe on seq.
+	id, ch := s.live.Subscribe(256)
+	defer s.live.Unsubscribe(id)
+	if n, err := strconv.Atoi(r.URL.Query().Get("replay")); err == nil && n > 0 {
+		for _, e := range s.live.Recent(n) {
+			if !write(e) {
+				return
+			}
+		}
+	}
+	for {
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				return
+			}
+			if !write(e) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ocpmesh/internal/obs"
+	"ocpmesh/internal/status"
+	"ocpmesh/internal/sweep"
+)
+
+// promLine matches one sample line of the Prometheus text exposition
+// format.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+func checkPromPage(t *testing.T, page string) {
+	t.Helper()
+	for i, line := range strings.Split(strings.TrimRight(page, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		m := promLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d not valid exposition format: %q", i+1, line)
+		}
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		if val != "NaN" && val != "+Inf" && val != "-Inf" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Fatalf("line %d: bad sample value %q: %v", i+1, val, err)
+			}
+		}
+	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestMetricsOnLiveSweep runs a real sweep through a recorder wired the
+// way the CLIs wire -serve and checks the acceptance criterion: the
+// /metrics page is valid Prometheus text format and carries the sweep's
+// metrics, and /runz reflects the finished run.
+func TestMetricsOnLiveSweep(t *testing.T) {
+	live := obs.NewLiveSink(256)
+	rec := obs.NewRecorder(obs.NewTracer(live), obs.NewRegistry())
+	rec.BeginRun(obs.NewRun("serve-test", 1, nil))
+
+	ts := httptest.NewServer(New(rec, live).Handler())
+	defer ts.Close()
+
+	runner, err := sweep.NewRunner(sweep.Config{
+		Width: 16, Height: 16, MaxFaults: 8, Step: 4, Replications: 2,
+		Seed: 1, Workers: 2, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.Sweep(status.Def2b, sweep.Uniform, sweep.RoundsPhase1); err != nil {
+		t.Fatal(err)
+	}
+
+	code, page := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	checkPromPage(t, page)
+	for _, want := range []string{"sweep_cells ", "core_phase1_rounds", "simnet_rounds ", "ocpmesh_run_info"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body := get(t, ts.URL+"/runz")
+	if code != http.StatusOK {
+		t.Fatalf("/runz status %d", code)
+	}
+	var st obs.LiveStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/runz not JSON: %v\n%s", err, body)
+	}
+	if st.Run == nil || st.Run.Tool != "serve-test" {
+		t.Fatalf("/runz run manifest wrong: %+v", st.Run)
+	}
+	if st.SweepTotal != 6 || st.SweepDone != 6 {
+		t.Fatalf("/runz sweep progress = %d/%d, want 6/6", st.SweepDone, st.SweepTotal)
+	}
+
+	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+}
+
+// TestRunzMidFlight feeds the live sink a partial event stream — a run
+// that is inside phase1, round 4 — and checks /runz reports exactly
+// that in-flight position.
+func TestRunzMidFlight(t *testing.T) {
+	live := obs.NewLiveSink(16)
+	rec := obs.NewRecorder(obs.NewTracer(live), obs.NewRegistry())
+	ts := httptest.NewServer(New(rec, live).Handler())
+	defer ts.Close()
+
+	rec.BeginRun(obs.Run{Tool: "midflight"})
+	rec.Emit(obs.Event{Type: obs.EPhaseStart, Phase: "phase1", Engine: "sequential", Rule: "def2b"})
+	rec.Emit(obs.Event{Type: obs.ERound, Phase: "phase1", Round: 4, Changed: 17, Msgs: 100})
+
+	var st obs.LiveStatus
+	_, body := get(t, ts.URL+"/runz")
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Phase != "phase1" || st.Round != 4 || st.Changed != 17 {
+		t.Fatalf("mid-flight /runz = phase=%q round=%d changed=%d, want phase1/4/17", st.Phase, st.Round, st.Changed)
+	}
+	if st.Done {
+		t.Fatal("run reported done while in flight")
+	}
+	if st.Engine != "sequential" {
+		t.Fatalf("engine = %q", st.Engine)
+	}
+}
+
+// TestEventzStreams checks the SSE tail: replayed history plus a live
+// event arrive as data: lines.
+func TestEventzStreams(t *testing.T) {
+	live := obs.NewLiveSink(16)
+	rec := obs.NewRecorder(obs.NewTracer(live), obs.NewRegistry())
+	ts := httptest.NewServer(New(rec, live).Handler())
+	defer ts.Close()
+
+	rec.Emit(obs.Event{Type: obs.EPhaseStart, Phase: "phase1"})
+
+	resp, err := http.Get(ts.URL + "/eventz?replay=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	lines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "data: ") {
+				lines <- strings.TrimPrefix(sc.Text(), "data: ")
+			}
+		}
+		close(lines)
+	}()
+
+	readEvent := func() obs.Event {
+		t.Helper()
+		select {
+		case data, ok := <-lines:
+			if !ok {
+				t.Fatal("stream closed early")
+			}
+			var e obs.Event
+			if err := json.Unmarshal([]byte(data), &e); err != nil {
+				t.Fatalf("bad SSE payload %q: %v", data, err)
+			}
+			return e
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for SSE event")
+		}
+		panic("unreachable")
+	}
+
+	if e := readEvent(); e.Type != obs.EPhaseStart {
+		t.Fatalf("replayed event = %+v, want phase_start", e)
+	}
+	rec.Emit(obs.Event{Type: obs.ERound, Phase: "phase1", Round: 1, Changed: 3})
+	if e := readEvent(); e.Type != obs.ERound || e.Round != 1 {
+		t.Fatalf("live event = %+v, want round 1", e)
+	}
+}
+
+// TestEndpointsWithoutLiveSink pins the degraded mode: /metrics still
+// serves, /runz and /eventz answer 404.
+func TestEndpointsWithoutLiveSink(t *testing.T) {
+	rec := obs.NewRecorder(nil, obs.NewRegistry())
+	rec.Counter("lonely").Inc()
+	ts := httptest.NewServer(New(rec, nil).Handler())
+	defer ts.Close()
+
+	code, page := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	checkPromPage(t, page)
+	if !strings.Contains(page, "lonely 1") {
+		t.Fatalf("counter missing:\n%s", page)
+	}
+	if code, _ := get(t, ts.URL+"/runz"); code != http.StatusNotFound {
+		t.Fatalf("/runz without live sink = %d, want 404", code)
+	}
+	if code, _ := get(t, ts.URL+"/eventz"); code != http.StatusNotFound {
+		t.Fatalf("/eventz without live sink = %d, want 404", code)
+	}
+}
+
+// TestStartAndClose binds a real listener on :0 and scrapes it over TCP.
+func TestStartAndClose(t *testing.T) {
+	rec := obs.NewRecorder(nil, obs.NewRegistry())
+	srv := New(rec, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, _ := get(t, "http://"+addr.String()+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz over TCP = %d", code)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,32 +6,47 @@ import (
 	"time"
 )
 
-// Setup assembles a Recorder for a CLI from file paths: tracePath gets
-// the NDJSON event stream, metricsPath the JSON metrics snapshot written
-// at finish, and extra sinks (e.g. a progress printer) tee off the same
-// event stream. Either path may be empty. The returned finish function
-// emits run_end, flushes and closes the trace, and writes the metrics
-// file; it is safe to call when the recorder is nil.
+// SetupConfig parameterizes SetupWith.
+type SetupConfig struct {
+	// Run is the manifest emitted at the head of the trace.
+	Run Run
+	// TracePath, when non-empty, receives the NDJSON event stream.
+	TracePath string
+	// MetricsPath, when non-empty, receives the JSON metrics snapshot
+	// written by the finish function.
+	MetricsPath string
+	// Metrics forces an in-memory metrics registry even when MetricsPath
+	// is empty — the live telemetry server scrapes it via /metrics.
+	Metrics bool
+	// Extra sinks tee off the same event stream as the trace file (e.g.
+	// a progress printer or a LiveSink).
+	Extra []Sink
+}
+
+// SetupWith assembles a Recorder for a CLI: the trace file, any extra
+// sinks, and the metrics registry. The returned finish function emits
+// run_end, flushes and closes the trace, and writes the metrics file; it
+// is safe to call when the recorder is nil.
 //
-// When nothing is requested (both paths empty, no extra sinks), Setup
-// returns a nil Recorder — observability fully off.
-func Setup(run Run, tracePath, metricsPath string, extra ...Sink) (*Recorder, func() error, error) {
+// When nothing is requested (no paths, no extra sinks, Metrics false),
+// SetupWith returns a nil Recorder — observability fully off.
+func SetupWith(cfg SetupConfig) (*Recorder, func() error, error) {
 	var sinks []Sink
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
+	if cfg.TracePath != "" {
+		f, err := os.Create(cfg.TracePath)
 		if err != nil {
 			return nil, nil, fmt.Errorf("obs: trace file: %w", err)
 		}
 		sinks = append(sinks, NewNDJSONSink(f))
 	}
-	sinks = append(sinks, extra...)
+	sinks = append(sinks, cfg.Extra...)
 
 	var tracer *Tracer
 	if len(sinks) > 0 {
 		tracer = NewTracer(MultiSink(sinks...))
 	}
 	var registry *Registry
-	if metricsPath != "" {
+	if cfg.MetricsPath != "" || cfg.Metrics {
 		registry = NewRegistry()
 	}
 	rec := NewRecorder(tracer, registry)
@@ -40,12 +55,12 @@ func Setup(run Run, tracePath, metricsPath string, extra ...Sink) (*Recorder, fu
 	}
 
 	start := time.Now()
-	rec.BeginRun(run)
+	rec.BeginRun(cfg.Run)
 	finish := func() error {
 		rec.EndRun(start)
 		err := rec.Tracer().Close()
-		if metricsPath != "" {
-			f, ferr := os.Create(metricsPath)
+		if cfg.MetricsPath != "" {
+			f, ferr := os.Create(cfg.MetricsPath)
 			if ferr != nil {
 				if err == nil {
 					err = fmt.Errorf("obs: metrics file: %w", ferr)
@@ -62,4 +77,13 @@ func Setup(run Run, tracePath, metricsPath string, extra ...Sink) (*Recorder, fu
 		return err
 	}
 	return rec, finish, nil
+}
+
+// Setup is SetupWith for the common path-only case: tracePath gets the
+// NDJSON event stream, metricsPath the JSON metrics snapshot written at
+// finish, and extra sinks tee off the same event stream.
+func Setup(run Run, tracePath, metricsPath string, extra ...Sink) (*Recorder, func() error, error) {
+	return SetupWith(SetupConfig{
+		Run: run, TracePath: tracePath, MetricsPath: metricsPath, Extra: extra,
+	})
 }

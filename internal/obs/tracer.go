@@ -60,6 +60,21 @@ func (t *Tracer) Now() time.Time {
 	return t.now()
 }
 
+// Flush pushes buffered events through to the sink's backing writer
+// when the sink buffers (implements Flusher); otherwise it is a no-op.
+// Nil-safe.
+func (t *Tracer) Flush() error {
+	if t == nil || t.sink == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if f, ok := t.sink.(Flusher); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
 // Close flushes and closes the sink. Nil-safe.
 func (t *Tracer) Close() error {
 	if t == nil || t.sink == nil {
