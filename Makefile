@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: build vet test race bench churn-bench parallel-bench bench-check serve-demo fuzz check
+.PHONY: build vet test race bench churn-bench parallel-bench bitset-bench bench-check serve-demo fuzz check
 
 # serve-demo smoke-tests the live telemetry side-car: it starts a real
 # sweep with -serve, scrapes /healthz, /runz and /metrics while the
@@ -59,11 +59,20 @@ parallel-bench:
 	$(GO) test -run '^$$' -bench BenchmarkParallel -benchmem -timeout 30m . | $(GO) run ./scripts/benchjson > BENCH_parallel.json
 	@cat BENCH_parallel.json
 
+# bitset-bench measures the word-parallel (SWAR) bitset engine on the
+# BenchmarkParallel workload and records the result in
+# BENCH_bitset.json. Unlike parallel-bench its headline speedup is
+# per-core (64 labels per word op), so single-CPU numbers are
+# meaningful.
+bitset-bench:
+	$(GO) test -run '^$$' -bench BenchmarkBitset -benchmem -timeout 30m . | $(GO) run ./scripts/benchjson > BENCH_bitset.json
+	@cat BENCH_bitset.json
+
 # bench-check is the local perf regression gate: it regenerates the
 # fast observability benchmark into a scratch file and compares it
 # against the committed BENCH_obs.json via octrace (fails on a >25%
 # median ns/op regression). CI's bench-check job runs the same gate
-# over all three committed BENCH_*.json baselines.
+# over all committed BENCH_*.json baselines.
 bench-check:
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchmem . | $(GO) run ./scripts/benchjson > .bench-obs-fresh.json
 	$(GO) run ./cmd/octrace bench check -tol 0.25 BENCH_obs.json .bench-obs-fresh.json

@@ -390,6 +390,7 @@ func BenchmarkParallel(b *testing.B) {
 
 		b.Run(fmt.Sprintf("sequential/n=%d", n), func(b *testing.B) {
 			cfg := core.Config{Width: n, Height: n}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				form(b, cfg, topo, faults)
@@ -398,6 +399,33 @@ func BenchmarkParallel(b *testing.B) {
 		for _, w := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("parallel/n=%d/w=%d", n, w), func(b *testing.B) {
 				cfg := core.Config{Width: n, Height: n, Engine: core.EngineParallel, Workers: w}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					form(b, cfg, topo, faults)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBitset is the word-parallel-engine benchmark on the same
+// workload as BenchmarkParallel, so the two JSON baselines are directly
+// comparable: full two-phase formation, large meshes, clustered faults.
+// Unlike the tiled engine, the bitset engine's 64-way SWAR parallelism
+// and changed-word frontier pay off on a single core, so w=1 against
+// BenchmarkParallel's sequential baseline is the headline number.
+// `make bitset-bench` converts the output to BENCH_bitset.json.
+func BenchmarkBitset(b *testing.B) {
+	for _, n := range []int{512, 2048} {
+		topo := mesh.MustNew(n, n, mesh.Mesh2D)
+		rng := rand.New(rand.NewSource(42))
+		faults := fault.Clustered{Count: n / 2, Clusters: 4, Spread: n / 32}.Generate(topo, rng)
+
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("bitset/n=%d/w=%d", n, w), func(b *testing.B) {
+				cfg := core.Config{Width: n, Height: n, Engine: core.EngineBitset, Workers: w}
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					form(b, cfg, topo, faults)

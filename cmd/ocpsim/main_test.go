@@ -52,7 +52,7 @@ func TestRunTorusAndChannels(t *testing.T) {
 }
 
 func TestRunEngineFlag(t *testing.T) {
-	for _, eng := range []string{"sequential", "channels", "parallel"} {
+	for _, eng := range []string{"sequential", "channels", "parallel", "bitset"} {
 		var b strings.Builder
 		err := run([]string{"-figure", "5a", "-n", "10", "-maxf", "5", "-step", "5", "-reps", "1",
 			"-engine", eng, "-workers", "2"}, &b)
@@ -79,6 +79,8 @@ func TestParseEngine(t *testing.T) {
 		{"channels", false, "channels", false},
 		{"parallel", false, "parallel", false},
 		{"parallel", true, "parallel", false},
+		{"bitset", false, "bitset", false},
+		{"bitset", true, "bitset", false},
 		{"warp", false, "", true},
 	}
 	for _, c := range cases {

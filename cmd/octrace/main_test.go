@@ -68,13 +68,17 @@ func TestDiffEngineInvariance(t *testing.T) {
 	dir := t.TempDir()
 	seq := writeTrace(t, dir, "seq.ndjson", core.EngineSequential)
 	par := writeTrace(t, dir, "par.ndjson", core.EngineParallel)
+	bit := writeTrace(t, dir, "bit.ndjson", core.EngineBitset)
+	for _, other := range []string{par, bit} {
+		var out strings.Builder
+		if err := run([]string{"diff", seq, other}, &out); err != nil {
+			t.Fatalf("sequential vs %s traces diverge: %v\n%s", filepath.Base(other), err, out.String())
+		}
+		if !strings.Contains(out.String(), "traces equivalent") {
+			t.Fatalf("diff output: %s", out.String())
+		}
+	}
 	var out strings.Builder
-	if err := run([]string{"diff", seq, par}, &out); err != nil {
-		t.Fatalf("sequential vs parallel traces diverge: %v\n%s", err, out.String())
-	}
-	if !strings.Contains(out.String(), "traces equivalent") {
-		t.Fatalf("diff output: %s", out.String())
-	}
 
 	// Perturb the configuration: the skeletons must diverge.
 	other := filepath.Join(dir, "other.ndjson")

@@ -46,6 +46,13 @@ const (
 	// EngineSequential at any worker count; Config.Workers sets the
 	// band count (0 = GOMAXPROCS).
 	EngineParallel
+	// EngineBitset is the bit-packed word-parallel (SWAR) engine: labels
+	// live 64 per uint64 word and each round advances whole words with
+	// shift/mask operations, with a changed-word frontier so late rounds
+	// touch only words still moving. Results are identical to
+	// EngineSequential at any worker count; Config.Workers sets the
+	// row-band count (0 = GOMAXPROCS).
+	EngineBitset
 )
 
 // String returns the engine name.
@@ -55,6 +62,8 @@ func (e EngineKind) String() string {
 		return "channels"
 	case EngineParallel:
 		return "parallel"
+	case EngineBitset:
+		return "bitset"
 	default:
 		return "sequential"
 	}
@@ -66,6 +75,8 @@ func (e EngineKind) engine(workers int) simnet.Engine {
 		return simnet.Channels()
 	case EngineParallel:
 		return simnet.Parallel(workers)
+	case EngineBitset:
+		return simnet.Bitset(workers)
 	default:
 		return simnet.Sequential()
 	}
@@ -86,9 +97,9 @@ type Config struct {
 	Connectivity region.Connectivity
 	// Engine selects the fixpoint engine.
 	Engine EngineKind
-	// Workers is the worker (tile) count of EngineParallel and of a
-	// Session's parallel frontier recomputation; 0 means GOMAXPROCS.
-	// The sequential and channel engines ignore it.
+	// Workers is the worker (tile) count of EngineParallel and
+	// EngineBitset and of a Session's parallel frontier recomputation;
+	// 0 means GOMAXPROCS. The sequential and channel engines ignore it.
 	Workers int
 	// MaxRounds bounds each phase (0 = automatic safe bound).
 	MaxRounds int

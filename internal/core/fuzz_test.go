@@ -140,6 +140,25 @@ func FuzzFormation(f *testing.F) {
 				t.Fatalf("parallel label diverges at %v", res.Topo.PointAt(i))
 			}
 		}
+
+		// Differential: the word-parallel bitset engine must agree bit
+		// for bit as well, at a band count exercising the row tiling.
+		bcfg := cfg
+		bcfg.Engine = core.EngineBitset
+		bcfg.Workers = 3
+		bres, err := core.FormSet(bcfg, faults)
+		if err != nil {
+			t.Fatalf("bitset formation failed: %v", err)
+		}
+		if bres.RoundsPhase1 != res.RoundsPhase1 || bres.RoundsPhase2 != res.RoundsPhase2 {
+			t.Fatalf("bitset rounds (%d,%d) != sequential (%d,%d)",
+				bres.RoundsPhase1, bres.RoundsPhase2, res.RoundsPhase1, res.RoundsPhase2)
+		}
+		for i := range res.Unsafe {
+			if bres.Unsafe[i] != res.Unsafe[i] || bres.Enabled[i] != res.Enabled[i] {
+				t.Fatalf("bitset label diverges at %v", res.Topo.PointAt(i))
+			}
+		}
 	})
 }
 
@@ -155,6 +174,10 @@ func FuzzRegionOCP(f *testing.F) {
 			t.Skip()
 		}
 		cfg.Kind = mesh.Mesh2D // geometric checks need a planar embedding
+		// The geometric invariants are engine-independent; running this
+		// target on the bitset engine keeps the SWAR kernels under fuzz
+		// while FuzzFormation covers sequential/parallel.
+		cfg.Engine = core.EngineBitset
 		res, err := core.FormSet(cfg, faults)
 		if err != nil {
 			t.Fatal(err)

@@ -27,10 +27,11 @@ type Session struct {
 
 // NewSession computes a full formation for the initial fault list and
 // returns the session tracking it. Incremental maintenance always uses
-// the frontier engine, so of the Engine choices only EngineParallel
-// changes anything: it runs the initial formation on the tiled parallel
-// engine and fans each delta's frontier waves out over cfg.Workers
-// goroutines (0 = GOMAXPROCS), with bit-for-bit identical results.
+// the frontier engine, so of the Engine choices only EngineParallel and
+// EngineBitset change anything: they run the initial formation on the
+// tiled parallel / word-parallel bitset engine and fan each delta's
+// frontier waves out over cfg.Workers goroutines (0 = GOMAXPROCS), with
+// bit-for-bit identical results.
 func NewSession(cfg Config, faults []grid.Point) (*Session, error) {
 	topo, err := mesh.New(cfg.Width, cfg.Height, cfg.Kind)
 	if err != nil {
@@ -47,6 +48,7 @@ func NewSessionOn(cfg Config, topo *mesh.Topology, faults *grid.PointSet) (*Sess
 		Connectivity: cfg.Connectivity,
 		MaxRounds:    cfg.MaxRounds,
 		Workers:      sessionWorkers(cfg),
+		Bitset:       cfg.Engine == EngineBitset,
 		Recorder:     cfg.Recorder,
 	})
 	if err != nil {
@@ -100,10 +102,11 @@ func (s *Session) Result() *Result {
 }
 
 // sessionWorkers maps a formation Config onto the incremental worker
-// count: parallelism is opted into via EngineParallel, whose Workers
-// field defaults to GOMAXPROCS; every other engine stays sequential.
+// count: parallelism is opted into via EngineParallel or EngineBitset,
+// whose Workers field defaults to GOMAXPROCS; every other engine stays
+// sequential.
 func sessionWorkers(cfg Config) int {
-	if cfg.Engine != EngineParallel {
+	if cfg.Engine != EngineParallel && cfg.Engine != EngineBitset {
 		return 1
 	}
 	if cfg.Workers <= 0 {

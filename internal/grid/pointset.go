@@ -12,6 +12,11 @@ type PointSet struct {
 // NewPointSet returns an empty set.
 func NewPointSet() *PointSet { return &PointSet{m: make(map[Point]struct{})} }
 
+// NewPointSetCap returns an empty set with room preallocated for n
+// points, for callers that know a size bound up front (flood fills,
+// bulk conversions) and want to avoid incremental map growth.
+func NewPointSetCap(n int) *PointSet { return &PointSet{m: make(map[Point]struct{}, n)} }
+
 // PointSetOf returns a set holding the given points.
 func PointSetOf(ps ...Point) *PointSet {
 	s := &PointSet{m: make(map[Point]struct{}, len(ps))}

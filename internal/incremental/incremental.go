@@ -51,6 +51,11 @@ type Config struct {
 	// Results are bit-for-bit identical at any worker count; 0 or 1 keeps
 	// everything sequential.
 	Workers int
+	// Bitset runs the initial full formation on the bit-packed
+	// word-parallel engine (simnet.RunBitsetGeneric) with Workers row
+	// bands instead of the sequential/parallel sweeps. Deltas still use
+	// the frontier engine. Results are bit-for-bit identical.
+	Bitset bool
 	// Recorder, when non-nil, traces the field: per-round events during
 	// (re)computation and one obs.EDelta event per applied delta, plus
 	// incremental_* metrics. Nil disables observability at no cost.
@@ -129,9 +134,13 @@ func (f *Field) genericOpts(phase string) simnet.GenericOptions[bool] {
 	return simnet.GenericOptions[bool]{MaxRounds: f.cfg.MaxRounds, Recorder: f.cfg.Recorder, Phase: phase}
 }
 
-// runFull computes one full synchronous fixpoint, on the tiled parallel
-// engine when the field is configured with more than one worker.
+// runFull computes one full synchronous fixpoint: on the bitset engine
+// when configured, else on the tiled parallel engine when the field has
+// more than one worker, else sequentially.
 func (f *Field) runFull(env *simnet.Env, rule simnet.Rule, phase string) (*simnet.GenericResult[bool], error) {
+	if f.cfg.Bitset {
+		return simnet.RunBitsetGeneric(env, rule, f.genericOpts(phase), f.cfg.Workers)
+	}
 	if f.cfg.Workers > 1 {
 		return simnet.RunParallelGeneric[bool](env, rule, f.genericOpts(phase), f.cfg.Workers)
 	}

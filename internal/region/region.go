@@ -92,15 +92,17 @@ func neighborsFunc(topo *mesh.Topology, conn Connectivity) func(grid.Point) []gr
 }
 
 // component floods the connected component of start among the cells with
-// label want, marking every visited cell in seen.
-func component(topo *mesh.Topology, labels []bool, want bool, neighbors func(grid.Point) []grid.Point, start grid.Point, seen *grid.PointSet) *grid.PointSet {
+// label want, marking every visited cell in seen. queue is scratch
+// storage for the BFS worklist (head-indexed, never shrunk); the
+// (possibly grown) slice is returned so callers can reuse it across
+// components instead of reallocating per flood.
+func component(topo *mesh.Topology, labels []bool, want bool, neighbors func(grid.Point) []grid.Point, start grid.Point, seen *grid.PointSet, queue []grid.Point) (*grid.PointSet, []grid.Point) {
 	comp := grid.NewPointSet()
-	queue := []grid.Point{start}
+	queue = append(queue[:0], start)
 	seen.Add(start)
 	comp.Add(start)
-	for len(queue) > 0 {
-		p := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		p := queue[head]
 		for _, q := range neighbors(p) {
 			if labels[topo.Index(q)] == want && !seen.Has(q) {
 				seen.Add(q)
@@ -109,26 +111,54 @@ func component(topo *mesh.Topology, labels []bool, want bool, neighbors func(gri
 			}
 		}
 	}
-	return comp
+	return comp, queue
 }
 
-// extract groups the true-labeled cells of want into regions.
+// regionFaults returns the faulty subset of comp, iterating whichever
+// set is smaller rather than cloning the whole component.
+func regionFaults(comp, faults *grid.PointSet) *grid.PointSet {
+	small, other := comp, faults
+	if faults.Len() < comp.Len() {
+		small, other = faults, comp
+	}
+	out := grid.NewPointSetCap(small.Len())
+	small.Each(func(p grid.Point) {
+		if other.Has(p) {
+			out.Add(p)
+		}
+	})
+	return out
+}
+
+// extract groups the true-labeled cells of want into regions. The cell
+// count is known before any set is built, so the cell and seen sets are
+// sized up front and the flood fills share one worklist — region
+// extraction stays free of incremental map and slice growth, which
+// profiles showed dominating formation allocation churn.
 func extract(topo *mesh.Topology, faults *grid.PointSet, labels []bool, want bool, conn Connectivity) []*Region {
-	cells := grid.NewPointSet()
+	n := 0
+	for _, l := range labels {
+		if l == want {
+			n++
+		}
+	}
+	cells := grid.NewPointSetCap(n)
 	for i, l := range labels {
 		if l == want {
 			cells.Add(topo.PointAt(i))
 		}
 	}
 	neighbors := neighborsFunc(topo, conn)
-	seen := grid.NewPointSet()
+	seen := grid.NewPointSetCap(n)
+	queue := make([]grid.Point, 0, n)
 	var out []*Region
 	for _, start := range cells.Points() { // canonical order => deterministic output
 		if seen.Has(start) {
 			continue
 		}
-		comp := component(topo, labels, want, neighbors, start, seen)
-		out = append(out, &Region{Nodes: comp, Faults: comp.Clone().Intersect(faults)})
+		var comp *grid.PointSet
+		comp, queue = component(topo, labels, want, neighbors, start, seen, queue)
+		out = append(out, &Region{Nodes: comp, Faults: regionFaults(comp, faults)})
 	}
 	return out
 }
@@ -157,14 +187,19 @@ func minNode(r *Region) grid.Point {
 // a from-scratch extraction — bit for bit.
 func UpdateRegions(topo *mesh.Topology, faults *grid.PointSet, labels []bool, want bool, conn Connectivity, old []*Region, touched *grid.PointSet) []*Region {
 	neighbors := neighborsFunc(topo, conn)
-	seen := grid.NewPointSet()
+	// touched.Len() is only a lower bound on the re-extracted area (a
+	// fresh component may grow past the touched footprint), but it is the
+	// best O(perturbation) hint available without scanning all labels.
+	seen := grid.NewPointSetCap(touched.Len())
+	queue := make([]grid.Point, 0, touched.Len())
 	var out []*Region
 	for _, start := range touched.Points() {
 		if seen.Has(start) || labels[topo.Index(start)] != want {
 			continue
 		}
-		comp := component(topo, labels, want, neighbors, start, seen)
-		out = append(out, &Region{Nodes: comp, Faults: comp.Clone().Intersect(faults)})
+		var comp *grid.PointSet
+		comp, queue = component(topo, labels, want, neighbors, start, seen, queue)
+		out = append(out, &Region{Nodes: comp, Faults: regionFaults(comp, faults)})
 	}
 	for _, r := range old {
 		// A surviving region is untouched and disjoint from every fresh

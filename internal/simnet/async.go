@@ -15,7 +15,7 @@ import (
 //
 // Steps counts individual node updates that changed a label.
 func RunAsyncGeneric[T comparable](env *Env, rule GenericRule[T], rng *rand.Rand, maxSteps int) (labels []T, steps int, err error) {
-	labels = initGenericLabels(env, rule)
+	labels, _ = initGenericLabels(env, rule)
 	if maxSteps <= 0 {
 		maxSteps = 4 * env.Topo.Size() * env.Topo.Size()
 	}

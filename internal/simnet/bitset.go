@@ -1,0 +1,371 @@
+package simnet
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/obs"
+)
+
+// WordRule is the word-parallel counterpart of a boolean rule: StepWord
+// advances 64 nodes at once over bit-packed labels. The operand words
+// are lane-aligned — bit i of west/east/south/north holds the label of
+// node i's neighbor in that direction (ghost and faulty labels already
+// substituted by the engine) — so an implementation is the rule's Step
+// body transliterated into shifts, ANDs and ORs, evaluated for all 64
+// lanes simultaneously. Implementations must be monotone per lane,
+// exactly like Step.
+//
+// A rule that additionally implements WordRule can run on the bitset
+// engine; TestWordRulesMatchStep pins each kernel to its scalar Step
+// over every input combination.
+type WordRule interface {
+	StepWord(cur, west, east, south, north uint64) uint64
+}
+
+// BitsetEngine computes the synchronous fixpoint with bit-packed
+// word-parallel (SWAR) sweeps: labels live in row-major []uint64 planes
+// (grid.BitGrid), 64 nodes per word, and each round advances a whole
+// word with a handful of shift/AND/OR operations — 64-way data
+// parallelism per core, on top of the same row-band worker tiling the
+// parallel engine uses. A changed-word bitmap restricts late rounds to
+// the moving frontier. Labels, round counts and per-round trace events
+// are byte-identical to SeqEngine's at every worker count (the
+// differential matrix and both fuzz targets pin this).
+//
+// The rule must implement WordRule (both paper rules do); Run fails
+// otherwise.
+type BitsetEngine struct {
+	// Workers is the number of row-band tiles (and worker goroutines);
+	// 0 means runtime.GOMAXPROCS(0), capped at the mesh height.
+	Workers int
+}
+
+// Bitset returns the word-parallel bitset engine with the given worker
+// count (0 = GOMAXPROCS).
+func Bitset(workers int) Engine { return BitsetEngine{Workers: workers} }
+
+// Name implements Engine.
+func (BitsetEngine) Name() string { return "bitset" }
+
+// Run implements Engine.
+func (e BitsetEngine) Run(env *Env, rule Rule, opt Options) (*Result, error) {
+	res, err := RunBitsetGeneric(env, rule, GenericOptions[bool]{
+		MaxRounds: opt.MaxRounds, OnRound: opt.OnRound,
+		Recorder: opt.Recorder, Phase: opt.Phase,
+	}, e.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Labels: res.Labels, Rounds: res.Rounds}, nil
+}
+
+// bitPlanes is the packed per-run state shared by the bitset round
+// loops.
+type bitPlanes struct {
+	w, h, wpr int
+	lastLane  uint   // lane of column width-1 in a row's last word
+	torus     bool
+	ghost     uint64 // all-lanes ghost label (mesh boundary rows)
+	ghostBit  uint64 // single-lane ghost label (mesh boundary columns)
+
+	cur, next []uint64 // double-buffered label planes, h*wpr words
+	live      []uint64 // valid (non-padding) AND nonfaulty lanes
+	fixed     []uint64 // pinned label bits of faulty lanes
+
+	// changed / nextChanged flag the words whose bits flipped in the
+	// previous / current round; a word is recomputed only when it or a
+	// word feeding it (same-row carry words, adjacent-row words, wrap
+	// words on a torus) changed. Double-buffered like the labels.
+	changed, nextChanged []bool
+}
+
+// newBitPlanes packs the initial labels and the fault pattern.
+func newBitPlanes(env *Env, rule GenericRule[bool]) (*bitPlanes, []bool) {
+	topo := env.Topo
+	labels, faulty := initGenericLabels(env, rule)
+	curGrid := grid.NewBitGrid(topo.Width(), topo.Height())
+	curGrid.SetBools(labels)
+
+	p := &bitPlanes{
+		w: topo.Width(), h: topo.Height(), wpr: curGrid.WordsPerRow(),
+		lastLane: uint(topo.Width()-1) % 64,
+		torus:    topo.Kind() == mesh.Torus2D,
+		cur:      curGrid.Words(),
+	}
+	if rule.GhostLabel() {
+		p.ghost, p.ghostBit = ^uint64(0), 1
+	}
+	nWords := len(p.cur)
+	p.next = make([]uint64, nWords)
+	copy(p.next, p.cur)
+	p.live = make([]uint64, nWords)
+	for wi := range p.live {
+		p.live[wi] = curGrid.WordMask(wi % p.wpr)
+	}
+	for i, f := range faulty {
+		if f {
+			p.live[(i/p.w)*p.wpr+(i%p.w)/64] &^= 1 << (uint(i%p.w) % 64)
+		}
+	}
+	// Faulty lanes never change, so their pinned bits are a constant OR
+	// term; padding lanes stay zero through the same masking.
+	p.fixed = make([]uint64, nWords)
+	for wi := range p.fixed {
+		p.fixed[wi] = p.cur[wi] &^ p.live[wi]
+	}
+	p.changed = make([]bool, nWords)
+	for wi := range p.changed {
+		p.changed[wi] = true // round 1 recomputes everything
+	}
+	p.nextChanged = make([]bool, nWords)
+	return p, labels
+}
+
+// wordActive reports whether word k of row r must be recomputed this
+// round: its own bits or any word feeding its neighbor reads changed
+// last round.
+func (p *bitPlanes) wordActive(r, k int) bool {
+	base := r * p.wpr
+	if p.changed[base+k] {
+		return true
+	}
+	if k > 0 && p.changed[base+k-1] {
+		return true
+	}
+	if k < p.wpr-1 && p.changed[base+k+1] {
+		return true
+	}
+	if p.torus && p.wpr > 1 && (k == 0 && p.changed[base+p.wpr-1] || k == p.wpr-1 && p.changed[base]) {
+		return true
+	}
+	if r > 0 && p.changed[base-p.wpr+k] {
+		return true
+	}
+	if r < p.h-1 && p.changed[base+p.wpr+k] {
+		return true
+	}
+	if p.torus && (r == 0 && p.changed[(p.h-1)*p.wpr+k] || r == p.h-1 && p.changed[k]) {
+		return true
+	}
+	return false
+}
+
+// stepRows advances rows [lo, hi) of the current round, writing the next
+// plane and the next changed-word flags for those rows only (disjoint
+// write ranges across workers), and returns the number of flipped
+// labels.
+func (p *bitPlanes) stepRows(wr WordRule, lo, hi int) int {
+	nchanged := 0
+	last := p.wpr - 1
+	for r := lo; r < hi; r++ {
+		base := r * p.wpr
+		// Rows feeding the south/north reads; -1 marks the ghost row.
+		southBase, northBase := base-p.wpr, base+p.wpr
+		if r == 0 {
+			if p.torus {
+				southBase = (p.h - 1) * p.wpr
+			} else {
+				southBase = -1
+			}
+		}
+		if r == p.h-1 {
+			if p.torus {
+				northBase = 0
+			} else {
+				northBase = -1
+			}
+		}
+		// Carries into the row's boundary lanes: ghost on a mesh, the
+		// opposite edge column on a torus.
+		carryW, carryE := p.ghostBit, p.ghostBit
+		if p.torus {
+			carryW = p.cur[base+last] >> p.lastLane & 1
+			carryE = p.cur[base] & 1
+		}
+		for k := 0; k <= last; k++ {
+			wi := base + k
+			p.nextChanged[wi] = false
+			if !p.wordActive(r, k) {
+				continue
+			}
+			c := p.cur[wi]
+			west := c << 1
+			if k > 0 {
+				west |= p.cur[wi-1] >> 63
+			} else {
+				west |= carryW
+			}
+			east := c >> 1
+			if k < last {
+				east |= p.cur[wi+1] << 63
+			} else {
+				east |= carryE << p.lastLane
+			}
+			south, north := p.ghost, p.ghost
+			if southBase >= 0 {
+				south = p.cur[southBase+k]
+			}
+			if northBase >= 0 {
+				north = p.cur[northBase+k]
+			}
+			nxt := wr.StepWord(c, west, east, south, north)&p.live[wi] | p.fixed[wi]
+			p.next[wi] = nxt
+			if nxt != c {
+				nchanged += bits.OnesCount64(nxt ^ c)
+				p.nextChanged[wi] = true
+			}
+		}
+	}
+	return nchanged
+}
+
+// swap flips the double-buffered planes and changed flags after a
+// changing round. Words not recomputed this round are identical in both
+// planes (they did not change last round either), so no copying is
+// needed.
+func (p *bitPlanes) swap() {
+	p.cur, p.next = p.next, p.cur
+	p.changed, p.nextChanged = p.nextChanged, p.changed
+}
+
+// RunBitsetGeneric computes the synchronous fixpoint of a boolean rule
+// with the bit-packed word-parallel sweep described on BitsetEngine.
+// The rule must implement WordRule. workers <= 0 means
+// runtime.GOMAXPROCS(0); the row-band count is capped at the mesh
+// height. The per-round label stream, round count and obs trace events
+// are identical to RunSequentialGeneric's for every worker count; with
+// a Recorder the run additionally emits one "bitset_band_<i>" span per
+// band, feeds the bitset_band_ns histogram, increments bitset_runs and
+// sets the bitset_workers gauge (all after the round loop, keeping the
+// event stream engine-invariant).
+func RunBitsetGeneric(env *Env, rule GenericRule[bool], opt GenericOptions[bool], workers int) (*GenericResult[bool], error) {
+	wr, ok := rule.(WordRule)
+	if !ok {
+		return nil, fmt.Errorf("simnet: rule %q does not implement WordRule; the bitset engine needs a word-parallel kernel", rule.Name())
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p, scratch := newBitPlanes(env, rule)
+	maxRounds := opt.maxRounds(env)
+	ro := newRoundObs(env, rule, opt)
+	rec := opt.Recorder
+
+	tiles := tileRows(p.h, workers)
+	nTiles := len(tiles)
+
+	// runRound computes one full round and returns the flipped-label
+	// count: inline for a single band, fanned out over the persistent
+	// worker pool otherwise.
+	var runRound func() int
+	var stopAll func()
+	busyNS := make([]int64, nTiles)
+	if nTiles == 1 {
+		runRound = func() int {
+			var start time.Time
+			if rec != nil {
+				start = rec.Now()
+			}
+			n := p.stepRows(wr, 0, p.h)
+			if rec != nil {
+				busyNS[0] += rec.Now().Sub(start).Nanoseconds()
+			}
+			return n
+		}
+		stopAll = func() {}
+	} else {
+		var (
+			changedCtr atomic.Int64
+			barrier    = make(chan int, nTiles)
+			cmds       = make([]chan parCmd, nTiles)
+		)
+		for t := range tiles {
+			cmds[t] = make(chan parCmd, 1)
+			go func(t, lo, hi int) {
+				for cmd := range cmds[t] {
+					if !cmd.run {
+						return
+					}
+					var start time.Time
+					if rec != nil {
+						start = rec.Now()
+					}
+					changedCtr.Add(int64(p.stepRows(wr, lo, hi)))
+					if rec != nil {
+						busyNS[t] += rec.Now().Sub(start).Nanoseconds()
+					}
+					barrier <- t
+				}
+			}(t, tiles[t][0], tiles[t][1])
+		}
+		runRound = func() int {
+			for _, c := range cmds {
+				c <- parCmd{run: true}
+			}
+			for range cmds {
+				<-barrier
+			}
+			// All workers have passed the barrier, so the counter holds
+			// the complete round total and nobody touches it until the
+			// next round is released.
+			return int(changedCtr.Swap(0))
+		}
+		stopAll = func() {
+			for _, c := range cmds {
+				c <- parCmd{run: false}
+			}
+		}
+	}
+	finishObs := func() {
+		if rec == nil {
+			return
+		}
+		rec.Counter("bitset_runs").Inc()
+		rec.Gauge("bitset_workers").Set(float64(nTiles))
+		for t, ns := range busyNS {
+			rec.Emit(obs.Event{Type: obs.ESpan, Name: fmt.Sprintf("bitset_band_%d", t), DurNS: ns})
+			rec.Histogram("bitset_band_ns", obs.NSBuckets).Observe(float64(ns))
+		}
+	}
+
+	rounds := 0
+	for {
+		nchanged := runRound()
+		if nchanged == 0 {
+			stopAll()
+			finishObs()
+			return &GenericResult[bool]{Labels: p.unpack(scratch), Rounds: rounds}, nil
+		}
+		p.swap()
+		rounds++
+		ro.observe(rounds, nchanged)
+		if opt.OnRound != nil {
+			opt.OnRound(rounds, p.unpack(scratch))
+		}
+		if rounds > maxRounds {
+			stopAll()
+			finishObs()
+			return nil, fmt.Errorf("simnet: rule %q did not stabilize within %d rounds (non-monotone rule?)",
+				rule.Name(), maxRounds)
+		}
+	}
+}
+
+// unpack expands the current plane into the row-major []bool layout of
+// the scalar engines, reusing dst.
+func (p *bitPlanes) unpack(dst []bool) []bool {
+	for y := 0; y < p.h; y++ {
+		base := y * p.wpr
+		row := dst[y*p.w : (y+1)*p.w]
+		for x := range row {
+			row[x] = p.cur[base+x/64]>>(uint(x)%64)&1 != 0
+		}
+	}
+	return dst
+}

@@ -93,7 +93,7 @@ func checkPhase(t *testing.T, ctx string, env *simnet.Env, rule simnet.Rule, pha
 
 	engines := []simnet.Engine{simnet.Channels()}
 	for _, w := range workerCounts() {
-		engines = append(engines, simnet.Parallel(w))
+		engines = append(engines, simnet.Parallel(w), simnet.Bitset(w))
 	}
 	for _, eng := range engines {
 		got, gotEvents := runTraced(t, eng, env, rule, phase)
@@ -185,9 +185,11 @@ func TestDifferentialParallelDegenerate(t *testing.T) {
 			}
 			want, _ := runTraced(t, simnet.Sequential(), env, status.UnsafeRule(status.Def2b), "p1")
 			for _, w := range []int{env.Topo.Height(), env.Topo.Height() + 7, 64} {
-				got, _ := runTraced(t, simnet.Parallel(w), env, status.UnsafeRule(status.Def2b), "p1")
-				if got.Rounds != want.Rounds || !reflect.DeepEqual(got.Labels, want.Labels) {
-					t.Fatalf("trial %d %v w=%d: diverges from sequential", trial, env.Topo, w)
+				for _, eng := range []simnet.Engine{simnet.Parallel(w), simnet.Bitset(w)} {
+					got, _ := runTraced(t, eng, env, status.UnsafeRule(status.Def2b), "p1")
+					if got.Rounds != want.Rounds || !reflect.DeepEqual(got.Labels, want.Labels) {
+						t.Fatalf("trial %d %v %s w=%d: diverges from sequential", trial, env.Topo, eng.Name(), w)
+					}
 				}
 			}
 		}

@@ -45,7 +45,7 @@ func TestFrontierAgreesWithSequential(t *testing.T) {
 		}
 
 		// Full-seed frontier run from initial labels.
-		labels := initGenericLabels[bool](env, rule)
+		labels, _ := initGenericLabels[bool](env, rule)
 		fr, err := RunFrontierGeneric[bool](env, rule, labels, frontierFullSeed(env), GenericOptions[bool]{})
 		if err != nil {
 			t.Fatal(err)
@@ -135,7 +135,7 @@ func TestFrontierValidation(t *testing.T) {
 	if _, err := RunFrontierGeneric[bool](env, rule, make([]bool, 3), nil, GenericOptions[bool]{}); err == nil {
 		t.Fatal("short label vector must fail")
 	}
-	labels := initGenericLabels[bool](env, rule)
+	labels, _ := initGenericLabels[bool](env, rule)
 	if _, err := RunFrontierGeneric[bool](env, rule, labels, []int{-1}, GenericOptions[bool]{}); err == nil {
 		t.Fatal("out-of-range seed must fail")
 	}
@@ -147,7 +147,7 @@ func TestFrontierValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	labels2 := initGenericLabels[bool](env2, rule)
+	labels2, _ := initGenericLabels[bool](env2, rule)
 	fr, err := RunFrontierGeneric[bool](env2, rule, labels2, frontierFullSeed(env2), GenericOptions[bool]{
 		Recorder: rec, Phase: "frontier-test",
 	})

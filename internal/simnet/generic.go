@@ -113,16 +113,25 @@ func liveMessages(env *Env) int {
 	return n
 }
 
-func initGenericLabels[T comparable](env *Env, rule GenericRule[T]) []T {
+// initGenericLabels returns the round-0 label vector plus a per-index
+// faulty mask. The mask is the round loops' O(1) replacement for
+// per-node PointSet lookups, and iterating by index (rather than over
+// Topo.Points()) keeps engine startup free of machine-sized slice
+// allocations.
+func initGenericLabels[T comparable](env *Env, rule GenericRule[T]) ([]T, []bool) {
 	labels := make([]T, env.Topo.Size())
-	for _, p := range env.Topo.Points() {
-		if env.Faulty.Has(p) {
-			labels[env.Topo.Index(p)] = rule.FaultyLabel()
+	faulty := make([]bool, len(labels))
+	for _, p := range env.Faulty.Points() {
+		faulty[env.Topo.Index(p)] = true
+	}
+	for i := range labels {
+		if faulty[i] {
+			labels[i] = rule.FaultyLabel()
 		} else {
-			labels[env.Topo.Index(p)] = rule.Init(env, p)
+			labels[i] = rule.Init(env, env.Topo.PointAt(i))
 		}
 	}
-	return labels
+	return labels, faulty
 }
 
 func genericNeighborLabels[T comparable](env *Env, rule GenericRule[T], labels []T, p grid.Point) [4]T {
@@ -142,21 +151,20 @@ func genericNeighborLabels[T comparable](env *Env, rule GenericRule[T], labels [
 // rule with the double-buffered sequential sweep. It is the engine behind
 // SeqEngine, exposed for rules with non-boolean labels.
 func RunSequentialGeneric[T comparable](env *Env, rule GenericRule[T], opt GenericOptions[T]) (*GenericResult[T], error) {
-	cur := initGenericLabels(env, rule)
+	cur, faulty := initGenericLabels(env, rule)
 	next := make([]T, len(cur))
 	maxRounds := opt.maxRounds(env)
-	points := env.Topo.Points()
 	ro := newRoundObs(env, rule, opt)
 
 	rounds := 0
 	for {
 		nchanged := 0
-		for _, p := range points {
-			i := env.Topo.Index(p)
-			if env.Faulty.Has(p) {
+		for i := range cur {
+			if faulty[i] {
 				next[i] = cur[i]
 				continue
 			}
+			p := env.Topo.PointAt(i)
 			next[i] = rule.Step(env, p, cur[i], genericNeighborLabels(env, rule, cur, p))
 			if next[i] != cur[i] {
 				nchanged++
@@ -182,7 +190,7 @@ func RunSequentialGeneric[T comparable](env *Env, rule GenericRule[T], opt Gener
 // goroutine-per-node engine. See ChannelEngine for the model.
 func RunChannelsGeneric[T comparable](env *Env, rule GenericRule[T], opt GenericOptions[T]) (*GenericResult[T], error) {
 	topo := env.Topo
-	labels := initGenericLabels(env, rule)
+	labels, _ := initGenericLabels(env, rule)
 	maxRounds := opt.maxRounds(env)
 	ro := newRoundObs(env, rule, opt)
 

@@ -84,7 +84,7 @@ func RunParallelGeneric[T comparable](env *Env, rule GenericRule[T], opt Generic
 	}
 	topo := env.Topo
 	width := topo.Width()
-	cur := initGenericLabels(env, rule)
+	cur, faulty := initGenericLabels(env, rule)
 	next := make([]T, len(cur))
 	maxRounds := opt.maxRounds(env)
 	ro := newRoundObs(env, rule, opt)
@@ -117,11 +117,11 @@ func RunParallelGeneric[T comparable](env *Env, rule GenericRule[T], opt Generic
 				}
 				changed := 0
 				for i := lo; i < hi; i++ {
-					p := topo.PointAt(i)
-					if env.Faulty.Has(p) {
+					if faulty[i] {
 						nextL[i] = curL[i]
 						continue
 					}
+					p := topo.PointAt(i)
 					nextL[i] = rule.Step(env, p, curL[i], genericNeighborLabels(env, rule, curL, p))
 					if nextL[i] != curL[i] {
 						changed++

@@ -95,6 +95,25 @@ func (r unsafeRule) Step(_ *simnet.Env, _ grid.Point, cur bool, nbr [4]bool) boo
 	}
 }
 
+// StepWord implements simnet.WordRule: Step over 64 lanes at once. Both
+// definitions reduce to a few word-wide boolean operations; Def 2a's
+// "two or more of four" threshold is the carry-save atLeastTwo counter.
+func (r unsafeRule) StepWord(cur, west, east, south, north uint64) uint64 {
+	if r.def == Def2a {
+		return cur | atLeastTwo(west, east, south, north)
+	}
+	return cur | (west|east)&(south|north) // Def2b: an unsafe neighbor in both dimensions
+}
+
+// atLeastTwo returns, per lane, whether at least two of a, b, c, d are
+// set: a carry-save add of the four one-bit inputs. The pairwise sums
+// are s1 = a XOR b and s2 = c XOR d with carries c1 = a AND b and
+// c2 = c AND d; the total is >= 2 exactly when a pair carried or both
+// pairs contributed a single one.
+func atLeastTwo(a, b, c, d uint64) uint64 {
+	return a&b | c&d | (a^b)&(c^d)
+}
+
 // EnabledRule returns the phase-2 rule (Definition 3). The label is
 // "enabled": safe nodes and ghosts are enabled, faulty nodes permanently
 // disabled, and a nonfaulty unsafe node becomes enabled once it sees two
@@ -130,6 +149,12 @@ func (enabledRule) Step(_ *simnet.Env, _ grid.Point, cur bool, nbr [4]bool) bool
 		}
 	}
 	return count >= 2
+}
+
+// StepWord implements simnet.WordRule: a disabled lane becomes enabled
+// when at least two of its four neighbor lanes are enabled.
+func (enabledRule) StepWord(cur, west, east, south, north uint64) uint64 {
+	return cur | atLeastTwo(west, east, south, north)
 }
 
 // IsRecursiveEnabledFixpoint checks a complete enabled/disabled assignment

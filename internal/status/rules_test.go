@@ -344,3 +344,43 @@ func TestEnginesAgreeOnStatusRules(t *testing.T) {
 		}
 	}
 }
+
+// TestWordRulesMatchStep pins each StepWord kernel to its scalar Step
+// over every input combination: for all 32 (cur, w, e, s, n) patterns,
+// a lane of the word kernel must equal Step on the corresponding
+// scalars. Lanes are packed with the combination index so all 32 cases
+// are verified in a single word evaluation per rule.
+func TestWordRulesMatchStep(t *testing.T) {
+	// env/point are unused by both rules' Step bodies; enabledRule.Init
+	// needs Aux but Step does not.
+	rules := []simnet.Rule{UnsafeRule(Def2a), UnsafeRule(Def2b), EnabledRule()}
+	for _, rule := range rules {
+		wr, ok := rule.(simnet.WordRule)
+		if !ok {
+			t.Fatalf("%s does not implement WordRule", rule.Name())
+		}
+		// Bit i of each operand word encodes combination i's value of
+		// that operand: cur = bit 0 of i, west = bit 1, ... north = bit 4.
+		var cur, w, e, s, n uint64
+		for i := 0; i < 32; i++ {
+			cur |= uint64(i>>0&1) << i
+			w |= uint64(i>>1&1) << i
+			e |= uint64(i>>2&1) << i
+			s |= uint64(i>>3&1) << i
+			n |= uint64(i>>4&1) << i
+		}
+		got := wr.StepWord(cur, w, e, s, n)
+		for i := 0; i < 32; i++ {
+			var nbr [4]bool
+			nbr[mesh.West] = i>>1&1 != 0
+			nbr[mesh.East] = i>>2&1 != 0
+			nbr[mesh.South] = i>>3&1 != 0
+			nbr[mesh.North] = i>>4&1 != 0
+			want := rule.Step(nil, grid.Pt(0, 0), i&1 != 0, nbr)
+			if got>>i&1 != 0 != want {
+				t.Errorf("%s: combination %05b: StepWord lane = %t, Step = %t",
+					rule.Name(), i, got>>i&1 != 0, want)
+			}
+		}
+	}
+}
