@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: build vet test race bench churn-bench parallel-bench bitset-bench bench-check serve-demo fuzz check
+.PHONY: build vet test race bench churn-bench parallel-bench bitset-bench bench-check overhead-bench overhead-gate converge-demo serve-demo fuzz check
 
 # serve-demo smoke-tests the live telemetry side-car: it starts a real
 # sweep with -serve, scrapes /healthz, /runz and /metrics while the
@@ -77,6 +77,60 @@ bench-check:
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchmem . | $(GO) run ./scripts/benchjson > .bench-obs-fresh.json
 	$(GO) run ./cmd/octrace bench check -tol 0.25 BENCH_obs.json .bench-obs-fresh.json
 	@rm -f .bench-obs-fresh.json
+
+# overhead-bench measures the counter fabric on/off on the bitset
+# engine at n=512 (the convergence observatory's acceptance workload)
+# and records the pair in BENCH_overhead.json. The off and on legs must
+# be sampled INTERLEAVED: `go test -count N` runs each leaf benchmark N
+# times consecutively, so slow ambient drift (CPU frequency, noisy
+# neighbours) lands entirely on one leg and fakes an overhead of ±15%.
+# Running the whole binary several times alternates the legs at a fine
+# grain; benchjson then min-merges the repeated samples per name, and
+# the minimum is the drift-robust statistic. The parallel-engine pair
+# stays in BenchmarkOverhead for manual runs (`go test -bench
+# BenchmarkOverhead`) but is too slow and noisy for a 5% gate.
+OVERHEAD_BENCH_CMD = $(GO) test -run '^$$' -bench 'BenchmarkOverhead/bitset' -benchmem -benchtime 20x -timeout 30m .
+OVERHEAD_ROUNDS = 1 2 3 4 5 6 7 8
+
+overhead-bench:
+	@rm -f .bench-overhead-raw.txt
+	@for i in $(OVERHEAD_ROUNDS); do \
+		echo "== overhead sample $$i"; \
+		$(OVERHEAD_BENCH_CMD) >> .bench-overhead-raw.txt || exit 1; \
+	done
+	$(GO) run ./scripts/benchjson < .bench-overhead-raw.txt > BENCH_overhead.json
+	@rm -f .bench-overhead-raw.txt
+	@cat BENCH_overhead.json
+
+# overhead-gate is the convergence observatory's budget gate: it
+# remeasures BenchmarkOverhead with the same interleaved sampling and
+# fails when the fabric=on leg exceeds its fabric=off twin by more than
+# 5% (octrace bench overhead), then checks the fresh run against the
+# committed BENCH_overhead.json like the other perf gates.
+overhead-gate:
+	@rm -f .bench-overhead-raw.txt
+	@for i in $(OVERHEAD_ROUNDS); do \
+		echo "== overhead sample $$i"; \
+		$(OVERHEAD_BENCH_CMD) >> .bench-overhead-raw.txt || exit 1; \
+	done
+	$(GO) run ./scripts/benchjson < .bench-overhead-raw.txt > .bench-overhead-fresh.json
+	@rm -f .bench-overhead-raw.txt
+	$(GO) run ./cmd/octrace bench overhead .bench-overhead-fresh.json
+	$(GO) run ./cmd/octrace bench check -tol 0.25 BENCH_overhead.json .bench-overhead-fresh.json
+	@rm -f .bench-overhead-fresh.json
+
+# converge-demo records a paper-density sweep with the counter fabric
+# and strict invariant monitors on every engine, then renders the
+# convergence observatory report (rounds vs d(B) scatter, messages vs
+# fault density, per-block tails). CI uploads the same report as a
+# workflow artifact.
+converge-demo: build
+	@rm -rf .converge-demo && mkdir -p .converge-demo
+	@for engine in sequential channels parallel bitset; do \
+		$(GO) run ./cmd/ocpsim -n 20 -maxf 4 -step 2 -reps 5 -seed 7 \
+			-engine $$engine -strict -trace .converge-demo/$$engine.ndjson -format csv > /dev/null || exit 1; \
+	done
+	$(GO) run ./cmd/octrace converge .converge-demo/*.ndjson
 
 # fuzz runs each native fuzz target for FUZZTIME (default 20s). The
 # targets check the paper's theorems plus sequential/parallel engine

@@ -19,6 +19,7 @@ import (
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
 	"ocpmesh/internal/obs"
+	"ocpmesh/internal/obs/costs"
 	"ocpmesh/internal/partition"
 	"ocpmesh/internal/region"
 	"ocpmesh/internal/routing"
@@ -372,6 +373,41 @@ func BenchmarkObsOverhead(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkOverhead pins the convergence observatory's acceptance
+// criterion: the full formation with the counter fabric attached
+// (per-phase cost collectors, per-node last-changed trackers, and the
+// paper-invariant monitors over the finished run) must stay within 5%
+// of the fabric-off run on the bitset engine at n=512. The same on/off
+// pair runs on the tiled parallel engine for cross-checking. `make
+// overhead-bench` converts the output to BENCH_overhead.json and
+// `octrace bench check` gates regressions against it in CI.
+func BenchmarkOverhead(b *testing.B) {
+	const n = 512
+	topo := mesh.MustNew(n, n, mesh.Mesh2D)
+	rng := rand.New(rand.NewSource(42))
+	faults := fault.Clustered{Count: n / 2, Clusters: 4, Spread: n / 32}.Generate(topo, rng)
+
+	for _, engine := range []core.EngineKind{core.EngineBitset, core.EngineParallel} {
+		for _, fabricOn := range []bool{false, true} {
+			state := "off"
+			if fabricOn {
+				state = "on"
+			}
+			b.Run(fmt.Sprintf("%s/n=%d/fabric=%s", engine, n, state), func(b *testing.B) {
+				cfg := core.Config{Width: n, Height: n, Engine: engine, Workers: 4}
+				if fabricOn {
+					cfg.Costs = costs.NewFabric(0)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					form(b, cfg, topo, faults)
+				}
+			})
+		}
 	}
 }
 

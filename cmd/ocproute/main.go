@@ -22,6 +22,7 @@ import (
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
 	"ocpmesh/internal/obs"
+	"ocpmesh/internal/obs/costs"
 	"ocpmesh/internal/obs/serve"
 	"ocpmesh/internal/routing"
 	"ocpmesh/internal/safety"
@@ -78,8 +79,9 @@ func run(args []string, out io.Writer) (retErr error) {
 			retErr = ferr
 		}
 	}()
+	fabric := costs.NewFabric(0)
 	if *serveAddr != "" {
-		srv := serve.New(rec, live)
+		srv := serve.New(rec, live, fabric)
 		addr, err := srv.Start(*serveAddr)
 		if err != nil {
 			return err
@@ -111,7 +113,7 @@ func run(args []string, out io.Writer) (retErr error) {
 
 	res, err := core.FormOn(core.Config{
 		Width: topo.Width(), Height: topo.Height(), Kind: topo.Kind(), Safety: status.Def2a,
-		Recorder: rec,
+		Recorder: rec, Costs: fabric,
 	}, topo, faults)
 	if err != nil {
 		return err

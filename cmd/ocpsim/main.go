@@ -41,6 +41,7 @@ import (
 	"ocpmesh/internal/core"
 	"ocpmesh/internal/mesh"
 	"ocpmesh/internal/obs"
+	"ocpmesh/internal/obs/costs"
 	"ocpmesh/internal/obs/serve"
 	"ocpmesh/internal/stats"
 	"ocpmesh/internal/sweep"
@@ -71,9 +72,10 @@ func run(args []string, out io.Writer) (retErr error) {
 
 		tracePath   = fs.String("trace", "", "write an NDJSON event trace to this file")
 		metricsPath = fs.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
-		serveAddr   = fs.String("serve", "", "serve live telemetry (/metrics, /runz, /eventz, /healthz, pprof) on this address (e.g. localhost:7070)")
+		serveAddr   = fs.String("serve", "", "serve live telemetry (/metrics, /runz, /convergz, /eventz, /healthz, pprof) on this address (e.g. localhost:7070)")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 		progress    = fs.Bool("progress", stderrIsTerminal(), "print per-sweep-point progress to stderr")
+		strict      = fs.Bool("strict", false, "fail the run on any paper-invariant monitor violation (CI mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,8 +113,13 @@ func run(args []string, out io.Writer) (retErr error) {
 			retErr = ferr
 		}
 	}()
+	// The convergence observatory stays on unconditionally: the sharded
+	// counter fabric is cheap enough to leave enabled (BENCH_overhead
+	// pins it under 5% on the bitset engine), and with -trace the costs /
+	// block_converge / invariant_violation events feed octrace converge.
+	fabric := costs.NewFabric(0)
 	if *serveAddr != "" {
-		srv := serve.New(rec, live)
+		srv := serve.New(rec, live, fabric)
 		addr, err := srv.Start(*serveAddr)
 		if err != nil {
 			return err
@@ -127,7 +134,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	cfg := sweep.Config{
 		Width: *n, Height: *n, MaxFaults: *maxf, Step: *step,
 		Replications: *reps, Seed: *seed, Workers: *workers, Recorder: rec,
-		Engine: eng,
+		Engine: eng, Costs: fabric, StrictInvariants: *strict,
 	}
 	if eng == core.EngineParallel || eng == core.EngineBitset {
 		cfg.EngineWorkers = *workers

@@ -23,6 +23,22 @@
 //	    the tolerance (or, with -each, when any single benchmark does).
 //	    The CI perf gate runs this against the committed BENCH_*.json.
 //
+//	octrace bench overhead [-max 0.05] BENCH_overhead.json
+//	    Enforce the counter-fabric overhead budget: each fabric=on
+//	    benchmark in the document must stay within the budget of its
+//	    fabric=off twin (BenchmarkOverhead emits the pairs). Exits 1
+//	    when any engine exceeds it.
+//
+//	octrace converge [-json] trace.ndjson [more.ndjson ...]
+//	    The convergence observatory's offline report, from the costs /
+//	    block_converge / invariant_violation events a run with the
+//	    counter fabric attached writes: per-phase rounds-vs-max-d(B)
+//	    scatter with within-bound counts, messages vs fault density,
+//	    per-block convergence-round tails (p50/p90/p99/max), and every
+//	    invariant violation. Exits 1 when any trace carries violations
+//	    or lacks costs events entirely (a trace recorded without the
+//	    fabric must not silently pass the CI invariant gate).
+//
 // See TRACE.md for the trace schema and more examples.
 package main
 
@@ -53,13 +69,18 @@ func run(args []string, out io.Writer) error {
 		return runReport(args[1:], out)
 	case "diff":
 		return runDiff(args[1:], out)
+	case "converge":
+		return runConverge(args[1:], out)
 	case "bench":
+		if len(args) >= 2 && args[1] == "overhead" {
+			return runBenchOverhead(args[2:], out)
+		}
 		if len(args) < 2 || args[1] != "check" {
-			return fmt.Errorf("usage: octrace bench check [-tol 0.25] [-each] baseline.json fresh.json")
+			return fmt.Errorf("usage: octrace bench check [-tol 0.25] [-each] baseline.json fresh.json | octrace bench overhead [-max 0.05] overhead.json")
 		}
 		return runBenchCheck(args[2:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want report, diff, or bench check)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want report, diff, converge, or bench check)", args[0])
 	}
 }
 
@@ -124,6 +145,46 @@ func runDiff(args []string, out io.Writer) error {
 	return fmt.Errorf("traces diverge (%d difference(s) shown)", len(diffs))
 }
 
+func runConverge(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("octrace converge", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: octrace converge [-json] trace.ndjson ...")
+	}
+	violations := 0
+	for i, path := range fs.Args() {
+		events, err := readTrace(path)
+		if err != nil {
+			return err
+		}
+		rep := analyze.Converge(events)
+		if rep.CostsEvents == 0 {
+			return fmt.Errorf("converge: %s has no costs events — was it recorded without a counter fabric? (see TRACE.md)", path)
+		}
+		violations += rep.ViolationCount()
+		if *asJSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				return err
+			}
+			continue
+		}
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		fmt.Fprintf(out, "== %s ==\n", path)
+		rep.WriteText(out)
+	}
+	if violations > 0 {
+		return fmt.Errorf("converge: %d invariant violation(s)", violations)
+	}
+	return nil
+}
+
 func runBenchCheck(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("octrace bench check", flag.ContinueOnError)
 	tol := fs.Float64("tol", 0.25, "allowed slowdown fraction (0.25 = fail beyond +25%)")
@@ -134,11 +195,11 @@ func runBenchCheck(args []string, out io.Writer) error {
 	if fs.NArg() != 2 {
 		return fmt.Errorf("usage: octrace bench check [-tol 0.25] [-each] baseline.json fresh.json")
 	}
-	base, err := readBench(fs.Arg(0))
+	base, err := readBenchFile("baseline", fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	fresh, err := readBench(fs.Arg(1))
+	fresh, err := readBenchFile("fresh", fs.Arg(1))
 	if err != nil {
 		return err
 	}
@@ -156,6 +217,45 @@ func runBenchCheck(args []string, out io.Writer) error {
 	return nil
 }
 
+// runBenchOverhead enforces the convergence observatory's acceptance
+// budget: every fabric=on benchmark in a BENCH_overhead.json document
+// must stay within -max (default 5%) of its fabric=off twin. The CI
+// overhead-gate runs this against a freshly measured document.
+func runBenchOverhead(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("octrace bench overhead", flag.ContinueOnError)
+	max := fs.Float64("max", 0.05, "allowed on/off overhead fraction (0.05 = fail beyond +5%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: octrace bench overhead [-max 0.05] overhead.json")
+	}
+	rep, err := readBenchFile("overhead", fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	pairs := analyze.OverheadPairs(rep)
+	if len(pairs) == 0 {
+		return fmt.Errorf("bench overhead: %s has no fabric=off/fabric=on pairs — was it produced by BenchmarkOverhead?", fs.Arg(0))
+	}
+	exceeded := 0
+	for _, p := range pairs {
+		marker := "  "
+		if p.Ratio > 1+*max {
+			marker = "!!"
+			exceeded++
+		}
+		fmt.Fprintf(out, "%s %-32s %12.0f -> %12.0f ns/op  (x%.3f)\n",
+			marker, p.Name, p.OffNS, p.OnNS, p.Ratio)
+	}
+	if exceeded > 0 {
+		return fmt.Errorf("bench overhead: counter fabric exceeds +%.0f%% on %d of %d engine(s)",
+			*max*100, exceeded, len(pairs))
+	}
+	fmt.Fprintf(out, "overhead ok: %d engine pair(s) within +%.0f%%\n", len(pairs), *max*100)
+	return nil
+}
+
 func readTrace(path string) ([]obs.Event, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -169,15 +269,22 @@ func readTrace(path string) ([]obs.Event, error) {
 	return events, nil
 }
 
-func readBench(path string) (*analyze.BenchReport, error) {
+// readBenchFile reads one side of a bench comparison. The role
+// ("baseline" or "fresh") labels the diagnostic so a CI failure names
+// which file is at fault: a missing or corrupted committed baseline
+// must fail the gate loudly, never pass it silently.
+func readBenchFile(role, path string) (*analyze.BenchReport, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("bench check: %s file %q does not exist (baseline not committed, or fresh run not written?)", role, path)
+		}
+		return nil, fmt.Errorf("bench check: %s file: %w", role, err)
 	}
 	defer f.Close()
 	rep, err := analyze.ReadBench(f)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("bench check: %s file %q is not a valid BENCH_*.json document: %w", role, path, err)
 	}
 	return rep, nil
 }

@@ -11,6 +11,9 @@ import (
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/obs"
 	"ocpmesh/internal/obs/analyze"
+	"ocpmesh/internal/obs/costs"
+	"ocpmesh/internal/status"
+	"ocpmesh/internal/sweep"
 )
 
 // writeTrace runs one formation on the given engine with a trace file
@@ -159,6 +162,232 @@ func TestBenchCheckOnCommittedBaselines(t *testing.T) {
 	}
 	if err := run([]string{"bench", "check", baselines[0], improved}, &out); err != nil {
 		t.Fatalf("improvement failed the gate: %v", err)
+	}
+}
+
+// TestConvergeAcrossEngines is the converge acceptance check: a sweep
+// at the paper's fault density recorded with the counter fabric, on
+// every engine, reports every phase within the rounds <= max d(B)
+// bound and zero invariant violations.
+func TestConvergeAcrossEngines(t *testing.T) {
+	dir := t.TempDir()
+	for _, engine := range []core.EngineKind{
+		core.EngineSequential, core.EngineChannels, core.EngineParallel, core.EngineBitset,
+	} {
+		path := filepath.Join(dir, engine.String()+".ndjson")
+		rec, finish, err := obs.Setup(obs.NewRun("converge-test", 1, nil), path, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fabric := costs.NewFabric(0)
+		runner, err := sweep.NewRunner(sweep.Config{
+			// 20x20 with up to 4 faults: the paper's <= 1% density regime,
+			// where the round bound holds (see core/monitor.go).
+			Width: 20, Height: 20, MaxFaults: 4, Step: 2, Replications: 3,
+			Seed: 7, Engine: engine, Recorder: rec, Costs: fabric,
+			StrictInvariants: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := runner.Sweep(status.Def2b, sweep.Uniform, sweep.RoundsPhase1); err != nil {
+			t.Fatalf("%s sweep: %v", engine, err)
+		}
+		if err := finish(); err != nil {
+			t.Fatal(err)
+		}
+
+		var out strings.Builder
+		if err := run([]string{"converge", path}, &out); err != nil {
+			t.Fatalf("%s: converge failed: %v\n%s", engine, err, out.String())
+		}
+		text := out.String()
+		if !strings.Contains(text, "invariants ok") {
+			t.Errorf("%s: no invariants-ok marker:\n%s", engine, text)
+		}
+		if strings.Contains(text, "VIOLATION") {
+			t.Errorf("%s: violations reported:\n%s", engine, text)
+		}
+		// Every phase line must show all runs within the bound.
+		for _, line := range strings.Split(text, "\n") {
+			if !strings.HasPrefix(line, "phase") {
+				continue
+			}
+			fields := strings.Fields(line)
+			var within string
+			for _, f := range fields {
+				if strings.HasPrefix(f, "within-bound=") {
+					within = strings.TrimPrefix(f, "within-bound=")
+				}
+			}
+			parts := strings.SplitN(within, "/", 2)
+			if len(parts) != 2 || parts[0] != parts[1] {
+				t.Errorf("%s: phase not fully within bound: %s", engine, line)
+			}
+		}
+
+		// JSON mode parses and agrees on the violation count.
+		out.Reset()
+		if err := run([]string{"converge", "-json", path}, &out); err != nil {
+			t.Fatalf("%s: converge -json: %v", engine, err)
+		}
+		var rep analyze.ConvergeReport
+		if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+			t.Fatalf("%s: converge -json output invalid: %v", engine, err)
+		}
+		if rep.ViolationCount() != 0 || rep.CostsEvents == 0 {
+			t.Errorf("%s: json report = %d violations, %d costs events", engine, rep.ViolationCount(), rep.CostsEvents)
+		}
+	}
+}
+
+// TestConvergeWithoutFabric pins the CI-misuse guard: a trace recorded
+// with no counter fabric must fail the converge gate, not pass it.
+func TestConvergeWithoutFabric(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTrace(t, dir, "nofabric.ndjson", core.EngineSequential)
+	var out strings.Builder
+	err := run([]string{"converge", path}, &out)
+	if err == nil {
+		t.Fatal("fabric-less trace passed the converge gate")
+	}
+	if !strings.Contains(err.Error(), "no costs events") {
+		t.Fatalf("error %q does not explain the missing fabric", err)
+	}
+}
+
+// TestBenchCheckMissingBaseline pins satellite behavior: a gate run
+// against a baseline path that does not exist must fail with a
+// diagnostic naming the role and the path, not pass silently.
+func TestBenchCheckMissingBaseline(t *testing.T) {
+	dir := t.TempDir()
+	fresh := filepath.Join(dir, "fresh.json")
+	rep := analyze.BenchReport{Results: []analyze.BenchResult{{Name: "BenchmarkX", NsPerOp: 100}}}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fresh, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	missing := filepath.Join(dir, "BENCH_nope.json")
+	var out strings.Builder
+	err = run([]string{"bench", "check", missing, fresh}, &out)
+	if err == nil {
+		t.Fatal("missing baseline passed the gate")
+	}
+	for _, want := range []string{"baseline", missing, "does not exist"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("missing-baseline error %q lacks %q", err, want)
+		}
+	}
+
+	// A missing fresh file names the other role.
+	err = run([]string{"bench", "check", fresh, filepath.Join(dir, "gone.json")}, &out)
+	if err == nil {
+		t.Fatal("missing fresh file passed the gate")
+	}
+	if !strings.Contains(err.Error(), "fresh") {
+		t.Errorf("missing-fresh error %q does not name the fresh role", err)
+	}
+}
+
+// TestBenchCheckMalformedBaseline pins the other satellite case: a
+// baseline that exists but is not a valid bench document (bad JSON, or
+// valid JSON with no results) fails with a clear diagnostic.
+func TestBenchCheckMalformedBaseline(t *testing.T) {
+	dir := t.TempDir()
+	fresh := filepath.Join(dir, "fresh.json")
+	rep := analyze.BenchReport{Results: []analyze.BenchResult{{Name: "BenchmarkX", NsPerOp: 100}}}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fresh, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, content := range map[string]string{
+		"truncated.json": `{"results": [{"name": "Bench`,
+		"notjson.json":   "iterations: lots\n",
+		"empty.json":     `{"results": []}`,
+	} {
+		bad := filepath.Join(dir, name)
+		if err := os.WriteFile(bad, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		err := run([]string{"bench", "check", bad, fresh}, &out)
+		if err == nil {
+			t.Fatalf("malformed baseline %s passed the gate", name)
+		}
+		for _, want := range []string{"baseline", bad, "not a valid"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: error %q lacks %q", name, err, want)
+			}
+		}
+	}
+}
+
+// TestBenchOverheadGate pins the CI overhead-gate command: the
+// committed BENCH_overhead.json passes the 5% budget, a synthetic
+// document over budget fails and marks the offending engine, and a
+// document without fabric pairs is rejected.
+func TestBenchOverheadGate(t *testing.T) {
+	var out strings.Builder
+	committed := filepath.Join("..", "..", "BENCH_overhead.json")
+	if err := run([]string{"bench", "overhead", committed}, &out); err != nil {
+		t.Fatalf("committed overhead baseline over budget: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "overhead ok") {
+		t.Fatalf("missing ok marker:\n%s", out.String())
+	}
+
+	dir := t.TempDir()
+	write := func(name string, rep analyze.BenchReport) string {
+		t.Helper()
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	over := write("over.json", analyze.BenchReport{Results: []analyze.BenchResult{
+		{Name: "BenchmarkOverhead/bitset/n=512/fabric=off-8", NsPerOp: 100},
+		{Name: "BenchmarkOverhead/bitset/n=512/fabric=on-8", NsPerOp: 120},
+		{Name: "BenchmarkOverhead/parallel/n=512/fabric=off-8", NsPerOp: 1000},
+		{Name: "BenchmarkOverhead/parallel/n=512/fabric=on-8", NsPerOp: 1010},
+	}})
+	out.Reset()
+	err := run([]string{"bench", "overhead", over}, &out)
+	if err == nil || !strings.Contains(err.Error(), "1 of 2") {
+		t.Fatalf("20%% overhead passed the 5%% gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "!!") {
+		t.Fatalf("offending engine not marked:\n%s", out.String())
+	}
+	// A looser budget admits the same document.
+	if err := run([]string{"bench", "overhead", "-max", "0.25", over}, &out); err != nil {
+		t.Fatalf("25%% budget rejected a 20%% overhead: %v", err)
+	}
+
+	unpaired := write("unpaired.json", analyze.BenchReport{Results: []analyze.BenchResult{
+		{Name: "BenchmarkChurn/incremental/f=10", NsPerOp: 100},
+	}})
+	if err := run([]string{"bench", "overhead", unpaired}, &out); err == nil ||
+		!strings.Contains(err.Error(), "no fabric=off/fabric=on pairs") {
+		t.Fatalf("pairless document not rejected: %v", err)
+	}
+
+	if err := run([]string{"bench", "overhead", filepath.Join(dir, "gone.json")}, &out); err == nil ||
+		!strings.Contains(err.Error(), "overhead") || !strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("missing overhead document not diagnosed: %v", err)
 	}
 }
 

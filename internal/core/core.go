@@ -26,6 +26,7 @@ import (
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
 	"ocpmesh/internal/obs"
+	"ocpmesh/internal/obs/costs"
 	"ocpmesh/internal/region"
 	"ocpmesh/internal/simnet"
 	"ocpmesh/internal/status"
@@ -107,6 +108,18 @@ type Config struct {
 	// phase_end events) and records phase-round and region-count
 	// metrics. Nil disables observability at no cost.
 	Recorder *obs.Recorder
+	// Costs, when non-nil, turns on the convergence observatory: the
+	// run's distributed costs (rounds, messages, label flips, words
+	// touched) are accumulated into the fabric, the paper-invariant
+	// monitors run over the finished formation, and — with a Recorder —
+	// per-phase "costs", per-block "block_converge" and any
+	// "invariant_violation" events land in the trace. Independent of
+	// Recorder; nil disables all of it at no cost.
+	Costs *costs.Fabric
+	// StrictInvariants turns invariant-monitor violations into an error
+	// from Form (the CI mode). With a nil Costs fabric, a private one is
+	// created so the monitors still run.
+	StrictInvariants bool
 }
 
 // Result is the outcome of a formation run.
@@ -158,8 +171,19 @@ func FormOn(cfg Config, topo *mesh.Topology, faults *grid.PointSet) (*Result, er
 	}
 	eng := cfg.Engine.engine(cfg.Workers)
 	rec := cfg.Recorder
+	fabric := cfg.Costs
+	if cfg.StrictInvariants && fabric == nil {
+		fabric = costs.NewFabric(1)
+	}
+	var pc1, pc2 *costs.Phase
+	if fabric != nil {
+		// The per-node trackers feed the monotonicity monitors and the
+		// per-block convergence attribution.
+		pc1 = costs.NewPhase(fabric, "phase1", topo.Size())
+		pc2 = costs.NewPhase(fabric, "phase2", topo.Size())
+	}
 
-	p1, err := runPhase(rec, cfg, eng, env, "phase1", status.UnsafeRule(cfg.Safety))
+	p1, err := runPhase(rec, cfg, eng, env, "phase1", status.UnsafeRule(cfg.Safety), pc1)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 1: %w", err)
 	}
@@ -167,7 +191,7 @@ func FormOn(cfg Config, topo *mesh.Topology, faults *grid.PointSet) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	p2, err := runPhase(rec, cfg, eng, env2, "phase2", status.EnabledRule())
+	p2, err := runPhase(rec, cfg, eng, env2, "phase2", status.EnabledRule(), pc2)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 2: %w", err)
 	}
@@ -188,14 +212,20 @@ func FormOn(cfg Config, topo *mesh.Topology, faults *grid.PointSet) (*Result, er
 		rec.Histogram("core_regions", nil).Observe(float64(len(res.Regions)))
 		rec.Histogram("core_disabled_nonfaulty", nil).Observe(float64(res.DisabledNonfaultyCount()))
 	}
+	if fabric != nil {
+		if violations := monitorForm(rec, fabric, eng.Name(), res, pc1, pc2); len(violations) > 0 && cfg.StrictInvariants {
+			return nil, violationError(violations)
+		}
+	}
 	return res, nil
 }
 
 // runPhase runs one fixpoint phase with phase_start/phase_end trace
 // events around the engine's per-round stream and a rounds histogram
-// per phase. With a nil recorder it is exactly the bare engine run.
-func runPhase(rec *obs.Recorder, cfg Config, eng simnet.Engine, env *simnet.Env, phase string, rule simnet.Rule) (*simnet.Result, error) {
-	opts := simnet.Options{MaxRounds: cfg.MaxRounds, Recorder: rec, Phase: phase}
+// per phase. With a nil recorder it is exactly the bare engine run (plus
+// cost accounting when a collector is attached).
+func runPhase(rec *obs.Recorder, cfg Config, eng simnet.Engine, env *simnet.Env, phase string, rule simnet.Rule, pc *costs.Phase) (*simnet.Result, error) {
+	opts := simnet.Options{MaxRounds: cfg.MaxRounds, Recorder: rec, Phase: phase, Costs: pc}
 	if rec == nil {
 		return eng.Run(env, rule, opts)
 	}

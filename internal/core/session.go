@@ -50,6 +50,8 @@ func NewSessionOn(cfg Config, topo *mesh.Topology, faults *grid.PointSet) (*Sess
 		Workers:      sessionWorkers(cfg),
 		Bitset:       cfg.Engine == EngineBitset,
 		Recorder:     cfg.Recorder,
+		Costs:        cfg.Costs,
+		Strict:       cfg.StrictInvariants,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: session: %w", err)

@@ -31,6 +31,7 @@ import (
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
 	"ocpmesh/internal/obs"
+	"ocpmesh/internal/obs/costs"
 	"ocpmesh/internal/region"
 	"ocpmesh/internal/simnet"
 	"ocpmesh/internal/status"
@@ -60,6 +61,17 @@ type Config struct {
 	// (re)computation and one obs.EDelta event per applied delta, plus
 	// incremental_* metrics. Nil disables observability at no cost.
 	Recorder *obs.Recorder
+	// Costs, when non-nil, accumulates the initial formation's and every
+	// delta's distributed costs (rounds, messages, label flips, frontier
+	// sizes, deltas) into the convergence observatory's counter fabric
+	// and arms the frontier-shrinkage monitor. Independent of Recorder;
+	// nil disables it at no cost.
+	Costs *costs.Fabric
+	// Strict turns a frontier-shrinkage violation (a node flipping twice
+	// during a delta, which a monotone rule forbids) into an error from
+	// Add/Remove instead of only an invariant_violation event. Requires
+	// Costs.
+	Strict bool
 }
 
 // Delta summarizes one applied fault delta.
@@ -130,30 +142,65 @@ func New(topo *mesh.Topology, faults *grid.PointSet, cfg Config) (*Field, error)
 	return f, nil
 }
 
-func (f *Field) genericOpts(phase string) simnet.GenericOptions[bool] {
-	return simnet.GenericOptions[bool]{MaxRounds: f.cfg.MaxRounds, Recorder: f.cfg.Recorder, Phase: phase}
+func (f *Field) genericOpts(phase string, pc *costs.Phase) simnet.GenericOptions[bool] {
+	return simnet.GenericOptions[bool]{MaxRounds: f.cfg.MaxRounds, Recorder: f.cfg.Recorder, Phase: phase, Costs: pc}
+}
+
+// newPhase returns the per-phase cost collector (nil without a fabric).
+// Delta collectors carry no per-node tracker — the frontier engine does
+// its shrinkage check on the sorted change list — so they stay
+// allocation-light on the churn hot path.
+func (f *Field) newPhase(phase string) *costs.Phase {
+	return costs.NewPhase(f.cfg.Costs, phase, 0)
 }
 
 // runFull computes one full synchronous fixpoint: on the bitset engine
 // when configured, else on the tiled parallel engine when the field has
 // more than one worker, else sequentially.
 func (f *Field) runFull(env *simnet.Env, rule simnet.Rule, phase string) (*simnet.GenericResult[bool], error) {
-	if f.cfg.Bitset {
-		return simnet.RunBitsetGeneric(env, rule, f.genericOpts(phase), f.cfg.Workers)
+	pc := f.newPhase(phase)
+	opt := f.genericOpts(phase, pc)
+	var (
+		res *simnet.GenericResult[bool]
+		err error
+	)
+	switch {
+	case f.cfg.Bitset:
+		res, err = simnet.RunBitsetGeneric(env, rule, opt, f.cfg.Workers)
+	case f.cfg.Workers > 1:
+		res, err = simnet.RunParallelGeneric[bool](env, rule, opt, f.cfg.Workers)
+	default:
+		res, err = simnet.RunSequentialGeneric[bool](env, rule, opt)
 	}
-	if f.cfg.Workers > 1 {
-		return simnet.RunParallelGeneric[bool](env, rule, f.genericOpts(phase), f.cfg.Workers)
+	if err != nil {
+		return nil, err
 	}
-	return simnet.RunSequentialGeneric[bool](env, rule, f.genericOpts(phase))
+	pc.Finish()
+	return res, nil
 }
 
 // runFrontier restabilizes labels from the given seed, fanning waves out
 // over the configured worker count.
 func (f *Field) runFrontier(env *simnet.Env, rule simnet.Rule, labels []bool, seed []int, phase string) (*simnet.FrontierResult, error) {
+	pc := f.newPhase(phase)
+	opt := f.genericOpts(phase, pc)
+	var (
+		res *simnet.FrontierResult
+		err error
+	)
 	if f.cfg.Workers > 1 {
-		return simnet.RunParallelFrontierGeneric[bool](env, rule, labels, seed, f.genericOpts(phase), f.cfg.Workers)
+		res, err = simnet.RunParallelFrontierGeneric[bool](env, rule, labels, seed, opt, f.cfg.Workers)
+	} else {
+		res, err = simnet.RunFrontierGeneric[bool](env, rule, labels, seed, opt)
 	}
-	return simnet.RunFrontierGeneric[bool](env, rule, labels, seed, f.genericOpts(phase))
+	if err != nil {
+		return nil, err
+	}
+	pc.Finish()
+	if f.cfg.Strict && pc.Violations() > 0 {
+		return nil, fmt.Errorf("incremental: %d frontier_shrink invariant violation(s) in %s", pc.Violations(), phase)
+	}
+	return res, nil
 }
 
 // Topo returns the machine.
@@ -379,6 +426,7 @@ func (f *Field) startDelta() obs.Span {
 
 // observe emits the per-delta trace event and metrics. Nil-safe.
 func (f *Field) observe(d Delta, span obs.Span) {
+	f.cfg.Costs.Add(0, costs.KindDeltas, 1)
 	rec := f.cfg.Recorder
 	if rec == nil {
 		return

@@ -166,6 +166,31 @@ func TestCompareBench(t *testing.T) {
 	}
 }
 
+func TestOverheadPairs(t *testing.T) {
+	rep := &BenchReport{Results: []BenchResult{
+		{Name: "BenchmarkOverhead/bitset/n=512/fabric=off-8", NsPerOp: 100},
+		{Name: "BenchmarkOverhead/bitset/n=512/fabric=on-8", NsPerOp: 104},
+		{Name: "BenchmarkOverhead/parallel/n=512/fabric=off-8", NsPerOp: 1000},
+		{Name: "BenchmarkOverhead/parallel/n=512/fabric=on-8", NsPerOp: 1030},
+		{Name: "BenchmarkOverhead/channels/n=512/fabric=off-8", NsPerOp: 500}, // no on twin
+		{Name: "BenchmarkUnrelated-8", NsPerOp: 7},
+	}}
+	pairs := OverheadPairs(rep)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %+v, want bitset and parallel", pairs)
+	}
+	p := pairs[0]
+	if p.Name != "BenchmarkOverhead/bitset/n=512" || p.OffNS != 100 || p.OnNS != 104 || p.Ratio != 1.04 {
+		t.Fatalf("bitset pair = %+v", p)
+	}
+	if pairs[1].Ratio != 1.03 {
+		t.Fatalf("parallel pair = %+v", pairs[1])
+	}
+	if got := OverheadPairs(&BenchReport{Results: []BenchResult{{Name: "BenchmarkX", NsPerOp: 1}}}); got != nil {
+		t.Fatalf("pairs from unrelated document = %+v", got)
+	}
+}
+
 func TestTrimProcs(t *testing.T) {
 	cases := []struct{ in, want string }{
 		{"BenchmarkX-8", "BenchmarkX"},

@@ -147,6 +147,47 @@ func (c *BenchCheck) WriteText(w io.Writer, tolerance float64) {
 	fmt.Fprintf(w, "median ratio x%.3f (tolerance x%.3f)\n", c.MedianRatio, 1+tolerance)
 }
 
+// OverheadPair couples a fabric=off benchmark with its fabric=on
+// counterpart from one BENCH_overhead.json document. Ratio is on/off:
+// 1.0 means the counter fabric is free, 1.05 is the acceptance budget.
+type OverheadPair struct {
+	Name  string  `json:"name"` // pair name with the fabric=... leg stripped
+	OffNS float64 `json:"off_ns"`
+	OnNS  float64 `json:"on_ns"`
+	Ratio float64 `json:"ratio"`
+}
+
+// OverheadPairs extracts the fabric=off / fabric=on benchmark pairs
+// from an overhead document (BenchmarkOverhead's sub-benchmark naming).
+// Results without a counterpart are skipped; pairs are returned in the
+// document's off-leg order.
+func OverheadPairs(rep *BenchReport) []OverheadPair {
+	onBy := map[string]BenchResult{}
+	for _, r := range rep.Results {
+		if name := trimProcs(r.Name); strings.Contains(name, "fabric=on") {
+			onBy[strings.ReplaceAll(name, "fabric=on", "fabric=off")] = r
+		}
+	}
+	var pairs []OverheadPair
+	for _, off := range rep.Results {
+		name := trimProcs(off.Name)
+		if !strings.Contains(name, "fabric=off") {
+			continue
+		}
+		on, ok := onBy[name]
+		if !ok || off.NsPerOp <= 0 {
+			continue
+		}
+		pairs = append(pairs, OverheadPair{
+			Name:  strings.ReplaceAll(name, "/fabric=off", ""),
+			OffNS: off.NsPerOp,
+			OnNS:  on.NsPerOp,
+			Ratio: on.NsPerOp / off.NsPerOp,
+		})
+	}
+	return pairs
+}
+
 // trimProcs strips the "-N" GOMAXPROCS suffix from a benchmark name.
 func trimProcs(name string) string {
 	i := strings.LastIndex(name, "-")

@@ -1,0 +1,319 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ocpmesh/internal/obs"
+)
+
+// ConvergePoint is one cell of the rounds-vs-d(B) scatter: Count runs
+// of a phase converged in Rounds rounds on a configuration whose
+// largest faulty block had diameter Diameter.
+type ConvergePoint struct {
+	Diameter int `json:"diameter"`
+	Rounds   int `json:"rounds"`
+	Count    int `json:"count"`
+}
+
+// ConvergePhaseStat aggregates the costs events of one (phase, engine)
+// pair: how often the paper's rounds <= max d(B) bound held, the worst
+// ratio, and the cost totals.
+type ConvergePhaseStat struct {
+	Phase  string `json:"phase"`
+	Engine string `json:"engine,omitempty"`
+	// Runs counts costs events; WithinBound those with
+	// rounds <= max d(B), Exceeds the rest.
+	Runs        int `json:"runs"`
+	WithinBound int `json:"within_bound"`
+	Exceeds     int `json:"exceeds,omitempty"`
+	// MaxRatio is the worst rounds / max d(B) over runs with d(B) > 0;
+	// at the paper's fault densities it stays at or below 1.
+	MaxRatio float64 `json:"max_ratio"`
+	// Totals across runs.
+	Rounds int64 `json:"rounds"`
+	Flips  int64 `json:"flips"`
+	Msgs   int64 `json:"msgs"`
+	Words  int64 `json:"words,omitempty"`
+	// Scatter is the deduplicated (d(B), rounds) point cloud.
+	Scatter []ConvergePoint `json:"scatter,omitempty"`
+}
+
+// ConvergeMsgPoint is one fault-count bucket of the messages-vs-fault-
+// density curve, averaged over the runs that hit the bucket.
+type ConvergeMsgPoint struct {
+	Faults   int     `json:"faults"`
+	Runs     int     `json:"runs"`
+	MeanMsgs float64 `json:"mean_msgs"`
+}
+
+// ConvergeBlockTail is the per-block convergence-round distribution of
+// one phase, from block_converge events: each observation is the last
+// round any node of one faulty block changed.
+type ConvergeBlockTail struct {
+	Phase  string `json:"phase"`
+	Blocks int    `json:"blocks"`
+	// WithinBound counts blocks converging within their own d(B).
+	WithinBound int `json:"within_bound"`
+	P50         int `json:"p50"`
+	P90         int `json:"p90"`
+	P99         int `json:"p99"`
+	Max         int `json:"max"`
+}
+
+// ConvergeViolation aggregates invariant_violation events per
+// (monitor, phase) pair.
+type ConvergeViolation struct {
+	Monitor string `json:"monitor"`
+	Phase   string `json:"phase,omitempty"`
+	Count   int    `json:"count"`
+	// Example is the detail of the first occurrence.
+	Example string `json:"example,omitempty"`
+}
+
+// ConvergeReport is the offline view of the convergence observatory: it
+// is assembled purely from the costs / block_converge /
+// invariant_violation events a run with an attached costs.Fabric wrote.
+type ConvergeReport struct {
+	// CostsEvents is the number of costs events consumed; zero means the
+	// trace was recorded without a counter fabric.
+	CostsEvents int                 `json:"costs_events"`
+	Phases      []ConvergePhaseStat `json:"phases,omitempty"`
+	Msgs        []ConvergeMsgPoint  `json:"msgs_by_faults,omitempty"`
+	Blocks      []ConvergeBlockTail `json:"blocks,omitempty"`
+	Violations  []ConvergeViolation `json:"violations,omitempty"`
+}
+
+// ViolationCount is the total number of invariant violations in the
+// trace — the converge gate's exit statistic.
+func (r *ConvergeReport) ViolationCount() int {
+	n := 0
+	for _, v := range r.Violations {
+		n += v.Count
+	}
+	return n
+}
+
+// Converge folds a trace's observatory events into a ConvergeReport.
+func Converge(events []obs.Event) *ConvergeReport {
+	rep := &ConvergeReport{}
+	phases := map[string]*ConvergePhaseStat{}
+	scatter := map[string]map[[2]int]int{}
+	msgsByFaults := map[int]*ConvergeMsgPoint{}
+	blockRounds := map[string][]int{}
+	blockWithin := map[string]int{}
+	violations := map[string]*ConvergeViolation{}
+
+	for _, e := range events {
+		switch e.Type {
+		case obs.ECosts:
+			rep.CostsEvents++
+			key := e.Phase + "\x00" + e.Engine
+			ps, ok := phases[key]
+			if !ok {
+				ps = &ConvergePhaseStat{Phase: e.Phase, Engine: e.Engine}
+				phases[key] = ps
+				scatter[key] = map[[2]int]int{}
+			}
+			ps.Runs++
+			if e.Rounds <= e.Diameter {
+				ps.WithinBound++
+			} else {
+				ps.Exceeds++
+			}
+			if e.Diameter > 0 {
+				if ratio := float64(e.Rounds) / float64(e.Diameter); ratio > ps.MaxRatio {
+					ps.MaxRatio = ratio
+				}
+			}
+			ps.Rounds += int64(e.Rounds)
+			ps.Flips += int64(e.Changed)
+			ps.Msgs += int64(e.Msgs)
+			ps.Words += e.Words
+			scatter[key][[2]int{e.Diameter, e.Rounds}]++
+
+			mp, ok := msgsByFaults[e.N]
+			if !ok {
+				mp = &ConvergeMsgPoint{Faults: e.N}
+				msgsByFaults[e.N] = mp
+			}
+			// Running mean, numerically fine at trace scale.
+			mp.MeanMsgs = (mp.MeanMsgs*float64(mp.Runs) + float64(e.Msgs)) / float64(mp.Runs+1)
+			mp.Runs++
+		case obs.EBlockConverge:
+			blockRounds[e.Phase] = append(blockRounds[e.Phase], e.Rounds)
+			if e.Rounds <= e.Diameter {
+				blockWithin[e.Phase]++
+			}
+		case obs.EInvariantViolation:
+			key := e.Name + "\x00" + e.Phase
+			v, ok := violations[key]
+			if !ok {
+				v = &ConvergeViolation{Monitor: e.Name, Phase: e.Phase, Example: e.Err}
+				violations[key] = v
+			}
+			v.Count++
+		}
+	}
+
+	for _, key := range sortedKeys(phases) {
+		ps := phases[key]
+		for pt, count := range scatter[key] {
+			ps.Scatter = append(ps.Scatter, ConvergePoint{Diameter: pt[0], Rounds: pt[1], Count: count})
+		}
+		sort.Slice(ps.Scatter, func(i, j int) bool {
+			a, b := ps.Scatter[i], ps.Scatter[j]
+			if a.Diameter != b.Diameter {
+				return a.Diameter < b.Diameter
+			}
+			return a.Rounds < b.Rounds
+		})
+		rep.Phases = append(rep.Phases, *ps)
+	}
+	for _, f := range sortedKeys(msgsByFaults) {
+		rep.Msgs = append(rep.Msgs, *msgsByFaults[f])
+	}
+	for _, phase := range sortedKeys(blockRounds) {
+		rounds := blockRounds[phase]
+		sort.Ints(rounds)
+		rep.Blocks = append(rep.Blocks, ConvergeBlockTail{
+			Phase: phase, Blocks: len(rounds), WithinBound: blockWithin[phase],
+			P50: percentileInt(rounds, 50), P90: percentileInt(rounds, 90),
+			P99: percentileInt(rounds, 99), Max: rounds[len(rounds)-1],
+		})
+	}
+	for _, key := range sortedKeys(violations) {
+		rep.Violations = append(rep.Violations, *violations[key])
+	}
+	return rep
+}
+
+// sortedKeys returns m's keys in sorted order for any ordered key type.
+func sortedKeys[K interface {
+	~int | ~string
+}, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// percentileInt is the nearest-rank percentile of a sorted slice.
+func percentileInt(sorted []int, p int) int {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+// WriteText renders the report for humans: per-phase bound statistics
+// with an ASCII rounds-vs-d(B) scatter, the messages-vs-fault-density
+// curve, per-block convergence tails, and any invariant violations.
+func (r *ConvergeReport) WriteText(w io.Writer) {
+	if r.CostsEvents == 0 {
+		fmt.Fprintln(w, "no costs events: trace was recorded without a counter fabric (see TRACE.md)")
+		return
+	}
+	for _, ps := range r.Phases {
+		engine := ps.Engine
+		if engine == "" {
+			engine = "?"
+		}
+		fmt.Fprintf(w, "phase   %-8s engine=%-10s runs=%d within-bound=%d/%d max-ratio=%.2f flips=%d msgs=%d",
+			ps.Phase, engine, ps.Runs, ps.WithinBound, ps.Runs, ps.MaxRatio, ps.Flips, ps.Msgs)
+		if ps.Words > 0 {
+			fmt.Fprintf(w, " words=%d", ps.Words)
+		}
+		fmt.Fprintln(w)
+		writeScatter(w, ps.Scatter)
+	}
+	if len(r.Msgs) > 1 {
+		fmt.Fprintln(w, "messages vs faults:")
+		for _, mp := range r.Msgs {
+			fmt.Fprintf(w, "  f=%-5d runs=%-4d mean msgs=%.0f\n", mp.Faults, mp.Runs, mp.MeanMsgs)
+		}
+	}
+	for _, bt := range r.Blocks {
+		fmt.Fprintf(w, "blocks  %-8s n=%d within-own-d(B)=%d p50=%d p90=%d p99=%d max=%d\n",
+			bt.Phase, bt.Blocks, bt.WithinBound, bt.P50, bt.P90, bt.P99, bt.Max)
+	}
+	if len(r.Violations) == 0 {
+		fmt.Fprintln(w, "invariants ok: no violations")
+		return
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(w, "VIOLATION %s[%s] x%d: %s\n", v.Monitor, v.Phase, v.Count, v.Example)
+	}
+}
+
+// writeScatter draws a small rounds-vs-d(B) character grid: columns are
+// d(B), rows rounds (top = most), cells the run count (digit, '+' past
+// nine). Cells above the rounds = d(B) diagonal — bound exceedances —
+// are marked '!'.
+func writeScatter(w io.Writer, pts []ConvergePoint) {
+	if len(pts) == 0 {
+		return
+	}
+	maxD, maxR := 0, 0
+	for _, p := range pts {
+		if p.Diameter > maxD {
+			maxD = p.Diameter
+		}
+		if p.Rounds > maxR {
+			maxR = p.Rounds
+		}
+	}
+	const gridW, gridH = 40, 10
+	// Bin sizes of at least 1 keep small traces unbinned.
+	binD, binR := maxD/gridW+1, maxR/gridH+1
+	cols, rows := maxD/binD+1, maxR/binR+1
+	counts := make([][]int, rows)
+	exceeds := make([][]bool, rows)
+	for i := range counts {
+		counts[i] = make([]int, cols)
+		exceeds[i] = make([]bool, cols)
+	}
+	for _, p := range pts {
+		r, c := p.Rounds/binR, p.Diameter/binD
+		counts[r][c] += p.Count
+		if p.Rounds > p.Diameter {
+			exceeds[r][c] = true
+		}
+	}
+	for r := rows - 1; r >= 0; r-- {
+		fmt.Fprintf(w, "  %4d |", r*binR)
+		for c := 0; c < cols; c++ {
+			switch n := counts[r][c]; {
+			case n == 0:
+				fmt.Fprint(w, " ")
+			case exceeds[r][c]:
+				fmt.Fprint(w, "!")
+			case n > 9:
+				fmt.Fprint(w, "+")
+			default:
+				fmt.Fprintf(w, "%d", n)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  rnds +%s\n", repeat('-', cols))
+	fmt.Fprintf(w, "        0%*s\n", cols-1, fmt.Sprintf("d(B)=%d", maxD))
+}
+
+func repeat(ch byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = ch
+	}
+	return string(b)
+}

@@ -1,0 +1,115 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"ocpmesh/internal/obs"
+)
+
+func TestConvergeAggregates(t *testing.T) {
+	events := []obs.Event{
+		// Two phase1 runs on the bitset engine, one within bound, one not.
+		{Type: obs.ECosts, Phase: "phase1", Engine: "bitset", Rounds: 3, Diameter: 6, Changed: 10, Msgs: 100, Words: 40, N: 5},
+		{Type: obs.ECosts, Phase: "phase1", Engine: "bitset", Rounds: 8, Diameter: 6, Changed: 12, Msgs: 150, Words: 50, N: 10},
+		// One phase2 run, exactly at the bound.
+		{Type: obs.ECosts, Phase: "phase2", Engine: "bitset", Rounds: 6, Diameter: 6, Changed: 4, Msgs: 80, N: 5},
+		// Per-block records.
+		{Type: obs.EBlockConverge, Phase: "phase1", Block: 1, Rounds: 2, Diameter: 4, N: 6},
+		{Type: obs.EBlockConverge, Phase: "phase1", Block: 2, Rounds: 5, Diameter: 3, N: 2},
+		{Type: obs.EBlockConverge, Phase: "phase2", Block: 1, Rounds: 1, Diameter: 4, N: 6},
+		// One violation.
+		{Type: obs.EInvariantViolation, Name: "rounds_bound", Phase: "phase1", Err: "8 rounds exceed max d(B) = 6"},
+		// Noise the analyzer must ignore.
+		{Type: obs.ERound, Phase: "phase1", Round: 1, Changed: 3},
+	}
+	rep := Converge(events)
+
+	if rep.CostsEvents != 3 {
+		t.Fatalf("costs events = %d, want 3", rep.CostsEvents)
+	}
+	if len(rep.Phases) != 2 {
+		t.Fatalf("phases = %+v, want phase1 and phase2", rep.Phases)
+	}
+	p1 := rep.Phases[0]
+	if p1.Phase != "phase1" || p1.Runs != 2 || p1.WithinBound != 1 || p1.Exceeds != 1 {
+		t.Fatalf("phase1 stat = %+v", p1)
+	}
+	if want := 8.0 / 6.0; p1.MaxRatio != want {
+		t.Fatalf("phase1 max ratio = %v, want %v", p1.MaxRatio, want)
+	}
+	if p1.Rounds != 11 || p1.Flips != 22 || p1.Msgs != 250 || p1.Words != 90 {
+		t.Fatalf("phase1 totals = %+v", p1)
+	}
+	if len(p1.Scatter) != 2 || p1.Scatter[0] != (ConvergePoint{Diameter: 6, Rounds: 3, Count: 1}) {
+		t.Fatalf("phase1 scatter = %+v", p1.Scatter)
+	}
+	p2 := rep.Phases[1]
+	if p2.WithinBound != 1 || p2.Exceeds != 0 || p2.MaxRatio != 1.0 {
+		t.Fatalf("phase2 stat = %+v (rounds == d(B) must count as within bound)", p2)
+	}
+
+	if len(rep.Msgs) != 2 {
+		t.Fatalf("msgs buckets = %+v, want f=5 and f=10", rep.Msgs)
+	}
+	if m := rep.Msgs[0]; m.Faults != 5 || m.Runs != 2 || m.MeanMsgs != 90 {
+		t.Fatalf("f=5 bucket = %+v, want mean of 100 and 80", m)
+	}
+
+	if len(rep.Blocks) != 2 {
+		t.Fatalf("block tails = %+v", rep.Blocks)
+	}
+	b1 := rep.Blocks[0]
+	if b1.Phase != "phase1" || b1.Blocks != 2 || b1.WithinBound != 1 || b1.Max != 5 || b1.P50 != 2 {
+		t.Fatalf("phase1 block tail = %+v", b1)
+	}
+
+	if rep.ViolationCount() != 1 {
+		t.Fatalf("violations = %d, want 1", rep.ViolationCount())
+	}
+	if v := rep.Violations[0]; v.Monitor != "rounds_bound" || v.Count != 1 || v.Example == "" {
+		t.Fatalf("violation = %+v", v)
+	}
+
+	var sb strings.Builder
+	rep.WriteText(&sb)
+	text := sb.String()
+	for _, want := range []string{"phase1", "within-bound=1/2", "VIOLATION rounds_bound", "blocks", "messages vs faults"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text report missing %q:\n%s", want, text)
+		}
+	}
+	// The exceedance cell is marked in the scatter.
+	if !strings.Contains(text, "!") {
+		t.Errorf("scatter does not mark the bound exceedance:\n%s", text)
+	}
+}
+
+func TestConvergeEmptyTrace(t *testing.T) {
+	rep := Converge([]obs.Event{{Type: obs.ERound}})
+	if rep.CostsEvents != 0 || rep.ViolationCount() != 0 {
+		t.Fatalf("empty report = %+v", rep)
+	}
+	var sb strings.Builder
+	rep.WriteText(&sb)
+	if !strings.Contains(sb.String(), "no costs events") {
+		t.Fatalf("empty report text = %q", sb.String())
+	}
+}
+
+func TestPercentileInt(t *testing.T) {
+	sorted := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct{ p, want int }{
+		{50, 5}, {90, 9}, {99, 10}, {100, 10}, {1, 1},
+	} {
+		if got := percentileInt(sorted, tc.p); got != tc.want {
+			t.Errorf("p%d = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	if got := percentileInt(nil, 50); got != 0 {
+		t.Errorf("p50 of empty = %d", got)
+	}
+	if got := percentileInt([]int{7}, 50); got != 7 {
+		t.Errorf("p50 of singleton = %d", got)
+	}
+}

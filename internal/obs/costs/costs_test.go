@@ -1,0 +1,250 @@
+package costs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilFabricIsNoOp(t *testing.T) {
+	var f *Fabric
+	f.Add(3, KindRounds, 7) // must not panic
+	f.Reset()
+	if got := f.Total(KindRounds); got != 0 {
+		t.Fatalf("nil fabric Total = %d, want 0", got)
+	}
+	if got := f.Shards(); got != 0 {
+		t.Fatalf("nil fabric Shards = %d, want 0", got)
+	}
+	snap := f.Snapshot()
+	if snap != (Snapshot{}) {
+		t.Fatalf("nil fabric Snapshot = %+v, want zero", snap)
+	}
+}
+
+func TestFabricShardedTotals(t *testing.T) {
+	f := NewFabric(4)
+	if f.Shards() != 4 {
+		t.Fatalf("Shards = %d, want 4", f.Shards())
+	}
+	for s := 0; s < 8; s++ { // shard indices wrap
+		f.Add(s, KindMessages, 10)
+	}
+	if got := f.Total(KindMessages); got != 80 {
+		t.Fatalf("Total(messages) = %d, want 80", got)
+	}
+	f.Add(1, KindRounds, 3)
+	snap := f.Snapshot()
+	if snap.Messages != 80 || snap.Rounds != 3 || snap.Shards != 4 {
+		t.Fatalf("Snapshot = %+v", snap)
+	}
+	f.Reset()
+	if got := f.Total(KindMessages); got != 0 {
+		t.Fatalf("Total after Reset = %d, want 0", got)
+	}
+}
+
+func TestFabricConcurrentAdds(t *testing.T) {
+	f := NewFabric(8)
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Add(w, KindLabelFlips, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := f.Total(KindLabelFlips); got != workers*per {
+		t.Fatalf("Total(label_flips) = %d, want %d", got, workers*per)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindRounds:        "rounds",
+		KindMessages:      "messages",
+		KindLabelFlips:    "label_flips",
+		KindWordsTouched:  "words_touched",
+		KindFrontierNodes: "frontier_nodes",
+		KindPhases:        "phases",
+		KindDeltas:        "deltas",
+		KindViolations:    "violations",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if got := Kind(99).String(); got != "kind_99" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestSnapshotPrometheus(t *testing.T) {
+	f := NewFabric(2)
+	f.Add(0, KindRounds, 5)
+	f.Add(1, KindViolations, 1)
+	var b strings.Builder
+	if err := f.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ocpmesh_cost_rounds_total counter",
+		"ocpmesh_cost_rounds_total 5",
+		"ocpmesh_cost_violations_total 1",
+		"ocpmesh_cost_words_touched_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	f := NewFabric(1)
+	f.Add(0, KindDeltas, 2)
+	var b strings.Builder
+	if err := f.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"deltas": 2`) {
+		t.Errorf("json output missing deltas:\n%s", b.String())
+	}
+}
+
+func TestNilPhaseIsNoOp(t *testing.T) {
+	var p *Phase
+	p.Round(1, 2, 3)
+	p.AddWords(4)
+	p.Frontier(5)
+	p.Violation()
+	if p.Tracker() != nil {
+		t.Fatal("nil phase Tracker != nil")
+	}
+	if p.Violations() != 0 || p.PhaseName() != "" {
+		t.Fatal("nil phase not zero")
+	}
+	if got := p.Finish(); got != (Totals{}) {
+		t.Fatalf("nil phase Finish = %+v", got)
+	}
+	if NewPhase(nil, "phase1", 10) != nil {
+		t.Fatal("NewPhase(nil fabric) != nil")
+	}
+}
+
+func TestPhaseCollectAndFinish(t *testing.T) {
+	f := NewFabric(2)
+	p := NewPhase(f, "phase1", 16)
+	tr := p.Tracker()
+	if len(tr) != 16 {
+		t.Fatalf("tracker len = %d, want 16", len(tr))
+	}
+	tr[3] = 1
+	tr[3] = 2 // later flip overwrites
+	tr[7] = 1
+	p.Round(1, 2, 40)
+	p.Round(2, 1, 40)
+	p.AddWords(6)
+	p.Frontier(4)
+	p.Frontier(2)
+	p.Violation()
+
+	tot := p.Finish()
+	want := Totals{
+		Phase: "phase1", Rounds: 2, Msgs: 80, Flips: 3, Words: 6,
+		FrontierSum: 6, FrontierPeak: 4, Waves: 2, Violations: 1,
+	}
+	if tot != want {
+		t.Fatalf("Finish = %+v, want %+v", tot, want)
+	}
+	// Finish is idempotent: fabric flushed once, same totals returned.
+	if again := p.Finish(); again != want {
+		t.Fatalf("second Finish = %+v, want %+v", again, want)
+	}
+	snap := f.Snapshot()
+	if snap.Rounds != 2 || snap.Messages != 80 || snap.LabelFlips != 3 ||
+		snap.WordsTouched != 6 || snap.FrontierNodes != 6 ||
+		snap.Violations != 1 || snap.Phases != 1 {
+		t.Fatalf("fabric snapshot = %+v", snap)
+	}
+}
+
+// TestTrackerFreeList pins the tracker reuse contract: a released
+// tracker is recycled by the next collector on the same fabric, dirty
+// releases are cleared on reuse, clean releases are trusted as-is, and
+// a clean tracker too short for the next request is cleared anyway.
+func TestTrackerFreeList(t *testing.T) {
+	f := NewFabric(1)
+
+	// Dirty release: the recycled tracker must come back zeroed.
+	p := NewPhase(f, "phase1", 8)
+	first := p.Tracker()
+	first[2], first[5] = 3, 9
+	p.Release(false)
+	if p.Tracker() != nil {
+		t.Fatal("tracker not detached on Release")
+	}
+	p.Release(false) // idempotent
+
+	q := NewPhase(f, "phase2", 8)
+	reused := q.Tracker()
+	if &reused[0] != &first[0] {
+		t.Fatal("released tracker not recycled")
+	}
+	for i, v := range reused {
+		if v != 0 {
+			t.Fatalf("dirty tracker not cleared on reuse: tr[%d] = %d", i, v)
+		}
+	}
+
+	// Clean release: the caller zeroed the flipped entries, so reuse
+	// skips the clear — an all-zero tracker must stay all-zero.
+	reused[4] = 7
+	reused[4] = 0
+	q.Release(true)
+	r := NewPhase(f, "phase1", 8)
+	for i, v := range r.Tracker() {
+		if v != 0 {
+			t.Fatalf("clean tracker dirty on reuse: tr[%d] = %d", i, v)
+		}
+	}
+
+	// A clean tracker shorter than the request cannot vouch for the
+	// storage beyond its old length: growing back to the full capacity
+	// must clear. Plant garbage at index 6, shrink to a clean length-4
+	// view (only 0..3 are zeroed on that reuse), then request 8 again.
+	tr := r.Tracker()
+	tr[6] = 9
+	r.Release(false)
+	small := NewPhase(f, "phase1", 4)
+	small.Release(true)
+	grown := NewPhase(f, "phase1", 8)
+	if got := grown.Tracker()[6]; got != 0 {
+		t.Fatalf("stale entry survived a clean shrink + grow: tr[6] = %d", got)
+	}
+
+	// A fabric with no free tracker allocates fresh zeroed storage.
+	other := NewPhase(NewFabric(1), "phase1", 3)
+	for i, v := range other.Tracker() {
+		if v != 0 {
+			t.Fatalf("fresh tracker nonzero at %d: %d", i, v)
+		}
+	}
+}
+
+func TestPhaseWithoutTracker(t *testing.T) {
+	f := NewFabric(1)
+	p := NewPhase(f, "delta", 0)
+	if p.Tracker() != nil {
+		t.Fatal("nodes=0 phase should have nil tracker")
+	}
+	p.Round(1, 3, 12)
+	if got := p.Finish(); got.Flips != 3 || got.Msgs != 12 {
+		t.Fatalf("Finish = %+v", got)
+	}
+}

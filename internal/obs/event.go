@@ -72,6 +72,26 @@ const (
 	// Changed the number of labels that settled differently, DurNS the
 	// delta wall-clock time.
 	EDelta = "delta"
+	// ECosts is one phase's flushed cost accounting (core, incremental;
+	// emitted only when a costs.Fabric is attached): Phase and Engine
+	// identify the run, Rounds/Msgs/Changed (= label flips) /Words
+	// /Frontier carry the totals, N is the fault count and Diameter the
+	// max d(B) over the faulty blocks — the paper's round-bound
+	// parameter, so rounds-vs-d(B) is one jq expression away.
+	ECosts = "costs"
+	// EBlockConverge is one faulty block's convergence record (core,
+	// with a costs.Fabric attached): Block is the 1-based block index
+	// within the result, Phase the fixpoint phase, Rounds the last round
+	// any of the block's nodes changed, Diameter the block's d(B), N its
+	// node count.
+	EBlockConverge = "block_converge"
+	// EInvariantViolation reports a failed paper-invariant monitor
+	// (core/monitor.go, simnet frontier): Name is the monitor
+	// ("rounds_bound", "phase_monotone", "frontier_shrink"), Phase the
+	// phase it fired in, Err the human-readable detail. Violations are
+	// events, not panics; core.Config.StrictInvariants turns them into
+	// errors for CI.
+	EInvariantViolation = "invariant_violation"
 )
 
 // Event is one flat trace record. Only the fields relevant to the event
@@ -101,6 +121,15 @@ type Event struct {
 	Changed  int `json:"changed,omitempty"`
 	Msgs     int `json:"msgs,omitempty"`
 	Frontier int `json:"frontier,omitempty"`
+
+	// Words is the bitset engine's words-touched total (costs events).
+	Words int64 `json:"words,omitempty"`
+	// Diameter is max d(B) on costs events, the block's own d(B) on
+	// block_converge events.
+	Diameter int `json:"diameter,omitempty"`
+	// Block is the 1-based faulty-block index on block_converge events
+	// (1-based so the zero value can be omitted like every other field).
+	Block int `json:"block,omitempty"`
 
 	X      float64 `json:"x,omitempty"`
 	Rep    int     `json:"rep,omitempty"`

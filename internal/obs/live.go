@@ -1,6 +1,9 @@
 package obs
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // LiveStatus is the point-in-time view of a run that /runz serves: the
 // manifest, where the run currently is (figure, phase, round), how much
@@ -136,6 +139,34 @@ func (s *LiveSink) update(e Event) {
 		st.SweepDone++
 	case ESweepPoint:
 		st.SweepPoints++
+	}
+}
+
+// liveFlushWait bounds how long Flush waits for subscribers to drain.
+// It is a variable so tests can shrink it.
+var liveFlushWait = 100 * time.Millisecond
+
+// Flush implements Flusher: it waits — bounded by liveFlushWait — for
+// every subscriber's channel buffer to drain, so events already emitted
+// (in particular the error event a failing engine run just wrote, which
+// core flushes through the recorder before returning) reach /eventz
+// tails before the caller moves on. The ring buffer itself needs no
+// flushing: Emit writes it synchronously. Flush never errors and never
+// blocks on a stuck consumer; after the deadline it simply returns, as
+// the live sink must not be able to wedge the run it observes.
+func (s *LiveSink) Flush() error {
+	deadline := time.Now().Add(liveFlushWait)
+	for {
+		s.mu.Lock()
+		pending := 0
+		for _, ch := range s.subs {
+			pending += len(ch)
+		}
+		s.mu.Unlock()
+		if pending == 0 || time.Now().After(deadline) {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestLiveSinkStatusTracksRun(t *testing.T) {
@@ -73,6 +75,117 @@ func TestLiveSinkRingWraps(t *testing.T) {
 	}
 	if s.Recent(0) != nil {
 		t.Fatal("Recent(0) should be nil")
+	}
+}
+
+// TestLiveSinkRingWrapsUnderConcurrentWriters hammers the ring from
+// several writers while readers poll Recent and Status. Run with -race;
+// the assertions only pin what survives interleaving: the ring stays
+// full once wrapped, every slot holds a real event, and no reader ever
+// observes a torn slot (zero Seq).
+func TestLiveSinkRingWrapsUnderConcurrentWriters(t *testing.T) {
+	const (
+		ringSize  = 8
+		writers   = 4
+		perWriter = 500
+	)
+	s := NewLiveSink(ringSize)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, e := range s.Recent(ringSize) {
+					if e.Seq == 0 {
+						t.Error("reader observed a torn ring slot")
+						return
+					}
+				}
+				_ = s.Status()
+			}
+		}()
+	}
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Emit(Event{Seq: int64(w*perWriter + i + 1), Type: ERound, Round: i})
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	recent := s.Recent(100)
+	if len(recent) != ringSize {
+		t.Fatalf("ring holds %d events after wrap, want %d", len(recent), ringSize)
+	}
+	for i, e := range recent {
+		if e.Seq == 0 || e.Type != ERound {
+			t.Fatalf("recent[%d] = %+v, want a written round event", i, e)
+		}
+	}
+	if st := s.Status(); st.Events != int64(writers*perWriter) {
+		t.Fatalf("status counted %d events, want %d", st.Events, writers*perWriter)
+	}
+}
+
+// TestLiveSinkFlushDrainsSubscribers checks the Flusher contract: Flush
+// returns once subscriber buffers empty, and gives up after the bounded
+// wait when a consumer is stuck rather than wedging the caller.
+func TestLiveSinkFlushDrainsSubscribers(t *testing.T) {
+	s := NewLiveSink(8)
+	id, ch := s.Subscribe(8)
+	defer s.Unsubscribe(id)
+	for i := 1; i <= 5; i++ {
+		s.Emit(Event{Seq: int64(i), Type: ERound})
+	}
+
+	// A slow consumer drains while Flush waits.
+	go func() {
+		for i := 0; i < 5; i++ {
+			time.Sleep(2 * time.Millisecond)
+			<-ch
+		}
+	}()
+	start := time.Now()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ch) != 0 {
+		t.Fatalf("Flush returned with %d events still buffered", len(ch))
+	}
+	if time.Since(start) > liveFlushWait {
+		t.Fatalf("Flush took %v, longer than the bound %v", time.Since(start), liveFlushWait)
+	}
+
+	// A stuck consumer: Flush must return after the bounded wait, not hang.
+	old := liveFlushWait
+	liveFlushWait = 20 * time.Millisecond
+	defer func() { liveFlushWait = old }()
+	for i := 6; i <= 10; i++ {
+		s.Emit(Event{Seq: int64(i), Type: ERound})
+	}
+	start = time.Now()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond || elapsed > 5*time.Second {
+		t.Fatalf("Flush with stuck consumer returned after %v, want ~the %v bound", elapsed, liveFlushWait)
+	}
+	if len(ch) == 0 {
+		t.Fatal("stuck consumer should still have buffered events")
 	}
 }
 

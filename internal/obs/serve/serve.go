@@ -7,10 +7,14 @@
 //
 // Endpoints:
 //
-//	/metrics       Prometheus text format (counters, gauges, summaries)
+//	/metrics       Prometheus text format (counters, gauges, summaries,
+//	               plus the ocpmesh_cost_* counter fabric when attached)
 //	/healthz       liveness probe, always "ok"
 //	/runz          JSON snapshot of the current run (manifest, figure,
 //	               phase, round, sweep progress, error counts)
+//	/convergz      JSON snapshot of the convergence observatory's counter
+//	               fabric (rounds, messages, label flips, words touched,
+//	               frontier sizes, deltas, invariant violations)
 //	/eventz        SSE stream tailing live trace events
 //	               (?replay=N prepends the last N buffered events)
 //	/debug/pprof/  the standard pprof handlers
@@ -29,22 +33,25 @@ import (
 	"time"
 
 	"ocpmesh/internal/obs"
+	"ocpmesh/internal/obs/costs"
 )
 
-// Server serves live telemetry for one process. Both halves are
-// optional: without a metrics registry /metrics renders an empty (but
-// valid) page, without a live sink /runz and /eventz answer 404.
+// Server serves live telemetry for one process. Every half is optional:
+// without a metrics registry /metrics renders an empty (but valid) page,
+// without a live sink /runz and /eventz answer 404, without a counter
+// fabric /convergz answers 404.
 type Server struct {
-	rec  *obs.Recorder
-	live *obs.LiveSink
-	http *http.Server
-	ln   net.Listener
+	rec    *obs.Recorder
+	live   *obs.LiveSink
+	fabric *costs.Fabric
+	http   *http.Server
+	ln     net.Listener
 }
 
-// New returns a telemetry server reading rec's metrics registry and
-// live's event stream.
-func New(rec *obs.Recorder, live *obs.LiveSink) *Server {
-	return &Server{rec: rec, live: live}
+// New returns a telemetry server reading rec's metrics registry, live's
+// event stream, and fabric's cost counters (any of which may be nil).
+func New(rec *obs.Recorder, live *obs.LiveSink, fabric *costs.Fabric) *Server {
+	return &Server{rec: rec, live: live, fabric: fabric}
 }
 
 // Handler returns the telemetry mux (also used directly by tests via
@@ -55,6 +62,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.metrics)
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/runz", s.runz)
+	mux.HandleFunc("/convergz", s.convergz)
 	mux.HandleFunc("/eventz", s.eventz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -97,6 +105,7 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 		"/metrics        Prometheus text exposition\n"+
 		"/healthz        liveness probe\n"+
 		"/runz           JSON snapshot of the in-flight run\n"+
+		"/convergz       JSON snapshot of the convergence cost counters\n"+
 		"/eventz         SSE tail of live trace events (?replay=N)\n"+
 		"/debug/pprof/   profiling\n")
 }
@@ -104,6 +113,9 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", obs.PromContentType)
 	_ = s.rec.Metrics().Snapshot().WritePrometheus(w)
+	if s.fabric != nil {
+		_ = s.fabric.Snapshot().WritePrometheus(w)
+	}
 }
 
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
@@ -120,6 +132,19 @@ func (s *Server) runz(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(s.live.Status())
+}
+
+// convergz serves the counter fabric's aggregate snapshot as JSON: the
+// machine-readable view of the convergence observatory (rounds,
+// messages, label flips, words touched, frontier sizes, deltas, and
+// invariant-monitor violations since process start).
+func (s *Server) convergz(w http.ResponseWriter, _ *http.Request) {
+	if s.fabric == nil {
+		http.Error(w, "no cost counter fabric attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = s.fabric.Snapshot().WriteJSON(w)
 }
 
 // eventz streams trace events as server-sent events: one "data:" line

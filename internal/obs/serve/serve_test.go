@@ -9,10 +9,12 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"ocpmesh/internal/obs"
+	"ocpmesh/internal/obs/costs"
 	"ocpmesh/internal/status"
 	"ocpmesh/internal/sweep"
 )
@@ -62,13 +64,14 @@ func TestMetricsOnLiveSweep(t *testing.T) {
 	live := obs.NewLiveSink(256)
 	rec := obs.NewRecorder(obs.NewTracer(live), obs.NewRegistry())
 	rec.BeginRun(obs.NewRun("serve-test", 1, nil))
+	fabric := costs.NewFabric(2)
 
-	ts := httptest.NewServer(New(rec, live).Handler())
+	ts := httptest.NewServer(New(rec, live, fabric).Handler())
 	defer ts.Close()
 
 	runner, err := sweep.NewRunner(sweep.Config{
 		Width: 16, Height: 16, MaxFaults: 8, Step: 4, Replications: 2,
-		Seed: 1, Workers: 2, Recorder: rec,
+		Seed: 1, Workers: 2, Recorder: rec, Costs: fabric,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -82,13 +85,34 @@ func TestMetricsOnLiveSweep(t *testing.T) {
 		t.Fatalf("/metrics status %d", code)
 	}
 	checkPromPage(t, page)
-	for _, want := range []string{"sweep_cells ", "core_phase1_rounds", "simnet_rounds ", "ocpmesh_run_info"} {
+	for _, want := range []string{
+		"sweep_cells ", "core_phase1_rounds", "simnet_rounds ", "ocpmesh_run_info",
+		"ocpmesh_cost_rounds_total", "ocpmesh_cost_messages_total",
+	} {
 		if !strings.Contains(page, want) {
 			t.Errorf("/metrics missing %q", want)
 		}
 	}
 
-	code, body := get(t, ts.URL+"/runz")
+	code, body := get(t, ts.URL+"/convergz")
+	if code != http.StatusOK {
+		t.Fatalf("/convergz status %d", code)
+	}
+	var snap costs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/convergz not JSON: %v\n%s", err, body)
+	}
+	if snap != fabric.Snapshot() {
+		t.Fatalf("/convergz = %+v, want %+v", snap, fabric.Snapshot())
+	}
+	if snap.Phases == 0 || snap.Messages == 0 {
+		t.Fatalf("/convergz shows no accumulated costs: %+v", snap)
+	}
+	if snap.Violations != 0 {
+		t.Fatalf("sweep produced %d invariant violations", snap.Violations)
+	}
+
+	code, body = get(t, ts.URL+"/runz")
 	if code != http.StatusOK {
 		t.Fatalf("/runz status %d", code)
 	}
@@ -114,7 +138,7 @@ func TestMetricsOnLiveSweep(t *testing.T) {
 func TestRunzMidFlight(t *testing.T) {
 	live := obs.NewLiveSink(16)
 	rec := obs.NewRecorder(obs.NewTracer(live), obs.NewRegistry())
-	ts := httptest.NewServer(New(rec, live).Handler())
+	ts := httptest.NewServer(New(rec, live, nil).Handler())
 	defer ts.Close()
 
 	rec.BeginRun(obs.Run{Tool: "midflight"})
@@ -142,7 +166,7 @@ func TestRunzMidFlight(t *testing.T) {
 func TestEventzStreams(t *testing.T) {
 	live := obs.NewLiveSink(16)
 	rec := obs.NewRecorder(obs.NewTracer(live), obs.NewRegistry())
-	ts := httptest.NewServer(New(rec, live).Handler())
+	ts := httptest.NewServer(New(rec, live, nil).Handler())
 	defer ts.Close()
 
 	rec.Emit(obs.Event{Type: obs.EPhaseStart, Phase: "phase1"})
@@ -194,12 +218,104 @@ func TestEventzStreams(t *testing.T) {
 	}
 }
 
+// TestEventzReplayUnderConcurrentWriters opens /eventz?replay=N while
+// writer goroutines keep emitting through the shared tracer — the
+// race-detector workout for the ring buffer + SSE path. Because the
+// handler subscribes before replaying, the replayed tail can overlap
+// the live stream (consumers dedupe on Seq), so the assertions are the
+// ones that survive interleaving: every payload parses, the sequence
+// dips backward at most once (the replay/live seam), and the stream
+// reaches the sentinel event emitted after the writers finish.
+func TestEventzReplayUnderConcurrentWriters(t *testing.T) {
+	live := obs.NewLiveSink(64)
+	rec := obs.NewRecorder(obs.NewTracer(live), obs.NewRegistry())
+	ts := httptest.NewServer(New(rec, live, nil).Handler())
+	defer ts.Close()
+
+	// Seed some history so replay has something to serve.
+	for i := 0; i < 16; i++ {
+		rec.Emit(obs.Event{Type: obs.ERound, Phase: "phase1", Round: i})
+	}
+
+	resp, err := http.Get(ts.URL + "/eventz?replay=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Keep total in-flight events under the handler's 256-slot
+	// subscriber buffer so the sentinel can never be dropped.
+	const writers, perWriter = 4, 60
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec.Emit(obs.Event{Type: obs.ERound, Phase: "phase2", Round: w*perWriter + i})
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		rec.Emit(obs.Event{Type: obs.ERunEnd})
+	}()
+
+	deadline := time.After(10 * time.Second)
+	lines := make(chan string, 1024)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "data: ") {
+				lines <- strings.TrimPrefix(sc.Text(), "data: ")
+			}
+		}
+		close(lines)
+	}()
+
+	var (
+		prev     int64
+		dips     int
+		received int
+	)
+	for {
+		var data string
+		var ok bool
+		select {
+		case data, ok = <-lines:
+			if !ok {
+				t.Fatalf("stream closed after %d events without run_end", received)
+			}
+		case <-deadline:
+			t.Fatalf("no run_end after %d events", received)
+		}
+		var e obs.Event
+		if err := json.Unmarshal([]byte(data), &e); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", data, err)
+		}
+		received++
+		if e.Seq < prev {
+			dips++
+		}
+		prev = e.Seq
+		if e.Type == obs.ERunEnd {
+			break
+		}
+	}
+	if dips > 1 {
+		t.Fatalf("sequence dipped backward %d times, want at most the one replay/live seam", dips)
+	}
+	if received < 8 {
+		t.Fatalf("received %d events, want at least the replayed 8", received)
+	}
+}
+
 // TestEndpointsWithoutLiveSink pins the degraded mode: /metrics still
 // serves, /runz and /eventz answer 404.
 func TestEndpointsWithoutLiveSink(t *testing.T) {
 	rec := obs.NewRecorder(nil, obs.NewRegistry())
 	rec.Counter("lonely").Inc()
-	ts := httptest.NewServer(New(rec, nil).Handler())
+	ts := httptest.NewServer(New(rec, nil, nil).Handler())
 	defer ts.Close()
 
 	code, page := get(t, ts.URL+"/metrics")
@@ -216,12 +332,15 @@ func TestEndpointsWithoutLiveSink(t *testing.T) {
 	if code, _ := get(t, ts.URL+"/eventz"); code != http.StatusNotFound {
 		t.Fatalf("/eventz without live sink = %d, want 404", code)
 	}
+	if code, _ := get(t, ts.URL+"/convergz"); code != http.StatusNotFound {
+		t.Fatalf("/convergz without fabric = %d, want 404", code)
+	}
 }
 
 // TestStartAndClose binds a real listener on :0 and scrapes it over TCP.
 func TestStartAndClose(t *testing.T) {
 	rec := obs.NewRecorder(nil, obs.NewRegistry())
-	srv := New(rec, nil)
+	srv := New(rec, nil, nil)
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -57,7 +57,7 @@ func (BitsetEngine) Name() string { return "bitset" }
 func (e BitsetEngine) Run(env *Env, rule Rule, opt Options) (*Result, error) {
 	res, err := RunBitsetGeneric(env, rule, GenericOptions[bool]{
 		MaxRounds: opt.MaxRounds, OnRound: opt.OnRound,
-		Recorder: opt.Recorder, Phase: opt.Phase,
+		Recorder: opt.Recorder, Phase: opt.Phase, Costs: opt.Costs,
 	}, e.Workers)
 	if err != nil {
 		return nil, err
@@ -83,6 +83,15 @@ type bitPlanes struct {
 	// word feeding it (same-row carry words, adjacent-row words, wrap
 	// words on a torus) changed. Double-buffered like the labels.
 	changed, nextChanged []bool
+
+	// Cost-tracker state: tr[i] records the last round node i's label
+	// flipped, round is the 1-based index of the round being computed.
+	// The coordinator writes round before releasing the workers (the
+	// command channel send orders it), and flipped lanes land in disjoint
+	// tr ranges per row band, so neither field needs synchronization. tr
+	// is nil when no tracking collector is attached.
+	tr    []int32
+	round int32
 }
 
 // newBitPlanes packs the initial labels and the fault pattern.
@@ -159,9 +168,9 @@ func (p *bitPlanes) wordActive(r, k int) bool {
 // stepRows advances rows [lo, hi) of the current round, writing the next
 // plane and the next changed-word flags for those rows only (disjoint
 // write ranges across workers), and returns the number of flipped
-// labels.
-func (p *bitPlanes) stepRows(wr WordRule, lo, hi int) int {
-	nchanged := 0
+// labels plus the number of words evaluated (the engine's true work
+// metric, fed to the cost fabric's words_touched counter).
+func (p *bitPlanes) stepRows(wr WordRule, lo, hi int) (nchanged, words int) {
 	last := p.wpr - 1
 	for r := lo; r < hi; r++ {
 		base := r * p.wpr
@@ -194,6 +203,7 @@ func (p *bitPlanes) stepRows(wr WordRule, lo, hi int) int {
 			if !p.wordActive(r, k) {
 				continue
 			}
+			words++
 			c := p.cur[wi]
 			west := c << 1
 			if k > 0 {
@@ -219,10 +229,21 @@ func (p *bitPlanes) stepRows(wr WordRule, lo, hi int) int {
 			if nxt != c {
 				nchanged += bits.OnesCount64(nxt ^ c)
 				p.nextChanged[wi] = true
+				if p.tr != nil {
+					// Attribute each flipped lane to its node. Flips only
+					// occur in live lanes (non-live lanes equal fixed in
+					// both planes), so lane < width always holds.
+					x := nxt ^ c
+					nodeBase := r*p.w + k*64
+					for x != 0 {
+						p.tr[nodeBase+bits.TrailingZeros64(x)] = p.round
+						x &= x - 1
+					}
+				}
 			}
 		}
 	}
-	return nchanged
+	return nchanged, words
 }
 
 // swap flips the double-buffered planes and changed flags after a
@@ -256,6 +277,8 @@ func RunBitsetGeneric(env *Env, rule GenericRule[bool], opt GenericOptions[bool]
 	maxRounds := opt.maxRounds(env)
 	ro := newRoundObs(env, rule, opt)
 	rec := opt.Recorder
+	pc := opt.Costs
+	p.tr = pc.Tracker()
 
 	tiles := tileRows(p.h, workers)
 	nTiles := len(tiles)
@@ -272,7 +295,8 @@ func RunBitsetGeneric(env *Env, rule GenericRule[bool], opt GenericOptions[bool]
 			if rec != nil {
 				start = rec.Now()
 			}
-			n := p.stepRows(wr, 0, p.h)
+			n, words := p.stepRows(wr, 0, p.h)
+			pc.AddWords(int64(words))
 			if rec != nil {
 				busyNS[0] += rec.Now().Sub(start).Nanoseconds()
 			}
@@ -296,7 +320,9 @@ func RunBitsetGeneric(env *Env, rule GenericRule[bool], opt GenericOptions[bool]
 					if rec != nil {
 						start = rec.Now()
 					}
-					changedCtr.Add(int64(p.stepRows(wr, lo, hi)))
+					n, words := p.stepRows(wr, lo, hi)
+					changedCtr.Add(int64(n))
+					pc.AddWords(int64(words))
 					if rec != nil {
 						busyNS[t] += rec.Now().Sub(start).Nanoseconds()
 					}
@@ -336,6 +362,7 @@ func RunBitsetGeneric(env *Env, rule GenericRule[bool], opt GenericOptions[bool]
 
 	rounds := 0
 	for {
+		p.round = int32(rounds + 1)
 		nchanged := runRound()
 		if nchanged == 0 {
 			stopAll()

@@ -17,7 +17,7 @@ func (ChannelEngine) Name() string { return "channels" }
 func (ChannelEngine) Run(env *Env, rule Rule, opt Options) (*Result, error) {
 	res, err := RunChannelsGeneric[bool](env, rule, GenericOptions[bool]{
 		MaxRounds: opt.MaxRounds, OnRound: opt.OnRound,
-		Recorder: opt.Recorder, Phase: opt.Phase,
+		Recorder: opt.Recorder, Phase: opt.Phase, Costs: opt.Costs,
 	})
 	if err != nil {
 		return nil, err

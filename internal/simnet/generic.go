@@ -6,6 +6,7 @@ import (
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
 	"ocpmesh/internal/obs"
+	"ocpmesh/internal/obs/costs"
 )
 
 // GenericRule is a local status-update rule over an arbitrary comparable
@@ -37,6 +38,9 @@ type GenericOptions[T comparable] struct {
 	// round/message counters, nil-safe. See Options.Recorder.
 	Recorder *obs.Recorder
 	Phase    string
+	// Costs mirrors Options.Costs: the convergence observatory's
+	// per-phase cost collector, nil-safe and independent of Recorder.
+	Costs *costs.Phase
 }
 
 // GenericResult is the outcome of a generic run.
@@ -53,36 +57,40 @@ func (o GenericOptions[T]) maxRounds(env *Env) int {
 }
 
 // roundObs is the per-run observability state shared by both engines.
-// The zero value (nil recorder) makes every method a cheap no-op, so
-// the uninstrumented hot path stays unchanged.
+// The zero value (nil recorder, nil cost collector) makes every method a
+// cheap no-op, so the uninstrumented hot path stays unchanged.
 type roundObs struct {
 	rec     *obs.Recorder
 	phase   string
 	msgs    int // status messages exchanged per round (constant for a run)
 	rounds  *obs.Counter
 	msgsCtr *obs.Counter
+	pc      *costs.Phase
 }
 
 func newRoundObs[T comparable](env *Env, rule GenericRule[T], opt GenericOptions[T]) roundObs {
-	if opt.Recorder == nil {
+	if opt.Recorder == nil && opt.Costs == nil {
 		return roundObs{}
+	}
+	o := roundObs{msgs: liveMessages(env), pc: opt.Costs}
+	if opt.Recorder == nil {
+		return o
 	}
 	phase := opt.Phase
 	if phase == "" {
 		phase = rule.Name()
 	}
-	return roundObs{
-		rec:     opt.Recorder,
-		phase:   phase,
-		msgs:    liveMessages(env),
-		rounds:  opt.Recorder.Counter("simnet_rounds"),
-		msgsCtr: opt.Recorder.Counter("simnet_messages"),
-	}
+	o.rec = opt.Recorder
+	o.phase = phase
+	o.rounds = opt.Recorder.Counter("simnet_rounds")
+	o.msgsCtr = opt.Recorder.Counter("simnet_messages")
+	return o
 }
 
 // observe records one completed changing round with nchanged flipped
 // labels.
 func (o roundObs) observe(round, nchanged int) {
+	o.pc.Round(round, nchanged, o.msgs)
 	if o.rec == nil {
 		return
 	}
@@ -98,19 +106,40 @@ func (o roundObs) observe(round, nchanged int) {
 // faulty neighbors send nothing; their labels are substituted locally).
 // The count is identical for both engines and equals the number of
 // channel sends the distributed engine performs per round.
+//
+// It runs in O(faults), not O(nodes): the machine's total directed-link
+// count is closed-form (every torus link exists since tori have
+// dimensions >= 3, and a mesh drops one undirected link per dimension
+// boundary), and inclusion–exclusion removes the links incident to
+// faulty nodes. Keeping this off the O(n) path is what lets the counter
+// fabric stay attached on the 5%-overhead budget (BenchmarkOverhead,
+// pinned against the per-node walk by
+// TestLiveMessagesMatchesBruteForce).
 func liveMessages(env *Env) int {
-	n := 0
-	for _, p := range env.Topo.Points() {
-		if env.Faulty.Has(p) {
-			continue
-		}
+	t := env.Topo
+	w, h := t.Width(), t.Height()
+	var total int
+	if t.Kind() == mesh.Torus2D {
+		total = 4 * w * h
+	} else {
+		total = 2 * ((w-1)*h + (h-1)*w)
+	}
+	// Directed links (p, q): subtract those with p faulty and those with
+	// q faulty; links with both faulty were subtracted twice, add them
+	// back once. Incident counts are symmetric, so one pass over the
+	// faulty set covers both directions.
+	incident, both := 0, 0
+	env.Faulty.Each(func(p grid.Point) {
 		for _, d := range mesh.Directions {
-			if q, ok := env.Topo.NeighborIn(p, d); ok && !env.Faulty.Has(q) {
-				n++
+			if q, ok := t.NeighborIn(p, d); ok {
+				incident++
+				if env.Faulty.Has(q) {
+					both++
+				}
 			}
 		}
-	}
-	return n
+	})
+	return total - 2*incident + both
 }
 
 // initGenericLabels returns the round-0 label vector plus a per-index
@@ -155,10 +184,12 @@ func RunSequentialGeneric[T comparable](env *Env, rule GenericRule[T], opt Gener
 	next := make([]T, len(cur))
 	maxRounds := opt.maxRounds(env)
 	ro := newRoundObs(env, rule, opt)
+	tr := opt.Costs.Tracker()
 
 	rounds := 0
 	for {
 		nchanged := 0
+		r32 := int32(rounds + 1)
 		for i := range cur {
 			if faulty[i] {
 				next[i] = cur[i]
@@ -168,6 +199,9 @@ func RunSequentialGeneric[T comparable](env *Env, rule GenericRule[T], opt Gener
 			next[i] = rule.Step(env, p, cur[i], genericNeighborLabels(env, rule, cur, p))
 			if next[i] != cur[i] {
 				nchanged++
+				if tr != nil {
+					tr[i] = r32
+				}
 			}
 		}
 		if nchanged == 0 {
@@ -193,6 +227,7 @@ func RunChannelsGeneric[T comparable](env *Env, rule GenericRule[T], opt Generic
 	labels, _ := initGenericLabels(env, rule)
 	maxRounds := opt.maxRounds(env)
 	ro := newRoundObs(env, rule, opt)
+	tr := opt.Costs.Tracker()
 
 	type nodeInfo struct {
 		idx           int
@@ -284,11 +319,15 @@ func RunChannelsGeneric[T comparable](env *Env, rule GenericRule[T], opt Generic
 			ni.cmd <- true
 		}
 		nchanged := 0
+		r32 := int32(rounds + 1)
 		for range nodes {
 			r := <-reports
 			labels[r.idx] = r.label
 			if r.changed {
 				nchanged++
+				if tr != nil {
+					tr[r.idx] = r32
+				}
 			}
 		}
 		if nchanged == 0 {

@@ -140,3 +140,70 @@ func TestGenericAllFaulty(t *testing.T) {
 		}
 	}
 }
+
+// bruteLiveMessages is the O(nodes) definition liveMessages replaced:
+// walk every nonfaulty node and count its nonfaulty in-machine
+// neighbors (one directed message per live link per round).
+func bruteLiveMessages(env *Env) int {
+	msgs := 0
+	for _, p := range env.Topo.Points() {
+		if env.Faulty.Has(p) {
+			continue
+		}
+		for _, d := range mesh.Directions {
+			if q, ok := env.Topo.NeighborIn(p, d); ok && !env.Faulty.Has(q) {
+				msgs++
+			}
+		}
+	}
+	return msgs
+}
+
+// TestLiveMessagesMatchesBruteForce pins the closed-form O(faults)
+// liveMessages against the per-node definition on meshes and tori,
+// including the degenerate 1-wide meshes (tori require dimensions >= 3,
+// so those shapes are mesh-only).
+func TestLiveMessagesMatchesBruteForce(t *testing.T) {
+	shapes := []struct{ w, h int }{
+		{1, 1}, {1, 5}, {5, 1}, {2, 2}, {3, 7}, {8, 8}, {16, 4},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, kind := range []mesh.Kind{mesh.Mesh2D, mesh.Torus2D} {
+		for _, sh := range shapes {
+			if kind == mesh.Torus2D && (sh.w < 3 || sh.h < 3) {
+				continue // the torus constructor requires dimensions >= 3
+			}
+			topo := mesh.MustNew(sh.w, sh.h, kind)
+			for trial := 0; trial < 8; trial++ {
+				faults := grid.NewPointSet()
+				for _, p := range topo.Points() {
+					if rng.Intn(4) == 0 { // ~25% density, far past the paper's
+						faults.Add(p)
+					}
+				}
+				env, err := NewEnv(topo, faults, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := liveMessages(env), bruteLiveMessages(env); got != want {
+					t.Fatalf("%v %s, %d faults: liveMessages = %d, brute force = %d",
+						topo, kind, faults.Len(), got, want)
+				}
+			}
+			// The fault-free and all-faulty extremes hit the closed-form
+			// total and the full inclusion–exclusion cancellation.
+			empty, _ := NewEnv(topo, nil, nil)
+			if got, want := liveMessages(empty), bruteLiveMessages(empty); got != want {
+				t.Fatalf("%v %s fault-free: %d != %d", topo, kind, got, want)
+			}
+			all := grid.NewPointSet()
+			for _, p := range topo.Points() {
+				all.Add(p)
+			}
+			dead, _ := NewEnv(topo, all, nil)
+			if got := liveMessages(dead); got != 0 {
+				t.Fatalf("%v %s all-faulty: liveMessages = %d, want 0", topo, kind, got)
+			}
+		}
+	}
+}

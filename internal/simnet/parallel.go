@@ -42,7 +42,7 @@ func (ParallelEngine) Name() string { return "parallel" }
 func (e ParallelEngine) Run(env *Env, rule Rule, opt Options) (*Result, error) {
 	res, err := RunParallelGeneric[bool](env, rule, GenericOptions[bool]{
 		MaxRounds: opt.MaxRounds, OnRound: opt.OnRound,
-		Recorder: opt.Recorder, Phase: opt.Phase,
+		Recorder: opt.Recorder, Phase: opt.Phase, Costs: opt.Costs,
 	}, e.Workers)
 	if err != nil {
 		return nil, err
@@ -66,8 +66,13 @@ func tileRows(h, p int) [][2]int {
 	return out
 }
 
-// parCmd is one coordinator-to-worker message: run one round, or stop.
-type parCmd struct{ run bool }
+// parCmd is one coordinator-to-worker message: run one round (stamped
+// with its 1-based index, which cost trackers record on label flips), or
+// stop.
+type parCmd struct {
+	run   bool
+	round int32
+}
 
 // RunParallelGeneric computes the synchronous fixpoint of a generic rule
 // with the tiled parallel sweep described on ParallelEngine. workers <= 0
@@ -89,6 +94,7 @@ func RunParallelGeneric[T comparable](env *Env, rule GenericRule[T], opt Generic
 	maxRounds := opt.maxRounds(env)
 	ro := newRoundObs(env, rule, opt)
 	rec := opt.Recorder
+	tr := opt.Costs.Tracker()
 
 	tiles := tileRows(topo.Height(), workers)
 	nTiles := len(tiles)
@@ -125,6 +131,11 @@ func RunParallelGeneric[T comparable](env *Env, rule GenericRule[T], opt Generic
 					nextL[i] = rule.Step(env, p, curL[i], genericNeighborLabels(env, rule, curL, p))
 					if nextL[i] != curL[i] {
 						changed++
+						if tr != nil {
+							// Tile index ranges are disjoint, so these
+							// writes race with nothing.
+							tr[i] = cmd.round
+						}
 					}
 				}
 				if rec != nil {
@@ -157,7 +168,7 @@ func RunParallelGeneric[T comparable](env *Env, rule GenericRule[T], opt Generic
 	rounds := 0
 	for {
 		for _, c := range cmds {
-			c <- parCmd{run: true}
+			c <- parCmd{run: true, round: int32(rounds + 1)}
 		}
 		for range cmds {
 			<-barrier
@@ -304,7 +315,8 @@ func runFrontierGeneric[T comparable](env *Env, rule GenericRule[T], labels []T,
 	)
 	for len(frontier) > 0 {
 		sort.Ints(frontier)
-		updates, msgs := computeWave(env, rule, labels, frontier, rec != nil, workers)
+		opt.Costs.Frontier(len(frontier))
+		updates, msgs := computeWave(env, rule, labels, frontier, rec != nil || opt.Costs != nil, workers)
 		for _, i := range frontier {
 			inFrontier[i] = false
 		}
@@ -324,6 +336,7 @@ func runFrontierGeneric[T comparable](env *Env, rule GenericRule[T], labels []T,
 			}
 		}
 		rounds++
+		opt.Costs.Round(rounds, len(updates), msgs)
 		if rec != nil {
 			rec.Emit(obs.Event{
 				Type: obs.ERound, Phase: phase, Round: rounds, Changed: len(updates), Msgs: msgs,
@@ -340,5 +353,24 @@ func runFrontierGeneric[T comparable](env *Env, rule GenericRule[T], labels []T,
 		}
 	}
 	sort.Ints(changedAll)
+	if opt.Costs != nil {
+		// Frontier-shrinkage monitor: under a monotone rule every node
+		// settles on its first flip, so the sorted change list must be
+		// duplicate-free — a repeat means a node re-entered the frontier
+		// and flipped again (non-monotone behavior the incremental engine
+		// is not sound against). Reported as an invariant_violation
+		// event, never a panic.
+		for i := 1; i < len(changedAll); i++ {
+			if changedAll[i] == changedAll[i-1] {
+				opt.Costs.Violation()
+				if rec != nil {
+					rec.Emit(obs.Event{
+						Type: obs.EInvariantViolation, Name: "frontier_shrink", Phase: phase,
+						Err: fmt.Sprintf("node %d flipped more than once across %d waves", changedAll[i], rounds),
+					})
+				}
+			}
+		}
+	}
 	return &FrontierResult{Changed: changedAll, Rounds: rounds}, nil
 }

@@ -16,7 +16,7 @@ func (SeqEngine) Name() string { return "sequential" }
 func (SeqEngine) Run(env *Env, rule Rule, opt Options) (*Result, error) {
 	res, err := RunSequentialGeneric[bool](env, rule, GenericOptions[bool]{
 		MaxRounds: opt.MaxRounds, OnRound: opt.OnRound,
-		Recorder: opt.Recorder, Phase: opt.Phase,
+		Recorder: opt.Recorder, Phase: opt.Phase, Costs: opt.Costs,
 	})
 	if err != nil {
 		return nil, err

@@ -29,6 +29,7 @@ import (
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
 	"ocpmesh/internal/obs"
+	"ocpmesh/internal/obs/costs"
 )
 
 // Env is the fixed context of a labeling run: the machine and the fault
@@ -102,6 +103,12 @@ type Options struct {
 	// Phase labels the recorded events (e.g. "phase1"); it defaults to
 	// the rule name.
 	Phase string
+	// Costs, when non-nil, accumulates the run's distributed-cost
+	// accounting (rounds, messages, label flips, words touched) into the
+	// convergence observatory's counter fabric, and — when the collector
+	// carries a tracker — records the last round each node's label
+	// changed. Independent of Recorder; a nil collector costs nothing.
+	Costs *costs.Phase
 }
 
 // Result is the outcome of a run.

@@ -23,6 +23,7 @@ import (
 	"ocpmesh/internal/fault"
 	"ocpmesh/internal/mesh"
 	"ocpmesh/internal/obs"
+	"ocpmesh/internal/obs/costs"
 	"ocpmesh/internal/region"
 	"ocpmesh/internal/stats"
 	"ocpmesh/internal/status"
@@ -63,6 +64,15 @@ type Config struct {
 	// land in the same stream. Nil disables observability at no cost, and
 	// never affects results.
 	Recorder *obs.Recorder
+	// Costs, when non-nil, is forwarded to every formation the sweep
+	// runs: the cells' distributed costs accumulate into the one fabric
+	// (it is sharded and atomic, so concurrent sweep workers need no
+	// coordination) and the paper-invariant monitors run on every cell.
+	// Nil disables the observatory at no cost.
+	Costs *costs.Fabric
+	// StrictInvariants makes any cell with an invariant-monitor
+	// violation fail the sweep (the CI mode; see core.Config).
+	StrictInvariants bool
 }
 
 // Normalize fills unset fields with the paper's defaults and validates
@@ -137,7 +147,7 @@ func (r *Runner) Sweep(def status.SafetyDef, gen func(f int) fault.Generator, me
 	formCfg := core.Config{
 		Width: r.cfg.Width, Height: r.cfg.Height, Kind: r.cfg.Kind,
 		Safety: def, Connectivity: region.Conn8, Engine: r.cfg.Engine, Workers: r.cfg.EngineWorkers,
-		Recorder: rec,
+		Recorder: rec, Costs: r.cfg.Costs, StrictInvariants: r.cfg.StrictInvariants,
 	}
 	topo, err := mesh.New(r.cfg.Width, r.cfg.Height, r.cfg.Kind)
 	if err != nil {

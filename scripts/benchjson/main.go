@@ -70,9 +70,38 @@ func run() error {
 	if len(rep.Results) == 0 {
 		return fmt.Errorf("no benchmark lines found on stdin")
 	}
+	rep.Results = mergeSamples(rep.Results)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// mergeSamples folds repeated samples of the same benchmark (go test
+// -count N emits one line per run) into a single record carrying the
+// minimum ns/op sample. The minimum is the interference-robust
+// statistic: on a busy machine every sample is the true cost plus
+// nonnegative noise, so the smallest sample is the best estimate. The
+// overhead-gate relies on this — a 5% budget cannot be checked from
+// single samples whose run-to-run spread exceeds 5%. Iterations are
+// summed; bytes and allocs follow the minimum-ns sample.
+func mergeSamples(results []result) []result {
+	byName := map[string]int{}
+	merged := results[:0]
+	for _, r := range results {
+		i, ok := byName[r.Name]
+		if !ok {
+			byName[r.Name] = len(merged)
+			merged = append(merged, r)
+			continue
+		}
+		merged[i].Iterations += r.Iterations
+		if r.NsPerOp < merged[i].NsPerOp {
+			merged[i].NsPerOp = r.NsPerOp
+			merged[i].BytesPerOp = r.BytesPerOp
+			merged[i].AllocsPerOp = r.AllocsPerOp
+		}
+	}
+	return merged
 }
 
 // parseLine parses "BenchmarkX/sub-8  123  456 ns/op [789 B/op  2 allocs/op]".
