@@ -476,7 +476,10 @@ func BenchmarkBitset(b *testing.B) {
 // restabilization, one add + one remove per iteration to stay in steady
 // state) versus a full from-scratch recompute of both fixpoints and the
 // region lists. The ratio is the point of the incremental engine — the
-// delta cost tracks the perturbation, not the mesh.
+// delta cost tracks the perturbation, not the mesh. The engine=node leg
+// restabilizes through the per-node RunFrontierGeneric; engine=bitset
+// routes the same deltas through the word-granularity RunBitsetFrontier
+// over the session's persistent packed planes.
 func BenchmarkChurn(b *testing.B) {
 	for _, f := range []int{10, 50, 100} {
 		topo, faults := paperMachine(b, f, 11)
@@ -491,22 +494,33 @@ func BenchmarkChurn(b *testing.B) {
 			}
 		}
 
-		b.Run(fmt.Sprintf("incremental/f=%d", f), func(b *testing.B) {
-			s, err := core.NewSessionOn(cfg, topo, faults)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				p := sites[i%len(sites)]
-				if _, err := s.AddFaults(p); err != nil {
+		for _, eng := range []struct {
+			name string
+			kind core.EngineKind
+		}{
+			{"node", core.EngineSequential},
+			{"bitset", core.EngineBitset},
+		} {
+			b.Run(fmt.Sprintf("incremental/f=%d/engine=%s", f, eng.name), func(b *testing.B) {
+				engCfg := cfg
+				engCfg.Engine = eng.kind
+				s, err := core.NewSessionOn(engCfg, topo, faults)
+				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := s.RemoveFaults(p); err != nil {
-					b.Fatal(err)
+				defer s.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p := sites[i%len(sites)]
+					if _, err := s.AddFaults(p); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := s.RemoveFaults(p); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 
 		b.Run(fmt.Sprintf("full/f=%d", f), func(b *testing.B) {
 			b.ResetTimer()

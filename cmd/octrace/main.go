@@ -29,6 +29,13 @@
 //	    fabric=off twin (BenchmarkOverhead emits the pairs). Exits 1
 //	    when any engine exceeds it.
 //
+//	octrace bench scaling [-min-n 2048] [-tol 0.10] BENCH_bitset.json
+//	    Enforce the worker-scaling contract on a document with /w=N
+//	    sub-benchmark legs: at problem sizes n >= -min-n, the highest
+//	    worker count's ns/op must not exceed the lowest's beyond -tol.
+//	    Exits 1 on violation, on a document without /w=N legs, and
+//	    when no family reaches -min-n (make bitset-scale-bench).
+//
 //	octrace converge [-json] trace.ndjson [more.ndjson ...]
 //	    The convergence observatory's offline report, from the costs /
 //	    block_converge / invariant_violation events a run with the
@@ -48,6 +55,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"ocpmesh/internal/obs"
 	"ocpmesh/internal/obs/analyze"
@@ -75,8 +83,11 @@ func run(args []string, out io.Writer) error {
 		if len(args) >= 2 && args[1] == "overhead" {
 			return runBenchOverhead(args[2:], out)
 		}
+		if len(args) >= 2 && args[1] == "scaling" {
+			return runBenchScaling(args[2:], out)
+		}
 		if len(args) < 2 || args[1] != "check" {
-			return fmt.Errorf("usage: octrace bench check [-tol 0.25] [-each] baseline.json fresh.json | octrace bench overhead [-max 0.05] overhead.json")
+			return fmt.Errorf("usage: octrace bench check [-tol 0.25] [-each] baseline.json fresh.json | octrace bench overhead [-max 0.05] overhead.json | octrace bench scaling [-min-n 2048] [-tol 0.10] bench.json")
 		}
 		return runBenchCheck(args[2:], out)
 	default:
@@ -205,6 +216,14 @@ func runBenchCheck(args []string, out io.Writer) error {
 	}
 	check := analyze.CompareBench(base, fresh)
 	check.WriteText(out, *tol)
+	// A shrunk suite is its own failure, named as such: "regressed
+	// beyond tolerance" when the real cause is benchmarks that never
+	// ran (a renamed /w=N leg, a dropped sub-benchmark) would send the
+	// investigation in the wrong direction.
+	if len(check.Missing) > 0 {
+		return fmt.Errorf("bench check failed: %d baseline benchmark(s) missing from %s: %s — rename the baseline entries or regenerate %s, the gate never skips them",
+			len(check.Missing), fs.Arg(1), strings.Join(check.Missing, ", "), fs.Arg(0))
+	}
 	regressed := check.Regressed(*tol)
 	if *each {
 		regressed = check.AnyRegressed(*tol)
@@ -214,6 +233,60 @@ func runBenchCheck(args []string, out io.Writer) error {
 			fs.Arg(1), *tol*100, fs.Arg(0))
 	}
 	fmt.Fprintln(out, "bench check ok")
+	return nil
+}
+
+// runBenchScaling enforces the worker-scaling contract on a benchmark
+// document with /w=N sub-benchmark legs (BENCH_bitset.json,
+// BENCH_parallel.json): at problem sizes n >= -min-n, the highest
+// worker count must not be slower than the lowest beyond -tol. The CI
+// scaling gate runs this against the committed bitset baseline so a
+// reintroduced per-run spawn cost (workers made the engine *slower*)
+// fails loudly.
+func runBenchScaling(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("octrace bench scaling", flag.ContinueOnError)
+	minN := fs.Int("min-n", 2048, "smallest problem size the contract applies to")
+	tol := fs.Float64("tol", 0.10, "allowed max-vs-min worker slowdown fraction")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: octrace bench scaling [-min-n 2048] [-tol 0.10] bench.json")
+	}
+	rep, err := readBenchFile("scaling", fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fams := analyze.WorkerScalings(rep)
+	if len(fams) == 0 {
+		return fmt.Errorf("bench scaling: %s has no /w=N benchmarks — wrong document, or a renamed worker leg? the gate never passes silently", fs.Arg(0))
+	}
+	checked := 0
+	for _, f := range fams {
+		gated := f.N >= *minN && len(f.Points) >= 2
+		if gated {
+			checked++
+		}
+		marker := "  "
+		if !gated {
+			marker = "- " // shown but below the gate's size floor
+		}
+		fmt.Fprintf(out, "%s %-40s", marker, f.Name)
+		for _, p := range f.Points {
+			fmt.Fprintf(out, "  w=%d %12.0f", p.Workers, p.NsPerOp)
+		}
+		fmt.Fprintln(out)
+	}
+	if violations := analyze.ScalingViolations(fams, *minN, *tol); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(out, "!!", v)
+		}
+		return fmt.Errorf("bench scaling: %d violation(s) in %s", len(violations), fs.Arg(0))
+	}
+	if checked == 0 {
+		return fmt.Errorf("bench scaling: %s has no /w=N family at n >= %d — nothing the contract applies to, which must not pass as ok", fs.Arg(0), *minN)
+	}
+	fmt.Fprintf(out, "scaling ok: %d family(ies) at n >= %d within +%.0f%%\n", checked, *minN, *tol*100)
 	return nil
 }
 

@@ -410,3 +410,87 @@ func TestUsageErrors(t *testing.T) {
 		t.Error("missing trace file not reported")
 	}
 }
+
+// writeBenchDoc marshals a bench report to a temp file.
+func writeBenchDoc(t *testing.T, rep *analyze.BenchReport) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBenchCheckMissingCounterpartDiagnostic: a fresh run that dropped
+// baseline benchmarks (a renamed /w=N leg, a deleted sub-benchmark)
+// must fail with a diagnostic naming the missing benchmarks — not the
+// misleading "regressed beyond tolerance" message.
+func TestBenchCheckMissingCounterpartDiagnostic(t *testing.T) {
+	base := &analyze.BenchReport{Results: []analyze.BenchResult{
+		{Name: "BenchmarkBitset/bitset/n=2048/w=1-8", Iterations: 1, NsPerOp: 100},
+		{Name: "BenchmarkBitset/bitset/n=2048/w=8-8", Iterations: 1, NsPerOp: 100},
+	}}
+	fresh := &analyze.BenchReport{Results: base.Results[:1]}
+	var out strings.Builder
+	err := run([]string{"bench", "check", writeBenchDoc(t, base), writeBenchDoc(t, fresh)}, &out)
+	if err == nil {
+		t.Fatalf("shrunk fresh run passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "missing") || !strings.Contains(err.Error(), "BenchmarkBitset/bitset/n=2048/w=8") {
+		t.Fatalf("diagnostic does not name the missing benchmark: %v", err)
+	}
+	if strings.Contains(err.Error(), "regressed beyond") {
+		t.Fatalf("missing counterpart misreported as a regression: %v", err)
+	}
+}
+
+// TestBenchScalingGate drives `octrace bench scaling`: the committed
+// bitset baseline passes, a doctored w=8 slowdown at n=2048 fails, a
+// document without /w=N legs fails loudly, and one whose families are
+// all below the size floor fails rather than passing vacuously.
+func TestBenchScalingGate(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"bench", "scaling", filepath.Join("..", "..", "BENCH_bitset.json")}, &out); err != nil {
+		t.Fatalf("committed bitset baseline fails the scaling gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "scaling ok") {
+		t.Fatalf("missing ok marker:\n%s", out.String())
+	}
+
+	bad := &analyze.BenchReport{Results: []analyze.BenchResult{
+		{Name: "BenchmarkBitset/bitset/n=2048/w=1-8", Iterations: 1, NsPerOp: 1000},
+		{Name: "BenchmarkBitset/bitset/n=2048/w=8-8", Iterations: 1, NsPerOp: 1500},
+	}}
+	out.Reset()
+	if err := run([]string{"bench", "scaling", writeBenchDoc(t, bad)}, &out); err == nil {
+		t.Fatalf("w=8 slowdown at n=2048 passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "!!") {
+		t.Fatalf("violation not marked:\n%s", out.String())
+	}
+
+	noLegs := &analyze.BenchReport{Results: []analyze.BenchResult{
+		{Name: "BenchmarkChurn/incremental/f=10-8", Iterations: 1, NsPerOp: 50},
+	}}
+	if err := run([]string{"bench", "scaling", writeBenchDoc(t, noLegs)}, &out); err == nil {
+		t.Fatal("document without /w=N legs passed the scaling gate")
+	}
+
+	tooSmall := &analyze.BenchReport{Results: []analyze.BenchResult{
+		{Name: "BenchmarkBitset/bitset/n=512/w=1-8", Iterations: 1, NsPerOp: 100},
+		{Name: "BenchmarkBitset/bitset/n=512/w=8-8", Iterations: 1, NsPerOp: 400},
+	}}
+	if err := run([]string{"bench", "scaling", writeBenchDoc(t, tooSmall)}, &out); err == nil {
+		t.Fatal("document with no family at n >= 2048 passed vacuously")
+	}
+	// With the floor lowered to 0 the n=512 family enters the gate, and
+	// its 4x w=8 leg must violate.
+	out.Reset()
+	if err := run([]string{"bench", "scaling", "-min-n", "0", writeBenchDoc(t, tooSmall)}, &out); err == nil {
+		t.Fatalf("lowered floor did not catch the n=512 violation:\n%s", out.String())
+	}
+}

@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
@@ -100,7 +101,10 @@ type Config struct {
 	Engine EngineKind
 	// Workers is the worker (tile) count of EngineParallel and
 	// EngineBitset and of a Session's parallel frontier recomputation;
-	// 0 means GOMAXPROCS. The sequential and channel engines ignore it.
+	// 0 means GOMAXPROCS. Form ignores it under the sequential and
+	// channel engines; NewSession rejects Workers > 1 with those engines
+	// as a config error, since a Session would otherwise silently run
+	// every delta sequentially.
 	Workers int
 	// MaxRounds bounds each phase (0 = automatic safe bound).
 	MaxRounds int
@@ -170,6 +174,14 @@ func FormOn(cfg Config, topo *mesh.Topology, faults *grid.PointSet) (*Result, er
 		return nil, err
 	}
 	eng := cfg.Engine.engine(cfg.Workers)
+	// Both phases share one worker pool: the tiled engines spawn their
+	// goroutines once here instead of once per phase, and every exit
+	// path (including phase errors) tears them down.
+	var pool *simnet.WorkerPool
+	if w := formWorkers(cfg, topo.Height()); w > 1 {
+		pool = simnet.NewWorkerPool(w)
+		defer pool.Close()
+	}
 	rec := cfg.Recorder
 	fabric := cfg.Costs
 	if cfg.StrictInvariants && fabric == nil {
@@ -183,7 +195,7 @@ func FormOn(cfg Config, topo *mesh.Topology, faults *grid.PointSet) (*Result, er
 		pc2 = costs.NewPhase(fabric, "phase2", topo.Size())
 	}
 
-	p1, err := runPhase(rec, cfg, eng, env, "phase1", status.UnsafeRule(cfg.Safety), pc1)
+	p1, err := runPhase(rec, cfg, eng, env, "phase1", status.UnsafeRule(cfg.Safety), pc1, pool)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 1: %w", err)
 	}
@@ -191,7 +203,7 @@ func FormOn(cfg Config, topo *mesh.Topology, faults *grid.PointSet) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	p2, err := runPhase(rec, cfg, eng, env2, "phase2", status.EnabledRule(), pc2)
+	p2, err := runPhase(rec, cfg, eng, env2, "phase2", status.EnabledRule(), pc2, pool)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 2: %w", err)
 	}
@@ -224,8 +236,8 @@ func FormOn(cfg Config, topo *mesh.Topology, faults *grid.PointSet) (*Result, er
 // events around the engine's per-round stream and a rounds histogram
 // per phase. With a nil recorder it is exactly the bare engine run (plus
 // cost accounting when a collector is attached).
-func runPhase(rec *obs.Recorder, cfg Config, eng simnet.Engine, env *simnet.Env, phase string, rule simnet.Rule, pc *costs.Phase) (*simnet.Result, error) {
-	opts := simnet.Options{MaxRounds: cfg.MaxRounds, Recorder: rec, Phase: phase, Costs: pc}
+func runPhase(rec *obs.Recorder, cfg Config, eng simnet.Engine, env *simnet.Env, phase string, rule simnet.Rule, pc *costs.Phase, pool *simnet.WorkerPool) (*simnet.Result, error) {
+	opts := simnet.Options{MaxRounds: cfg.MaxRounds, Recorder: rec, Phase: phase, Costs: pc, Pool: pool}
 	if rec == nil {
 		return eng.Run(env, rule, opts)
 	}
@@ -248,6 +260,24 @@ func runPhase(rec *obs.Recorder, cfg Config, eng simnet.Engine, env *simnet.Env,
 	rec.Histogram("core_"+phase+"_rounds", nil).Observe(float64(res.Rounds))
 	rec.Histogram("core_"+phase+"_ns", obs.NSBuckets).Observe(float64(dur.Nanoseconds()))
 	return res, nil
+}
+
+// formWorkers returns the tile count FormOn's engine will actually use
+// — cfg.Workers defaulting to GOMAXPROCS, capped at the mesh height
+// since the tiled engines never split a row — so the shared worker pool
+// can be sized to match. Engines without tiles get 0 (no pool).
+func formWorkers(cfg Config, height int) int {
+	if cfg.Engine != EngineParallel && cfg.Engine != EngineBitset {
+		return 0
+	}
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > height {
+		w = height
+	}
+	return w
 }
 
 // IsFaulty reports whether p is faulty.

@@ -43,6 +43,10 @@ func NewSession(cfg Config, faults []grid.Point) (*Session, error) {
 // NewSessionOn is NewSession on an existing topology and fault set. The
 // set is cloned, not retained.
 func NewSessionOn(cfg Config, topo *mesh.Topology, faults *grid.PointSet) (*Session, error) {
+	if cfg.Workers > 1 && cfg.Engine != EngineParallel && cfg.Engine != EngineBitset {
+		return nil, fmt.Errorf("core: session: Workers=%d has no effect with the %s engine; select EngineParallel or EngineBitset, or leave Workers unset",
+			cfg.Workers, cfg.Engine)
+	}
 	field, err := incremental.New(topo, faults, incremental.Config{
 		Safety:       cfg.Safety,
 		Connectivity: cfg.Connectivity,
@@ -106,7 +110,8 @@ func (s *Session) Result() *Result {
 // sessionWorkers maps a formation Config onto the incremental worker
 // count: parallelism is opted into via EngineParallel or EngineBitset,
 // whose Workers field defaults to GOMAXPROCS; every other engine stays
-// sequential.
+// sequential. A Workers value that another engine would discard is a
+// config error, rejected by NewSessionOn before this runs.
 func sessionWorkers(cfg Config) int {
 	if cfg.Engine != EngineParallel && cfg.Engine != EngineBitset {
 		return 1
@@ -119,6 +124,12 @@ func sessionWorkers(cfg Config) int {
 
 func initialRounds1(f *incremental.Field) int { r, _ := f.InitialRounds(); return r }
 func initialRounds2(f *incremental.Field) int { _, r := f.InitialRounds(); return r }
+
+// Close releases the session's long-lived resources — the shared worker
+// pool behind a parallel or bitset session's engine and frontier runs.
+// It is safe to call more than once, and a no-op for sessions that never
+// created a pool. The session must not be used after Close.
+func (s *Session) Close() { s.field.Close() }
 
 // Topo returns the machine.
 func (s *Session) Topo() *mesh.Topology { return s.field.Topo() }

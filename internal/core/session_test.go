@@ -91,3 +91,54 @@ func TestSessionResultIsolated(t *testing.T) {
 		t.Fatalf("bad initial rounds %d/%d", r1, r2)
 	}
 }
+
+// TestSessionRejectsIgnoredWorkers pins the config validation: Workers
+// set with an engine whose sessions would silently run every delta
+// sequentially must be a construction error, never a silent discard.
+// Engines that do use workers, and the unset/1 values, must pass.
+func TestSessionRejectsIgnoredWorkers(t *testing.T) {
+	base := Config{Width: 8, Height: 8}
+	for _, engine := range []EngineKind{EngineSequential, EngineChannels} {
+		cfg := base
+		cfg.Engine = engine
+		cfg.Workers = 2
+		if _, err := NewSession(cfg, nil); err == nil {
+			t.Fatalf("%s session accepted Workers=2", engine)
+		}
+		for _, ok := range []int{0, 1} {
+			cfg.Workers = ok
+			s, err := NewSession(cfg, nil)
+			if err != nil {
+				t.Fatalf("%s session rejected Workers=%d: %v", engine, ok, err)
+			}
+			s.Close()
+		}
+	}
+	for _, engine := range []EngineKind{EngineParallel, EngineBitset} {
+		cfg := base
+		cfg.Engine = engine
+		cfg.Workers = 2
+		s, err := NewSession(cfg, nil)
+		if err != nil {
+			t.Fatalf("%s session rejected Workers=2: %v", engine, err)
+		}
+		s.Close()
+	}
+}
+
+// TestSessionClose: Close is idempotent, and a closed-then-reopened
+// workflow (the sweep runner's per-replication pattern) keeps working.
+func TestSessionClose(t *testing.T) {
+	cfg := Config{Width: 10, Height: 10, Engine: EngineBitset, Workers: 2}
+	for rep := 0; rep < 3; rep++ {
+		s, err := NewSession(cfg, []grid.Point{grid.Pt(4, 4)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddFaults(grid.Pt(6, 6)); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		s.Close() // idempotent
+	}
+}

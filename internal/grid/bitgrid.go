@@ -17,6 +17,7 @@ import (
 type BitGrid struct {
 	width, height, wpr int
 	words              []uint64
+	track              *WordSet
 }
 
 // NewBitGrid returns an all-false grid of the given dimensions.
@@ -75,13 +76,24 @@ func (g *BitGrid) Get(x, y int) bool {
 // Set assigns cell (x, y).
 func (g *BitGrid) Set(x, y int, v bool) {
 	g.check(x, y)
+	wi := y*g.wpr + x/64
 	bit := uint64(1) << (uint(x) % 64)
+	old := g.words[wi]
 	if v {
-		g.words[y*g.wpr+x/64] |= bit
+		g.words[wi] = old | bit
 	} else {
-		g.words[y*g.wpr+x/64] &^= bit
+		g.words[wi] = old &^ bit
+	}
+	if g.track != nil && g.words[wi] != old {
+		g.track.Add(wi)
 	}
 }
+
+// Track attaches a dirty-word set: every Set that actually changes a
+// bit records its word index there (word-level mutations via Words()
+// bypass it). Pass nil to detach. The set must span at least
+// WordsPerRow()*Height() indexes; the caller owns draining it.
+func (g *BitGrid) Track(ws *WordSet) { g.track = ws }
 
 // Fill sets every valid cell to v, keeping padding bits zero.
 func (g *BitGrid) Fill(v bool) {
@@ -143,10 +155,12 @@ func (g *BitGrid) Count() int {
 	return n
 }
 
-// Clone returns an independent copy.
+// Clone returns an independent copy. An attached dirty-word tracker is
+// not inherited.
 func (g *BitGrid) Clone() *BitGrid {
 	c := *g
 	c.words = append([]uint64(nil), g.words...)
+	c.track = nil
 	return &c
 }
 

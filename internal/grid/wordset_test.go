@@ -1,0 +1,104 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWordSetBasics(t *testing.T) {
+	s := NewWordSet(200)
+	if s.Len() != 0 || s.Has(0) {
+		t.Fatal("new set not empty")
+	}
+	if !s.Add(5) || !s.Add(130) || !s.Add(0) {
+		t.Fatal("fresh Add returned false")
+	}
+	if s.Add(5) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if s.Len() != 3 || !s.Has(5) || !s.Has(130) || !s.Has(0) || s.Has(64) {
+		t.Fatalf("membership wrong: len=%d", s.Len())
+	}
+	got := s.Sorted()
+	want := []int{0, 5, 130}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted = %v, want %v", got, want)
+		}
+	}
+	s.Clear()
+	if s.Len() != 0 || s.Has(5) || s.Has(130) || s.Has(0) {
+		t.Fatal("Clear left members behind")
+	}
+	if !s.Add(130) {
+		t.Fatal("Add after Clear returned false")
+	}
+}
+
+// TestWordSetAgainstMap drives randomized adds and clears against a
+// plain map reference.
+func TestWordSetAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n = 500
+	s := NewWordSet(n)
+	ref := map[int]bool{}
+	for step := 0; step < 2000; step++ {
+		if rng.Intn(100) == 0 {
+			s.Clear()
+			ref = map[int]bool{}
+			continue
+		}
+		wi := rng.Intn(n)
+		if got, want := s.Add(wi), !ref[wi]; got != want {
+			t.Fatalf("step %d: Add(%d) = %t, want %t", step, wi, got, want)
+		}
+		ref[wi] = true
+		if s.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, s.Len(), len(ref))
+		}
+	}
+	for _, wi := range s.Sorted() {
+		if !ref[wi] {
+			t.Fatalf("Sorted lists %d, not in reference", wi)
+		}
+	}
+}
+
+// TestBitGridTrack pins the dirty-word hook: only Sets that actually
+// change a bit are recorded, Clone does not inherit the tracker, and
+// detaching stops recording.
+func TestBitGridTrack(t *testing.T) {
+	g := NewBitGrid(70, 3) // wpr = 2: cell (65, y) lands in word y*2+1
+	ws := NewWordSet(g.WordsPerRow() * g.Height())
+	g.Track(ws)
+
+	g.Set(0, 0, true)
+	g.Set(65, 2, true)
+	g.Set(3, 1, false) // already false: no change, no record
+	got := ws.Sorted()
+	if len(got) != 2 || got[0] != 0 || got[1] != 5 {
+		t.Fatalf("tracked words = %v, want [0 5]", got)
+	}
+
+	ws.Clear()
+	g.Set(0, 0, true) // idempotent: still no record
+	if ws.Len() != 0 {
+		t.Fatalf("idempotent Set recorded %v", ws.Sorted())
+	}
+	g.Set(0, 0, false) // clearing a set bit is a change
+	if ws.Len() != 1 || !ws.Has(0) {
+		t.Fatalf("clearing Set not recorded: %v", ws.Sorted())
+	}
+
+	c := g.Clone()
+	ws.Clear()
+	c.Set(1, 0, true) // clone must not feed the original's tracker
+	if ws.Len() != 0 {
+		t.Fatal("clone inherited the tracker")
+	}
+	g.Track(nil)
+	g.Set(9, 0, true)
+	if ws.Len() != 0 {
+		t.Fatal("detached tracker still recorded")
+	}
+}

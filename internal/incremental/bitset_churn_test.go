@@ -1,0 +1,157 @@
+package incremental_test
+
+// Differential churn tests for the word-granularity delta path: a
+// bitset-configured Field and a node-frontier Field driven through the
+// same randomized Add/Remove script must report byte-identical deltas
+// (frontier size, per-phase rounds and changed counts) and identical
+// label state after every step — the incremental analogue of the
+// simnet-level TestBitsetFrontierMatchesNode. Shapes pin the word
+// boundary (widths 63/64/65), degenerate 1-wide/1-tall machines, and
+// torus seams.
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/incremental"
+	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/simnet/simnettest"
+	"ocpmesh/internal/status"
+)
+
+func TestBitsetChurnMatchesFromScratch(t *testing.T) {
+	shapes := []struct {
+		w, h int
+		kind mesh.Kind
+	}{
+		{63, 5, mesh.Mesh2D},
+		{64, 5, mesh.Mesh2D},
+		{65, 5, mesh.Mesh2D},
+		{1, 16, mesh.Mesh2D},
+		{16, 1, mesh.Mesh2D},
+		{63, 5, mesh.Torus2D},
+		{64, 5, mesh.Torus2D},
+		{65, 5, mesh.Torus2D},
+	}
+	rng := rand.New(rand.NewSource(1331))
+	for si, s := range shapes {
+		topo := mesh.MustNew(s.w, s.h, s.kind)
+		cfg := incremental.Config{}
+		if si%2 == 1 {
+			cfg.Safety = status.Def2a
+		}
+		faults := simnettest.RandomFaultCount(rng, topo, 3+rng.Intn(5))
+
+		nodeCfg := cfg
+		bitCfg := cfg
+		bitCfg.Bitset = true
+		node, err := incremental.New(topo, faults, nodeCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bit, err := incremental.New(topo, faults, bitCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertFieldsAgree(t, topo.String()+"/initial", bit, node)
+
+		randPt := func() grid.Point {
+			return grid.Pt(rng.Intn(topo.Width()), rng.Intn(topo.Height()))
+		}
+		var removed []grid.Point
+		for step := 0; step < 12; step++ {
+			var batch []grid.Point
+			remove := false
+			switch op := rng.Intn(3); {
+			case op == 0: // add a fresh batch
+				batch = make([]grid.Point, 1+rng.Intn(3))
+				for i := range batch {
+					batch[i] = randPt()
+				}
+			case op == 1 && node.Faults().Len() > 0: // remove existing faults
+				pts := node.Faults().Points()
+				batch = []grid.Point{pts[rng.Intn(len(pts))]}
+				if len(pts) > 1 && rng.Intn(2) == 0 {
+					batch = append(batch, pts[rng.Intn(len(pts))])
+				}
+				removed = append(removed, batch...)
+				remove = true
+			case op == 2 && len(removed) > 0: // re-add a removed fault
+				batch = []grid.Point{removed[rng.Intn(len(removed))]}
+			default:
+				batch = []grid.Point{randPt()}
+			}
+
+			var (
+				dn, db incremental.Delta
+				en, eb error
+			)
+			if remove {
+				dn, en = node.Remove(batch...)
+				db, eb = bit.Remove(batch...)
+			} else {
+				dn, en = node.Add(batch...)
+				db, eb = bit.Add(batch...)
+			}
+			if en != nil || eb != nil {
+				t.Fatalf("%v step %d: node err %v, bitset err %v", topo, step, en, eb)
+			}
+			ctx := topo.String()
+			if db != dn {
+				t.Fatalf("%s step %d: deltas diverge:\nnode:   %+v\nbitset: %+v", ctx, step, dn, db)
+			}
+			assertFieldsAgree(t, ctx, bit, node)
+		}
+		// The shared reference: both fields must also match a from-scratch
+		// formation on the final fault set, so an agreed-upon wrong answer
+		// cannot pass.
+		assertMatchesFromScratch(t, bit, topo.String()+"/bitset-final")
+		assertMatchesFromScratch(t, node, topo.String()+"/node-final")
+	}
+}
+
+// assertFieldsAgree pins two fields' externally visible state to each
+// other: fault sets, both label planes, and region structure counts.
+func assertFieldsAgree(t *testing.T, ctx string, got, want *incremental.Field) {
+	t.Helper()
+	if !got.Faults().Equal(want.Faults()) {
+		t.Fatalf("%s: fault sets diverge", ctx)
+	}
+	for i := range want.Unsafe() {
+		if got.Unsafe()[i] != want.Unsafe()[i] {
+			t.Fatalf("%s: unsafe[%d] = %t, want %t", ctx, i, got.Unsafe()[i], want.Unsafe()[i])
+		}
+		if got.Enabled()[i] != want.Enabled()[i] {
+			t.Fatalf("%s: enabled[%d] = %t, want %t", ctx, i, got.Enabled()[i], want.Enabled()[i])
+		}
+	}
+	if len(got.Blocks()) != len(want.Blocks()) || len(got.Regions()) != len(want.Regions()) {
+		t.Fatalf("%s: region structure diverges: %d/%d blocks, %d/%d regions",
+			ctx, len(got.Blocks()), len(want.Blocks()), len(got.Regions()), len(want.Regions()))
+	}
+}
+
+// TestBitsetChurnWorkers runs a short bitset churn script at a worker
+// count exercising the pooled full-formation path plus the worker cap,
+// pinned against from-scratch formations.
+func TestBitsetChurnWorkers(t *testing.T) {
+	topo := mesh.MustNew(65, 6, mesh.Mesh2D)
+	f, err := incremental.New(topo, grid.PointSetOf(grid.Pt(10, 2), grid.Pt(40, 3)),
+		incremental.Config{Bitset: true, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	assertMatchesFromScratch(t, f, "initial")
+	for _, p := range []grid.Point{grid.Pt(11, 2), grid.Pt(64, 0), grid.Pt(0, 5)} {
+		if _, err := f.Add(p); err != nil {
+			t.Fatal(err)
+		}
+		assertMatchesFromScratch(t, f, "add")
+	}
+	if _, err := f.Remove(grid.Pt(11, 2)); err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesFromScratch(t, f, "remove")
+}

@@ -27,6 +27,7 @@ package incremental
 
 import (
 	"fmt"
+	"runtime"
 
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/mesh"
@@ -54,8 +55,10 @@ type Config struct {
 	Workers int
 	// Bitset runs the initial full formation on the bit-packed
 	// word-parallel engine (simnet.RunBitsetGeneric) with Workers row
-	// bands instead of the sequential/parallel sweeps. Deltas still use
-	// the frontier engine. Results are bit-for-bit identical.
+	// bands, and routes every delta through the word-granularity frontier
+	// (simnet.RunBitsetFrontier) over persistent packed label planes kept
+	// in sync with the []bool fields — the whole churn path advances 64
+	// lanes per kernel call. Results are bit-for-bit identical.
 	Bitset bool
 	// Recorder, when non-nil, traces the field: per-round events during
 	// (re)computation and one obs.EDelta event per applied delta, plus
@@ -107,9 +110,25 @@ type Field struct {
 	blocks  []*region.Region
 	regions []*region.Region
 
+	// Packed mirrors of unsafe/enabled plus per-lane liveness, kept in
+	// O(delta) sync with the []bool fields when cfg.Bitset is set; deltas
+	// then run the word-granularity frontier over them. Nil otherwise.
+	ubits, ebits *simnet.BitField
+
+	// pool is the worker pool the full formation runs fan out over; nil
+	// when the configuration runs single-tile. Released by Close.
+	pool *simnet.WorkerPool
+
 	// rounds of the initial full formation (reported by Session.Result
 	// until the first delta).
 	rounds1, rounds2 int
+
+	// Per-delta scratch reused across Add/Remove calls (a Field is
+	// single-threaded): the affected-area walk and the before-labels it
+	// is paired with, plus the frontier seed list.
+	areaPts    []grid.Point
+	areaBefore []bool
+	seed       []int
 }
 
 // New computes a full formation on topo for the given fault set and
@@ -123,27 +142,70 @@ func New(topo *mesh.Topology, faults *grid.PointSet, cfg Config) (*Field, error)
 		return nil, err
 	}
 	f := &Field{cfg: cfg, topo: topo, faults: env.Faulty}
+	if workers := poolWorkers(cfg, topo.Height()); workers > 1 {
+		f.pool = simnet.NewWorkerPool(workers)
+	}
 	p1, err := f.runFull(env, status.UnsafeRule(cfg.Safety), "phase1")
 	if err != nil {
+		f.Close()
 		return nil, fmt.Errorf("incremental: phase 1: %w", err)
 	}
 	env2, err := simnet.NewEnv(topo, f.faults, p1.Labels)
 	if err != nil {
+		f.Close()
 		return nil, err
 	}
 	p2, err := f.runFull(env2, status.EnabledRule(), "phase2")
 	if err != nil {
+		f.Close()
 		return nil, fmt.Errorf("incremental: phase 2: %w", err)
 	}
 	f.unsafe, f.enabled = p1.Labels, p2.Labels
 	f.rounds1, f.rounds2 = p1.Rounds, p2.Rounds
 	f.blocks = region.FaultyBlocks(topo, f.faults, f.unsafe)
 	f.regions = region.DisabledRegions(topo, f.faults, f.enabled, cfg.Connectivity)
+	if cfg.Bitset {
+		if f.ubits, err = simnet.NewBitField(env, f.unsafe); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if f.ebits, err = simnet.NewBitField(env2, f.enabled); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
 	return f, nil
 }
 
+// poolWorkers sizes the field's shared worker pool: the configured
+// count (0 = GOMAXPROCS) capped at the tile limit (one row band per
+// tile). Single-tile configurations and the sequential engine need no
+// pool.
+func poolWorkers(cfg Config, height int) int {
+	if !cfg.Bitset && cfg.Workers <= 1 {
+		return 1
+	}
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > height {
+		w = height
+	}
+	return w
+}
+
+// Close releases the field's worker pool. Safe on a nil pool and after
+// an error from New.
+func (f *Field) Close() {
+	if f.pool != nil {
+		f.pool.Close()
+		f.pool = nil
+	}
+}
+
 func (f *Field) genericOpts(phase string, pc *costs.Phase) simnet.GenericOptions[bool] {
-	return simnet.GenericOptions[bool]{MaxRounds: f.cfg.MaxRounds, Recorder: f.cfg.Recorder, Phase: phase, Costs: pc}
+	return simnet.GenericOptions[bool]{MaxRounds: f.cfg.MaxRounds, Recorder: f.cfg.Recorder, Phase: phase, Costs: pc, Pool: f.pool}
 }
 
 // newPhase returns the per-phase cost collector (nil without a fabric).
@@ -179,28 +241,65 @@ func (f *Field) runFull(env *simnet.Env, rule simnet.Rule, phase string) (*simne
 	return res, nil
 }
 
-// runFrontier restabilizes labels from the given seed, fanning waves out
-// over the configured worker count.
-func (f *Field) runFrontier(env *simnet.Env, rule simnet.Rule, labels []bool, seed []int, phase string) (*simnet.FrontierResult, error) {
+// runFrontier restabilizes labels from the given seed: over the packed
+// word-granularity engine when bits is non-nil (the []bool mirror is
+// re-synced from the changed set afterwards, keeping both views
+// identical in O(changed)), else over the node-granularity engine,
+// fanning waves out over the configured worker count.
+func (f *Field) runFrontier(env *simnet.Env, rule simnet.Rule, labels []bool, bits *simnet.BitField, seed []int, phase string) (*simnet.FrontierResult, error) {
 	pc := f.newPhase(phase)
 	opt := f.genericOpts(phase, pc)
 	var (
 		res *simnet.FrontierResult
 		err error
 	)
-	if f.cfg.Workers > 1 {
+	switch {
+	case bits != nil:
+		res, err = simnet.RunBitsetFrontier(env, rule, bits, seed, opt)
+	case f.cfg.Workers > 1:
 		res, err = simnet.RunParallelFrontierGeneric[bool](env, rule, labels, seed, opt, f.cfg.Workers)
-	} else {
+	default:
 		res, err = simnet.RunFrontierGeneric[bool](env, rule, labels, seed, opt)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if bits != nil {
+		for _, i := range res.Changed {
+			labels[i] = bits.Label(i)
+		}
 	}
 	pc.Finish()
 	if f.cfg.Strict && pc.Violations() > 0 {
 		return nil, fmt.Errorf("incremental: %d frontier_shrink invariant violation(s) in %s", pc.Violations(), phase)
 	}
 	return res, nil
+}
+
+// setUnsafe / setEnabled write one label to the []bool field and, when
+// the bitset churn path is active, its packed mirror (which also lands
+// the word in the mirror's dirty set for the next run's worklist).
+func (f *Field) setUnsafe(i int, v bool) {
+	f.unsafe[i] = v
+	if f.ubits != nil {
+		f.ubits.SetLabel(i, v)
+	}
+}
+
+func (f *Field) setEnabled(i int, v bool) {
+	f.enabled[i] = v
+	if f.ebits != nil {
+		f.ebits.SetLabel(i, v)
+	}
+}
+
+// setFault flips node i's liveness in both packed mirrors (faulty lanes
+// are pinned at their current label). No-op on the node path.
+func (f *Field) setFault(i int, faulty bool) {
+	if f.ubits != nil {
+		f.ubits.SetLive(i, !faulty)
+		f.ebits.SetLive(i, !faulty)
+	}
 }
 
 // Topo returns the machine.
@@ -259,22 +358,24 @@ func (f *Field) Add(ps ...grid.Point) (Delta, error) {
 	// neighborhoods. Existing labels are the old fixpoint, which sits at
 	// or below the new one (the rule is monotone in the fault set).
 	touched1 := grid.NewPointSet()
-	var seed []int
+	seed := f.seed[:0]
 	for _, p := range added {
 		touched1.Add(p)
 		i := f.topo.Index(p)
 		if !f.unsafe[i] {
-			f.unsafe[i] = true
+			f.setUnsafe(i, true)
 			d.ChangedPhase1++
 		}
+		f.setFault(i, true)
 		for _, q := range f.topo.Neighbors(p) {
 			if !f.faults.Has(q) {
 				seed = append(seed, f.topo.Index(q))
 			}
 		}
 	}
+	f.seed = seed
 	d.Frontier = len(seed)
-	fr1, err := f.runFrontier(env, status.UnsafeRule(f.cfg.Safety), f.unsafe, seed, "phase1")
+	fr1, err := f.runFrontier(env, status.UnsafeRule(f.cfg.Safety), f.unsafe, f.ubits, seed, "phase1")
 	if err != nil {
 		return Delta{}, fmt.Errorf("incremental: phase 1: %w", err)
 	}
@@ -328,26 +429,28 @@ func (f *Field) Remove(ps ...grid.Point) (Delta, error) {
 	area := f.unsafeArea(grid.PointSetOf(removed...))
 	for _, p := range removed {
 		f.faults.Remove(p)
+		f.setFault(f.topo.Index(p), false)
 	}
 	env := &simnet.Env{Topo: f.topo, Faulty: f.faults}
 
 	// Phase 1: reset the footprints to their initial labels (remaining
 	// faults unsafe, everything else safe) and recompute the closure of
 	// the remaining faults inside.
-	var seed []int
-	for _, p := range area.Points() {
+	seed := f.seed[:0]
+	area.Each(func(p grid.Point) {
 		i := f.topo.Index(p)
 		now := f.faults.Has(p)
 		if f.unsafe[i] != now {
-			f.unsafe[i] = now
+			f.setUnsafe(i, now)
 			d.ChangedPhase1++ // provisional; corrected after the fixpoint below
 		}
 		if !now {
 			seed = append(seed, i)
 		}
-	}
+	})
+	f.seed = seed
 	d.Frontier = len(seed)
-	fr1, err := f.runFrontier(env, status.UnsafeRule(f.cfg.Safety), f.unsafe, seed, "phase1")
+	fr1, err := f.runFrontier(env, status.UnsafeRule(f.cfg.Safety), f.unsafe, f.ubits, seed, "phase1")
 	if err != nil {
 		return Delta{}, fmt.Errorf("incremental: phase 1: %w", err)
 	}
@@ -373,7 +476,7 @@ func (f *Field) Remove(ps ...grid.Point) (Delta, error) {
 // nodes themselves (some of which may have just turned safe).
 func (f *Field) unsafeArea(touched *grid.PointSet) *grid.PointSet {
 	area := grid.NewPointSet()
-	var queue []grid.Point
+	var queue, nbrs []grid.Point
 	for _, p := range touched.Points() {
 		if area.Add(p) && f.unsafe[f.topo.Index(p)] {
 			queue = append(queue, p)
@@ -382,7 +485,8 @@ func (f *Field) unsafeArea(touched *grid.PointSet) *grid.PointSet {
 	for len(queue) > 0 {
 		p := queue[0]
 		queue = queue[1:]
-		for _, q := range f.topo.Neighbors(p) {
+		nbrs = f.topo.AppendNeighbors(p, nbrs[:0])
+		for _, q := range nbrs {
 			if f.unsafe[f.topo.Index(q)] && area.Add(q) {
 				queue = append(queue, q)
 			}
@@ -396,19 +500,23 @@ func (f *Field) unsafeArea(touched *grid.PointSet) *grid.PointSet {
 // inside it. It returns the number of labels that settled differently
 // than before the reset and the frontier rounds used.
 func (f *Field) recomputeEnabled(area *grid.PointSet) (changed, rounds int, err error) {
-	pts := area.Points()
-	before := make([]bool, len(pts))
-	var seed []int
-	for k, p := range pts {
+	// The frontier engines canonicalize wave order internally, so the
+	// unordered area walk is fine; pts and before pair up by position.
+	pts := f.areaPts[:0]
+	before := f.areaBefore[:0]
+	seed := f.seed[:0]
+	area.Each(func(p grid.Point) {
 		i := f.topo.Index(p)
-		before[k] = f.enabled[i]
-		f.enabled[i] = !f.unsafe[i] // init: safe => enabled (faulty nodes are unsafe)
+		pts = append(pts, p)
+		before = append(before, f.enabled[i])
+		f.setEnabled(i, !f.unsafe[i]) // init: safe => enabled (faulty nodes are unsafe)
 		if !f.faults.Has(p) {
 			seed = append(seed, i)
 		}
-	}
+	})
+	f.areaPts, f.areaBefore, f.seed = pts, before, seed
 	env := &simnet.Env{Topo: f.topo, Faulty: f.faults, Aux: f.unsafe}
-	fr, err := f.runFrontier(env, status.EnabledRule(), f.enabled, seed, "phase2")
+	fr, err := f.runFrontier(env, status.EnabledRule(), f.enabled, f.ebits, seed, "phase2")
 	if err != nil {
 		return 0, 0, fmt.Errorf("incremental: phase 2: %w", err)
 	}

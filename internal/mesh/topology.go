@@ -138,13 +138,20 @@ func (t *Topology) NeighborIn(p grid.Point, d Direction) (grid.Point, bool) {
 // order (west, east, south, north), omitting links that leave a bounded
 // mesh.
 func (t *Topology) Neighbors(p grid.Point) []grid.Point {
-	out := make([]grid.Point, 0, 4)
+	return t.AppendNeighbors(p, make([]grid.Point, 0, 4))
+}
+
+// AppendNeighbors appends the machine neighbors of p to dst in canonical
+// direction order and returns the extended slice. Flood fills that visit
+// every cell of a region use it with a reused scratch slice, where the
+// per-call allocation of Neighbors dominates.
+func (t *Topology) AppendNeighbors(p grid.Point, dst []grid.Point) []grid.Point {
 	for _, d := range Directions {
 		if q, ok := t.NeighborIn(p, d); ok {
-			out = append(out, q)
+			dst = append(dst, q)
 		}
 	}
-	return out
+	return dst
 }
 
 // Degree returns the number of machine neighbors of p: 4 in the interior

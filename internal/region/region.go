@@ -47,6 +47,21 @@ type Region struct {
 	Nodes *grid.PointSet
 	// Faults is the subset of Nodes that is faulty.
 	Faults *grid.PointSet
+
+	// min memoizes the canonical (row-major minimal) node. Regions are
+	// never mutated once built, so the scan runs at most once per region
+	// instead of once per UpdateRegions call that carries it along.
+	min    grid.Point
+	minSet bool
+}
+
+// canonical returns the row-major minimal node of the region, memoized.
+func (r *Region) canonical() grid.Point {
+	if !r.minSet {
+		r.min = minNode(r)
+		r.minSet = true
+	}
+	return r.min
 }
 
 // Bounds returns the bounding rectangle of the region.
@@ -77,8 +92,12 @@ func (r *Region) String() string {
 // topology's own (so torus regions merge across the wraparound seam),
 // plus the diagonals for Conn8.
 func neighborsFunc(topo *mesh.Topology, conn Connectivity) func(grid.Point) []grid.Point {
+	// One scratch slice per extraction: the flood fills below consume
+	// each result before asking for the next, so reusing the backing
+	// array is safe and spares an allocation per visited cell.
+	buf := make([]grid.Point, 0, 8)
 	return func(p grid.Point) []grid.Point {
-		out := topo.Neighbors(p)
+		out := topo.AppendNeighbors(p, buf[:0])
 		if conn == Conn8 {
 			for _, d := range [4]grid.Point{{X: -1, Y: -1}, {X: 1, Y: -1}, {X: -1, Y: 1}, {X: 1, Y: 1}} {
 				q := topo.Wrap(p.Add(d))
@@ -87,6 +106,7 @@ func neighborsFunc(topo *mesh.Topology, conn Connectivity) func(grid.Point) []gr
 				}
 			}
 		}
+		buf = out
 		return out
 	}
 }
@@ -96,8 +116,9 @@ func neighborsFunc(topo *mesh.Topology, conn Connectivity) func(grid.Point) []gr
 // storage for the BFS worklist (head-indexed, never shrunk); the
 // (possibly grown) slice is returned so callers can reuse it across
 // components instead of reallocating per flood.
-func component(topo *mesh.Topology, labels []bool, want bool, neighbors func(grid.Point) []grid.Point, start grid.Point, seen *grid.PointSet, queue []grid.Point) (*grid.PointSet, []grid.Point) {
+func component(topo *mesh.Topology, labels []bool, want bool, neighbors func(grid.Point) []grid.Point, start grid.Point, seen *grid.PointSet, queue []grid.Point) (*grid.PointSet, []grid.Point, grid.Rect) {
 	comp := grid.NewPointSet()
+	bounds := grid.Empty().Include(start)
 	queue = append(queue[:0], start)
 	seen.Add(start)
 	comp.Add(start)
@@ -107,11 +128,12 @@ func component(topo *mesh.Topology, labels []bool, want bool, neighbors func(gri
 			if labels[topo.Index(q)] == want && !seen.Has(q) {
 				seen.Add(q)
 				comp.Add(q)
+				bounds = bounds.Include(q)
 				queue = append(queue, q)
 			}
 		}
 	}
-	return comp, queue
+	return comp, queue, bounds
 }
 
 // regionFaults returns the faulty subset of comp, iterating whichever
@@ -157,8 +179,10 @@ func extract(topo *mesh.Topology, faults *grid.PointSet, labels []bool, want boo
 			continue
 		}
 		var comp *grid.PointSet
-		comp, queue = component(topo, labels, want, neighbors, start, seen, queue)
-		out = append(out, &Region{Nodes: comp, Faults: regionFaults(comp, faults)})
+		comp, queue, _ = component(topo, labels, want, neighbors, start, seen, queue)
+		// Starts are visited in canonical order, so the first cell reached
+		// in each component is its minimal node.
+		out = append(out, &Region{Nodes: comp, Faults: regionFaults(comp, faults), min: start, minSet: true})
 	}
 	return out
 }
@@ -192,50 +216,51 @@ func UpdateRegions(topo *mesh.Topology, faults *grid.PointSet, labels []bool, wa
 	// best O(perturbation) hint available without scanning all labels.
 	seen := grid.NewPointSetCap(touched.Len())
 	queue := make([]grid.Point, 0, touched.Len())
-	var out []*Region
-	for _, start := range touched.Points() {
+	var fresh []*Region
+	// hot accumulates the bounding box of touched ∪ seen during walks
+	// that run anyway, so the survivor loop below can rule most regions
+	// out with a rectangle test instead of hashed map lookups.
+	hot := grid.Empty()
+	// Start order is immaterial: components are order-independent and
+	// fresh is sorted by canonical node below, so the unordered walk
+	// skips the Points() allocation and sort.
+	touched.Each(func(start grid.Point) {
+		hot = hot.Include(start)
 		if seen.Has(start) || labels[topo.Index(start)] != want {
-			continue
+			return
 		}
 		var comp *grid.PointSet
-		comp, queue = component(topo, labels, want, neighbors, start, seen, queue)
-		out = append(out, &Region{Nodes: comp, Faults: regionFaults(comp, faults)})
-	}
+		var cb grid.Rect
+		comp, queue, cb = component(topo, labels, want, neighbors, start, seen, queue)
+		hot = hot.Include(grid.Pt(cb.MinX, cb.MinY)).Include(grid.Pt(cb.MaxX, cb.MaxY))
+		fresh = append(fresh, &Region{Nodes: comp, Faults: regionFaults(comp, faults)})
+	})
+	// Only the handful of fresh components need sorting: old is already
+	// in canonical order (this function's own postcondition), and a
+	// subsequence of a sorted list stays sorted, so survivors merge in
+	// O(len(old)) without re-keying and re-sorting the whole list.
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i].canonical().Less(fresh[j].canonical()) })
+	out := make([]*Region, 0, len(fresh)+len(old))
+	fi := 0
 	for _, r := range old {
 		// A surviving region is untouched and disjoint from every fresh
-		// component (a fresh component overlapping any of its cells has
-		// necessarily swallowed all of them, so one membership test per
-		// cell against the accumulated seen set suffices).
-		keep := true
-		r.Nodes.Each(func(p grid.Point) {
-			if keep && (touched.Has(p) || seen.Has(p)) {
-				keep = false
-			}
-		})
-		if keep {
-			out = append(out, r)
+		// component. touched covers an affected region's entire former
+		// footprint (the documented contract) and a fresh component
+		// overlapping any of its cells has necessarily swallowed all of
+		// them, so both conditions hold for every cell or for none — one
+		// representative-cell membership test decides survival in O(1)
+		// instead of a walk over the region's area.
+		p := r.canonical()
+		if hot.Contains(p) && (touched.Has(p) || seen.Has(p)) {
+			continue
 		}
+		for fi < len(fresh) && fresh[fi].canonical().Less(p) {
+			out = append(out, fresh[fi])
+			fi++
+		}
+		out = append(out, r)
 	}
-	keys := make([]grid.Point, len(out))
-	for i, r := range out {
-		keys[i] = minNode(r)
-	}
-	sort.Sort(&regionsByMin{regions: out, keys: keys})
-	return out
-}
-
-// regionsByMin sorts regions by their canonical node, keeping the
-// precomputed keys aligned with the regions.
-type regionsByMin struct {
-	regions []*Region
-	keys    []grid.Point
-}
-
-func (s *regionsByMin) Len() int           { return len(s.regions) }
-func (s *regionsByMin) Less(i, j int) bool { return s.keys[i].Less(s.keys[j]) }
-func (s *regionsByMin) Swap(i, j int) {
-	s.regions[i], s.regions[j] = s.regions[j], s.regions[i]
-	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	return append(out, fresh[fi:]...)
 }
 
 // FaultyBlocks groups the unsafe nodes (phase-1 labels, true = unsafe)

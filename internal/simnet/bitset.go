@@ -38,12 +38,27 @@ type WordRule interface {
 // are byte-identical to SeqEngine's at every worker count (the
 // differential matrix and both fuzz targets pin this).
 //
+// Multi-worker runs fuse rounds: each tile keeps a private extended
+// copy of its rows plus a k-deep halo and advances k rounds per
+// barrier, recomputing the halo redundantly instead of exchanging it
+// every round (see RunBitsetFusedGeneric). Thin row bands with a
+// barrier per round were memory-bandwidth-bound and scaled *negatively*
+// with workers; fusing trades a sliver of redundant SWAR work for k
+// times fewer barriers.
+//
 // The rule must implement WordRule (both paper rules do); Run fails
 // otherwise.
 type BitsetEngine struct {
 	// Workers is the number of row-band tiles (and worker goroutines);
 	// 0 means runtime.GOMAXPROCS(0), capped at the mesh height.
 	Workers int
+	// Fuse is the number of rounds each tile advances per barrier when
+	// more than one tile runs: 0 picks a default (currently 4), 1
+	// disables fusion, higher values are clamped to what the geometry
+	// admits. Single-tile runs and runs observed via Options.OnRound
+	// always step one round at a time. Results are identical at every
+	// setting.
+	Fuse int
 }
 
 // Bitset returns the word-parallel bitset engine with the given worker
@@ -55,10 +70,10 @@ func (BitsetEngine) Name() string { return "bitset" }
 
 // Run implements Engine.
 func (e BitsetEngine) Run(env *Env, rule Rule, opt Options) (*Result, error) {
-	res, err := RunBitsetGeneric(env, rule, GenericOptions[bool]{
+	res, err := RunBitsetFusedGeneric(env, rule, GenericOptions[bool]{
 		MaxRounds: opt.MaxRounds, OnRound: opt.OnRound,
-		Recorder: opt.Recorder, Phase: opt.Phase, Costs: opt.Costs,
-	}, e.Workers)
+		Recorder: opt.Recorder, Phase: opt.Phase, Costs: opt.Costs, Pool: opt.Pool,
+	}, e.Workers, e.Fuse)
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +84,7 @@ func (e BitsetEngine) Run(env *Env, rule Rule, opt Options) (*Result, error) {
 // loops.
 type bitPlanes struct {
 	w, h, wpr int
-	lastLane  uint   // lane of column width-1 in a row's last word
+	lastLane  uint // lane of column width-1 in a row's last word
 	torus     bool
 	ghost     uint64 // all-lanes ghost label (mesh boundary rows)
 	ghostBit  uint64 // single-lane ghost label (mesh boundary columns)
@@ -257,15 +272,57 @@ func (p *bitPlanes) swap() {
 
 // RunBitsetGeneric computes the synchronous fixpoint of a boolean rule
 // with the bit-packed word-parallel sweep described on BitsetEngine.
+// It is RunBitsetFusedGeneric with the default fuse depth.
+func RunBitsetGeneric(env *Env, rule GenericRule[bool], opt GenericOptions[bool], workers int) (*GenericResult[bool], error) {
+	return RunBitsetFusedGeneric(env, rule, opt, workers, 0)
+}
+
+// fusedDepth picks the rounds-per-barrier count for a run: the
+// requested depth (0 = default 4), clamped to what the run admits.
+// Single-tile runs fuse nothing (there is no barrier to amortize), an
+// OnRound observer needs every round's labels, and on a torus the
+// extended tile (rows plus a k-deep halo on each side) must not wrap
+// onto itself, or a private row would alias two global rows.
+func fusedDepth(requested, h, maxTileRows, nTiles int, hasOnRound, torus bool) int {
+	if nTiles == 1 || hasOnRound {
+		return 1
+	}
+	k := requested
+	if k <= 0 {
+		k = 4
+	}
+	if torus {
+		if lim := (h - maxTileRows) / 2; k > lim {
+			k = lim
+		}
+	}
+	if k < 1 {
+		return 1
+	}
+	return k
+}
+
+// RunBitsetFusedGeneric is RunBitsetGeneric with an explicit fuse
+// depth: with more than one tile and fuse >= 2, each tile advances
+// fuse rounds per barrier pair on a private extended copy of its rows
+// (owned rows plus a fuse-deep halo on each side), recomputing the halo
+// redundantly — the halo results are deterministic, so they equal the
+// owning tile's — with the valid region shrinking by one interior-edge
+// row per sub-round. Owned flips are counted per sub-round, so the
+// coordinator replays the exact per-round totals the unfused engine
+// would have produced: labels, round counts, trace events and cost
+// tracker stamps are byte-identical at every fuse depth and worker
+// count (TestBitsetFusedEquivalence pins fuse 1-3 against sequential).
+//
 // The rule must implement WordRule. workers <= 0 means
 // runtime.GOMAXPROCS(0); the row-band count is capped at the mesh
-// height. The per-round label stream, round count and obs trace events
-// are identical to RunSequentialGeneric's for every worker count; with
-// a Recorder the run additionally emits one "bitset_band_<i>" span per
-// band, feeds the bitset_band_ns histogram, increments bitset_runs and
-// sets the bitset_workers gauge (all after the round loop, keeping the
-// event stream engine-invariant).
-func RunBitsetGeneric(env *Env, rule GenericRule[bool], opt GenericOptions[bool], workers int) (*GenericResult[bool], error) {
+// height. With a Recorder the run additionally emits one
+// "bitset_band_<i>" span per band, feeds the bitset_band_ns histogram,
+// increments bitset_runs and sets the bitset_workers gauge (all after
+// the round loop, keeping the event stream engine-invariant). The
+// fan-out reuses opt.Pool when provided; otherwise a private pool is
+// created and released on every exit path, including errors.
+func RunBitsetFusedGeneric(env *Env, rule GenericRule[bool], opt GenericOptions[bool], workers, fuse int) (*GenericResult[bool], error) {
 	wr, ok := rule.(WordRule)
 	if !ok {
 		return nil, fmt.Errorf("simnet: rule %q does not implement WordRule; the bitset engine needs a word-parallel kernel", rule.Name())
@@ -282,72 +339,15 @@ func RunBitsetGeneric(env *Env, rule GenericRule[bool], opt GenericOptions[bool]
 
 	tiles := tileRows(p.h, workers)
 	nTiles := len(tiles)
-
-	// runRound computes one full round and returns the flipped-label
-	// count: inline for a single band, fanned out over the persistent
-	// worker pool otherwise.
-	var runRound func() int
-	var stopAll func()
-	busyNS := make([]int64, nTiles)
-	if nTiles == 1 {
-		runRound = func() int {
-			var start time.Time
-			if rec != nil {
-				start = rec.Now()
-			}
-			n, words := p.stepRows(wr, 0, p.h)
-			pc.AddWords(int64(words))
-			if rec != nil {
-				busyNS[0] += rec.Now().Sub(start).Nanoseconds()
-			}
-			return n
-		}
-		stopAll = func() {}
-	} else {
-		var (
-			changedCtr atomic.Int64
-			barrier    = make(chan int, nTiles)
-			cmds       = make([]chan parCmd, nTiles)
-		)
-		for t := range tiles {
-			cmds[t] = make(chan parCmd, 1)
-			go func(t, lo, hi int) {
-				for cmd := range cmds[t] {
-					if !cmd.run {
-						return
-					}
-					var start time.Time
-					if rec != nil {
-						start = rec.Now()
-					}
-					n, words := p.stepRows(wr, lo, hi)
-					changedCtr.Add(int64(n))
-					pc.AddWords(int64(words))
-					if rec != nil {
-						busyNS[t] += rec.Now().Sub(start).Nanoseconds()
-					}
-					barrier <- t
-				}
-			}(t, tiles[t][0], tiles[t][1])
-		}
-		runRound = func() int {
-			for _, c := range cmds {
-				c <- parCmd{run: true}
-			}
-			for range cmds {
-				<-barrier
-			}
-			// All workers have passed the barrier, so the counter holds
-			// the complete round total and nobody touches it until the
-			// next round is released.
-			return int(changedCtr.Swap(0))
-		}
-		stopAll = func() {
-			for _, c := range cmds {
-				c <- parCmd{run: false}
-			}
+	maxTileRows := 0
+	for _, t := range tiles {
+		if rows := t[1] - t[0]; rows > maxTileRows {
+			maxTileRows = rows
 		}
 	}
+	k := fusedDepth(fuse, p.h, maxTileRows, nTiles, opt.OnRound != nil, p.torus)
+
+	busyNS := make([]int64, nTiles)
 	finishObs := func() {
 		if rec == nil {
 			return
@@ -360,12 +360,73 @@ func RunBitsetGeneric(env *Env, rule GenericRule[bool], opt GenericOptions[bool]
 		}
 	}
 
+	if nTiles == 1 {
+		// Single band: no barrier, step inline.
+		rounds := 0
+		for {
+			p.round = int32(rounds + 1)
+			var start time.Time
+			if rec != nil {
+				start = rec.Now()
+			}
+			nchanged, words := p.stepRows(wr, 0, p.h)
+			pc.AddWords(int64(words))
+			if rec != nil {
+				busyNS[0] += rec.Now().Sub(start).Nanoseconds()
+			}
+			if nchanged == 0 {
+				finishObs()
+				return &GenericResult[bool]{Labels: p.unpack(scratch), Rounds: rounds}, nil
+			}
+			p.swap()
+			rounds++
+			ro.observe(rounds, nchanged)
+			if opt.OnRound != nil {
+				opt.OnRound(rounds, p.unpack(scratch))
+			}
+			if rounds > maxRounds {
+				finishObs()
+				return nil, fmt.Errorf("simnet: rule %q did not stabilize within %d rounds (non-monotone rule?)",
+					rule.Name(), maxRounds)
+			}
+		}
+	}
+
+	pool, release := acquirePool(opt.Pool, nTiles)
+	defer release()
+
+	if k >= 2 {
+		return runBitsetFused(rule, wr, opt, p, scratch, tiles, k, pool, busyNS, finishObs, ro, maxRounds)
+	}
+
+	// Unfused multi-tile path: one barrier per round over the pool.
+	var changedCtr atomic.Int64
+	jobs := make([]func(), nTiles)
+	for t := range tiles {
+		t, lo, hi := t, tiles[t][0], tiles[t][1]
+		jobs[t] = func() {
+			var start time.Time
+			if rec != nil {
+				start = rec.Now()
+			}
+			n, words := p.stepRows(wr, lo, hi)
+			changedCtr.Add(int64(n))
+			pc.AddWords(int64(words))
+			if rec != nil {
+				busyNS[t] += rec.Now().Sub(start).Nanoseconds()
+			}
+		}
+	}
+
 	rounds := 0
 	for {
 		p.round = int32(rounds + 1)
-		nchanged := runRound()
+		pool.Run(jobs)
+		// All workers have passed the barrier, so the counter holds
+		// the complete round total and nobody touches it until the
+		// next round is released.
+		nchanged := int(changedCtr.Swap(0))
 		if nchanged == 0 {
-			stopAll()
 			finishObs()
 			return &GenericResult[bool]{Labels: p.unpack(scratch), Rounds: rounds}, nil
 		}
@@ -376,7 +437,6 @@ func RunBitsetGeneric(env *Env, rule GenericRule[bool], opt GenericOptions[bool]
 			opt.OnRound(rounds, p.unpack(scratch))
 		}
 		if rounds > maxRounds {
-			stopAll()
 			finishObs()
 			return nil, fmt.Errorf("simnet: rule %q did not stabilize within %d rounds (non-monotone rule?)",
 				rule.Name(), maxRounds)

@@ -42,7 +42,7 @@ func (ParallelEngine) Name() string { return "parallel" }
 func (e ParallelEngine) Run(env *Env, rule Rule, opt Options) (*Result, error) {
 	res, err := RunParallelGeneric[bool](env, rule, GenericOptions[bool]{
 		MaxRounds: opt.MaxRounds, OnRound: opt.OnRound,
-		Recorder: opt.Recorder, Phase: opt.Phase, Costs: opt.Costs,
+		Recorder: opt.Recorder, Phase: opt.Phase, Costs: opt.Costs, Pool: opt.Pool,
 	}, e.Workers)
 	if err != nil {
 		return nil, err
@@ -66,14 +66,6 @@ func tileRows(h, p int) [][2]int {
 	return out
 }
 
-// parCmd is one coordinator-to-worker message: run one round (stamped
-// with its 1-based index, which cost trackers record on label flips), or
-// stop.
-type parCmd struct {
-	run   bool
-	round int32
-}
-
 // RunParallelGeneric computes the synchronous fixpoint of a generic rule
 // with the tiled parallel sweep described on ParallelEngine. workers <= 0
 // means runtime.GOMAXPROCS(0); the tile count is capped at the mesh
@@ -83,6 +75,11 @@ type parCmd struct {
 // tile (its cumulative compute time), feeds the parallel_tile_ns
 // histogram, increments parallel_runs, and sets the parallel_workers
 // gauge.
+//
+// The fan-out runs on opt.Pool when one is provided (the pool a Form
+// call or incremental Field owns and reuses across phases and deltas);
+// otherwise a private pool is created and released on every exit path,
+// including errors.
 func RunParallelGeneric[T comparable](env *Env, rule GenericRule[T], opt GenericOptions[T], workers int) (*GenericResult[T], error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -98,61 +95,50 @@ func RunParallelGeneric[T comparable](env *Env, rule GenericRule[T], opt Generic
 
 	tiles := tileRows(topo.Height(), workers)
 	nTiles := len(tiles)
+	pool, release := acquirePool(opt.Pool, nTiles)
+	defer release()
 
 	var (
-		changedCtr atomic.Int64 // shared change counter, read at the barrier
-		barrier    = make(chan int, nTiles)
-		cmds       = make([]chan parCmd, nTiles)
+		changedCtr atomic.Int64            // shared change counter, read at the barrier
 		busyNS     = make([]int64, nTiles) // per-tile cumulative compute time
+		round      int32                   // 1-based index of the round being computed
 	)
+	// One preallocated closure per tile, reused every round: the
+	// coordinator writes round and swaps cur/next between Run barriers,
+	// and the pool's channel operations order those writes before the
+	// workers' reads. No per-round allocations, no per-run goroutines.
+	jobs := make([]func(), nTiles)
 	for t := range tiles {
-		cmds[t] = make(chan parCmd, 1)
-		lo, hi := tiles[t][0]*width, tiles[t][1]*width
-		go func(t, lo, hi int) {
-			// Each worker tracks the buffer roles locally, swapping after
-			// every round exactly like the coordinator, so all goroutines
-			// agree on which buffer is readable without sharing pointers.
-			curL, nextL := cur, next
-			for cmd := range cmds[t] {
-				if !cmd.run {
-					return
-				}
-				var start time.Time
-				if rec != nil {
-					start = rec.Now()
-				}
-				changed := 0
-				for i := lo; i < hi; i++ {
-					if faulty[i] {
-						nextL[i] = curL[i]
-						continue
-					}
-					p := topo.PointAt(i)
-					nextL[i] = rule.Step(env, p, curL[i], genericNeighborLabels(env, rule, curL, p))
-					if nextL[i] != curL[i] {
-						changed++
-						if tr != nil {
-							// Tile index ranges are disjoint, so these
-							// writes race with nothing.
-							tr[i] = cmd.round
-						}
-					}
-				}
-				if rec != nil {
-					busyNS[t] += rec.Now().Sub(start).Nanoseconds()
-				}
-				changedCtr.Add(int64(changed))
-				curL, nextL = nextL, curL
-				barrier <- t
+		t, lo, hi := t, tiles[t][0]*width, tiles[t][1]*width
+		jobs[t] = func() {
+			var start time.Time
+			if rec != nil {
+				start = rec.Now()
 			}
-		}(t, lo, hi)
-	}
-
-	stopAll := func() {
-		for _, c := range cmds {
-			c <- parCmd{run: false}
+			changed := 0
+			for i := lo; i < hi; i++ {
+				if faulty[i] {
+					next[i] = cur[i]
+					continue
+				}
+				p := topo.PointAt(i)
+				next[i] = rule.Step(env, p, cur[i], genericNeighborLabels(env, rule, cur, p))
+				if next[i] != cur[i] {
+					changed++
+					if tr != nil {
+						// Tile index ranges are disjoint, so these
+						// writes race with nothing.
+						tr[i] = round
+					}
+				}
+			}
+			if rec != nil {
+				busyNS[t] += rec.Now().Sub(start).Nanoseconds()
+			}
+			changedCtr.Add(int64(changed))
 		}
 	}
+
 	finishObs := func() {
 		if rec == nil {
 			return
@@ -167,18 +153,13 @@ func RunParallelGeneric[T comparable](env *Env, rule GenericRule[T], opt Generic
 
 	rounds := 0
 	for {
-		for _, c := range cmds {
-			c <- parCmd{run: true, round: int32(rounds + 1)}
-		}
-		for range cmds {
-			<-barrier
-		}
+		round = int32(rounds + 1)
+		pool.Run(jobs)
 		// The barrier has passed: every worker has added its tile's count,
 		// so the load below sees the complete round total and no worker
 		// touches the counter again until the next round is released.
 		nchanged := int(changedCtr.Swap(0))
 		if nchanged == 0 {
-			stopAll()
 			finishObs()
 			return &GenericResult[T]{Labels: cur, Rounds: rounds}, nil
 		}
@@ -189,7 +170,6 @@ func RunParallelGeneric[T comparable](env *Env, rule GenericRule[T], opt Generic
 			opt.OnRound(rounds, cur)
 		}
 		if rounds > maxRounds {
-			stopAll()
 			finishObs()
 			return nil, fmt.Errorf("simnet: rule %q did not stabilize within %d rounds (non-monotone rule?)",
 				rule.Name(), maxRounds)
