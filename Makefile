@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: build vet test race bench churn-bench parallel-bench bitset-bench bitset-scale-bench bench-check overhead-bench overhead-gate converge-demo serve-demo fuzz check
+.PHONY: build vet test race bench churn-bench parallel-bench bitset-bench bitset-scale-bench bench-check overhead-bench overhead-gate converge-demo serve-demo serve-bench fuzz check
 
 # serve-demo smoke-tests the live telemetry side-car: it starts a real
 # sweep with -serve, scrapes /healthz, /runz and /metrics while the
@@ -86,6 +86,24 @@ bench-check:
 	$(GO) run ./cmd/octrace bench check -tol 0.25 BENCH_obs.json .bench-obs-fresh.json
 	@rm -f .bench-obs-fresh.json
 
+# serve-bench drives the formation service with the open-loop load
+# generator (cmd/ocpload: in-process ocpserve over loopback HTTP, mixed
+# delta/route/label-query workload across two tenants) and records
+# throughput plus P² latency quantiles in BENCH_serve.json. Three rounds
+# are min-merged by benchjson — the minimum is the interference-robust
+# sample for the latency lines, same rationale as overhead-bench.
+SERVE_BENCH_CMD = $(GO) run ./cmd/ocpload -rate 2000 -duration 3s -seed 7 -bench
+
+serve-bench:
+	@rm -f .bench-serve-raw.txt
+	@for i in 1 2 3; do \
+		echo "== serve sample $$i"; \
+		$(SERVE_BENCH_CMD) >> .bench-serve-raw.txt || exit 1; \
+	done
+	$(GO) run ./scripts/benchjson < .bench-serve-raw.txt > BENCH_serve.json
+	@rm -f .bench-serve-raw.txt
+	@cat BENCH_serve.json
+
 # overhead-bench measures the counter fabric on/off on the bitset
 # engine at n=512 (the convergence observatory's acceptance workload)
 # and records the pair in BENCH_overhead.json. The off and on legs must
@@ -146,5 +164,6 @@ converge-demo: build
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzFormation$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzRegionOCP$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzServeDelta$$' -fuzztime $(FUZZTIME) ./internal/serve
 
 check: build vet test race

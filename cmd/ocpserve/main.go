@@ -1,0 +1,107 @@
+// Command ocpserve runs the formation service: a long-lived HTTP server
+// owning a pool of incremental formation sessions — one per tenant mesh
+// — and applying fault deltas, label/region queries, route requests and
+// snapshot/restore over a JSON API (see internal/serve).
+//
+// Usage:
+//
+//	ocpserve                               # serve on localhost:8080
+//	ocpserve -addr :9000 -shards 4         # four single-writer shards
+//	ocpserve -batch 200us                  # widen the delta batch window
+//
+// Tenants are sharded onto a fixed ring of single-writer loops;
+// concurrent deltas to one tenant coalesce into shared engine passes
+// (see the DeltaResponse "batched" field). Reads are lock-free against
+// immutable published snapshots.
+//
+// Observability: the tenant API and the telemetry side-car share one
+// listener — /metrics (Prometheus text), /runz, /eventz (SSE trace
+// tail), /convergz and /debug/pprof/ answer next to /api/. -trace FILE
+// writes the NDJSON event trace (serve_delta / serve_batch events, see
+// TRACE.md), -metrics FILE a JSON metrics snapshot at exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ocpmesh/internal/obs"
+	"ocpmesh/internal/obs/costs"
+	obsserve "ocpmesh/internal/obs/serve"
+	"ocpmesh/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ocpserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) (retErr error) {
+	fs := flag.NewFlagSet("ocpserve", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "localhost:8080", "listen address for the tenant API and telemetry")
+		shards   = fs.Int("shards", 0, "single-writer shard loops tenants hash onto (0 = GOMAXPROCS)")
+		batch    = fs.Duration("batch", 0, "delta batch window per shard (0 = drain-only batching)")
+		queue    = fs.Int("queue", 0, "per-shard request queue depth (0 = default 256)")
+		maxNodes = fs.Int("max-nodes", 0, "largest tenant mesh in nodes (0 = default 1<<22)")
+		seed     = fs.Int64("seed", 1, "run manifest seed")
+		drain    = fs.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
+
+		tracePath   = fs.String("trace", "", "write an NDJSON event trace to this file")
+		metricsPath = fs.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	live := obs.NewLiveSink(1024)
+	rec, finish, err := obs.SetupWith(obs.SetupConfig{
+		Run: obs.NewRun("ocpserve", *seed, map[string]any{
+			"addr": *addr, "shards": *shards, "batch": batch.String(), "queue": *queue,
+		}),
+		TracePath: *tracePath, MetricsPath: *metricsPath, Metrics: true,
+		Extra: []obs.Sink{live},
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finish(); ferr != nil && retErr == nil {
+			retErr = ferr
+		}
+	}()
+	fabric := costs.NewFabric(0)
+
+	svc := serve.New(serve.Options{
+		Shards:       *shards,
+		BatchWindow:  *batch,
+		QueueDepth:   *queue,
+		MaxMeshNodes: *maxNodes,
+		Recorder:     rec,
+	})
+	side := obsserve.New(rec, live, fabric)
+	srv := serve.NewServer(svc, side.Handler())
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "ocpserve: serving on http://%s/ (API under /api/, telemetry on /metrics /runz /eventz)\n", bound)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	fmt.Fprintf(out, "ocpserve: draining (deadline %v)\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	return srv.Shutdown(dctx)
+}

@@ -63,6 +63,35 @@ func NewSessionOn(cfg Config, topo *mesh.Topology, faults *grid.PointSet) (*Sess
 	return &Session{cfg: cfg, field: field}, nil
 }
 
+// RestoreSession rebuilds a session from a previously snapshotted
+// fixpoint — the fault set plus both label planes — without re-running
+// the formation: the labels are validated and adopted directly
+// (incremental.Load), so restoring costs O(n) region extraction instead
+// of the full fixpoint iteration. topo, faults and the label slices are
+// cloned or treated read-only by the callee; the session is
+// indistinguishable from one that computed the labels itself, which the
+// serving differential tests pin against a fresh formation.
+func RestoreSession(cfg Config, topo *mesh.Topology, faults *grid.PointSet, unsafe, enabled []bool) (*Session, error) {
+	if cfg.Workers > 1 && cfg.Engine != EngineParallel && cfg.Engine != EngineBitset {
+		return nil, fmt.Errorf("core: session: Workers=%d has no effect with the %s engine; select EngineParallel or EngineBitset, or leave Workers unset",
+			cfg.Workers, cfg.Engine)
+	}
+	field, err := incremental.Load(topo, faults, incremental.Config{
+		Safety:       cfg.Safety,
+		Connectivity: cfg.Connectivity,
+		MaxRounds:    cfg.MaxRounds,
+		Workers:      sessionWorkers(cfg),
+		Bitset:       cfg.Engine == EngineBitset,
+		Recorder:     cfg.Recorder,
+		Costs:        cfg.Costs,
+		Strict:       cfg.StrictInvariants,
+	}, unsafe, enabled)
+	if err != nil {
+		return nil, fmt.Errorf("core: session: %w", err)
+	}
+	return &Session{cfg: cfg, field: field}, nil
+}
+
 // AddFaults marks the given nodes faulty and restabilizes the formation
 // incrementally. Already-faulty points are skipped. On error the trace
 // is flushed so a session abandoned mid-churn still leaves valid NDJSON

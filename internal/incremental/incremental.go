@@ -177,6 +177,63 @@ func New(topo *mesh.Topology, faults *grid.PointSet, cfg Config) (*Field, error)
 	return f, nil
 }
 
+// Load returns a Field wrapped around an already-computed fixpoint:
+// the label vectors of a finished formation (a Session snapshot, a
+// serialized tenant) are adopted as-is instead of re-running both
+// fixpoints, so restoring a large session costs one O(n) validation and
+// region extraction rather than a full formation. The labels must be
+// the fixpoint of a formation on exactly the given fault set; Load
+// rejects label vectors that violate the cheap structural invariants
+// (faulty nodes must be unsafe and disabled, safe nodes enabled), and
+// the serving differential tests pin the rest byte-for-byte. faults and
+// both label slices are cloned, not retained. The initial round counts
+// are unknown to a restored field and report as zero.
+func Load(topo *mesh.Topology, faults *grid.PointSet, cfg Config, unsafe, enabled []bool) (*Field, error) {
+	if faults == nil {
+		faults = grid.NewPointSet()
+	}
+	if len(unsafe) != topo.Size() || len(enabled) != topo.Size() {
+		return nil, fmt.Errorf("incremental: load: label lengths %d/%d, want %d", len(unsafe), len(enabled), topo.Size())
+	}
+	env, err := simnet.NewEnv(topo, faults.Clone(), nil)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < topo.Size(); i++ {
+		p := topo.PointAt(i)
+		switch {
+		case env.Faulty.Has(p) && (!unsafe[i] || enabled[i]):
+			return nil, fmt.Errorf("incremental: load: faulty node %v must be unsafe and disabled", p)
+		case !unsafe[i] && !enabled[i]:
+			return nil, fmt.Errorf("incremental: load: safe node %v must be enabled", p)
+		}
+	}
+	f := &Field{cfg: cfg, topo: topo, faults: env.Faulty}
+	if workers := poolWorkers(cfg, topo.Height()); workers > 1 {
+		f.pool = simnet.NewWorkerPool(workers)
+	}
+	f.unsafe = append([]bool(nil), unsafe...)
+	f.enabled = append([]bool(nil), enabled...)
+	f.blocks = region.FaultyBlocks(topo, f.faults, f.unsafe)
+	f.regions = region.DisabledRegions(topo, f.faults, f.enabled, cfg.Connectivity)
+	if cfg.Bitset {
+		if f.ubits, err = simnet.NewBitField(env, f.unsafe); err != nil {
+			f.Close()
+			return nil, err
+		}
+		env2, err := simnet.NewEnv(topo, f.faults, f.unsafe)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if f.ebits, err = simnet.NewBitField(env2, f.enabled); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
 // poolWorkers sizes the field's shared worker pool: the configured
 // count (0 = GOMAXPROCS) capped at the tile limit (one row band per
 // tile). Single-tile configurations and the sequential engine need no

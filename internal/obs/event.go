@@ -85,6 +85,19 @@ const (
 	// any of the block's nodes changed, Diameter the block's d(B), N its
 	// node count.
 	EBlockConverge = "block_converge"
+	// EServeDelta is one fault delta applied by the formation service
+	// (internal/serve): Tenant is the tenant id, Name the operation
+	// ("add" or "remove"), N the number of points, Frontier the dirty-
+	// frontier seed size, Rounds the total frontier rounds, Changed the
+	// labels that settled differently, DurNS the wall-clock time of the
+	// whole batch the delta rode in. Err is set when the engine pass
+	// failed.
+	EServeDelta = "serve_delta"
+	// EServeBatch summarizes one applied tenant batch (internal/serve):
+	// Tenant is the tenant id, N the number of coalesced delta requests
+	// (1 = no coalescing), Rounds the tenant's delta sequence after the
+	// batch, DurNS the batch wall-clock time.
+	EServeBatch = "serve_batch"
 	// EInvariantViolation reports a failed paper-invariant monitor
 	// (core/monitor.go, simnet frontier): Name is the monitor
 	// ("rounds_bound", "phase_monotone", "frontier_shrink"), Phase the
@@ -137,6 +150,9 @@ type Event struct {
 	Points int     `json:"points,omitempty"`
 	Value  float64 `json:"value,omitempty"`
 	OK     bool    `json:"ok,omitempty"`
+
+	// Tenant is the serving tenant id on serve_* events.
+	Tenant string `json:"tenant,omitempty"`
 
 	Router  string `json:"router,omitempty"`
 	Model   string `json:"model,omitempty"`

@@ -65,10 +65,25 @@ type LiveSink struct {
 	next    int // ring write cursor
 	filled  bool
 	status  LiveStatus
-	subs    map[int]chan Event
+	subs    map[int]*liveSub
 	subSeq  int
 	dropped int64
 }
+
+// liveSub is one subscriber: its channel and how many events it has
+// missed because the channel was full when they were emitted.
+type liveSub struct {
+	ch      chan Event
+	dropped int64
+}
+
+// MaxSubscriberBuffer bounds the channel buffer one Subscribe call can
+// request. A serving process may hold many concurrent SSE tails; an
+// unbounded per-subscriber buffer would let one slow consumer pin an
+// arbitrary amount of the emitter's memory — backpressure is handled by
+// dropping (and counting) instead, never by buffering without bound or
+// blocking Emit.
+const MaxSubscriberBuffer = 4096
 
 // NewLiveSink returns a live sink retaining the last size events
 // (minimum 1; a typical CLI uses a few hundred).
@@ -78,7 +93,7 @@ func NewLiveSink(size int) *LiveSink {
 	}
 	return &LiveSink{
 		ring: make([]Event, size),
-		subs: make(map[int]chan Event),
+		subs: make(map[int]*liveSub),
 	}
 }
 
@@ -91,10 +106,11 @@ func (s *LiveSink) Emit(e Event) {
 		s.next, s.filled = 0, true
 	}
 	s.update(e)
-	for _, ch := range s.subs {
+	for _, sub := range s.subs {
 		select {
-		case ch <- e:
+		case sub.ch <- e:
 		default:
+			sub.dropped++
 			s.dropped++
 		}
 	}
@@ -159,8 +175,8 @@ func (s *LiveSink) Flush() error {
 	for {
 		s.mu.Lock()
 		pending := 0
-		for _, ch := range s.subs {
-			pending += len(ch)
+		for _, sub := range s.subs {
+			pending += len(sub.ch)
 		}
 		s.mu.Unlock()
 		if pending == 0 || time.Now().After(deadline) {
@@ -175,8 +191,8 @@ func (s *LiveSink) Flush() error {
 func (s *LiveSink) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for id, ch := range s.subs {
-		close(ch)
+	for id, sub := range s.subs {
+		close(sub.ch)
 		delete(s.subs, id)
 	}
 	return nil
@@ -217,21 +233,37 @@ func (s *LiveSink) Recent(n int) []Event {
 	return out
 }
 
-// Subscribe registers a live tail with the given channel buffer and
-// returns its id and receive channel. The channel is closed by Close;
-// events emitted while the buffer is full are dropped for this
-// subscriber only.
+// Subscribe registers a live tail with the given channel buffer —
+// clamped to [1, MaxSubscriberBuffer] — and returns its id and receive
+// channel. The channel is closed by Close; events emitted while the
+// buffer is full are dropped for this subscriber only (counted, see
+// SubscriberDropped) rather than blocking the emitter.
 func (s *LiveSink) Subscribe(buf int) (int, <-chan Event) {
 	if buf < 1 {
 		buf = 1
+	}
+	if buf > MaxSubscriberBuffer {
+		buf = MaxSubscriberBuffer
 	}
 	ch := make(chan Event, buf)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.subSeq++
 	id := s.subSeq
-	s.subs[id] = ch
+	s.subs[id] = &liveSub{ch: ch}
 	return id, ch
+}
+
+// SubscriberDropped returns how many events the given subscriber has
+// missed so far because its buffer was full. Unknown (or already
+// unsubscribed) ids report 0.
+func (s *LiveSink) SubscriberDropped(id int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sub, ok := s.subs[id]; ok {
+		return sub.dropped
+	}
+	return 0
 }
 
 // Unsubscribe removes a subscriber; its channel is closed. Unknown ids
@@ -239,8 +271,8 @@ func (s *LiveSink) Subscribe(buf int) (int, <-chan Event) {
 func (s *LiveSink) Unsubscribe(id int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if ch, ok := s.subs[id]; ok {
-		close(ch)
+	if sub, ok := s.subs[id]; ok {
+		close(sub.ch)
 		delete(s.subs, id)
 	}
 }

@@ -220,3 +220,99 @@ func TestLiveSinkSubscribe(t *testing.T) {
 		t.Fatal("channel should be closed after Close")
 	}
 }
+
+// TestLiveSinkSlowConsumerBackpressure pins the serving-rate contract
+// of the live sink: a consumer slower than the emitter never blocks or
+// slows Emit, its misses are counted per subscriber, and a fast
+// consumer sharing the sink sees every event.
+func TestLiveSinkSlowConsumerBackpressure(t *testing.T) {
+	s := NewLiveSink(64)
+	slowID, slow := s.Subscribe(4)
+	fastID, fast := s.Subscribe(MaxSubscriberBuffer)
+
+	const n = 2000
+	done := make(chan time.Duration)
+	go func() {
+		start := time.Now()
+		for i := 1; i <= n; i++ {
+			s.Emit(Event{Seq: int64(i), Type: ERound})
+		}
+		done <- time.Since(start)
+	}()
+
+	// The slow consumer drains a trickle while the emitter floods. It
+	// stops asking for more once the emitter is done — the stream only
+	// closes on Close, so an unconditional read could wait forever.
+	var slowGot []int64
+	var elapsed time.Duration
+	emitting := true
+	for emitting && len(slowGot) < 8 {
+		select {
+		case e := <-slow:
+			slowGot = append(slowGot, e.Seq)
+			time.Sleep(100 * time.Microsecond)
+		case elapsed = <-done:
+			emitting = false
+		}
+	}
+	if emitting {
+		elapsed = <-done
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("emitting %d events with a slow subscriber took %v; Emit must never block", n, elapsed)
+	}
+
+	// The fast consumer saw everything, in order.
+	var fastGot int
+	for len(fast) > 0 {
+		e := <-fast
+		fastGot++
+		if e.Seq != int64(fastGot) {
+			t.Fatalf("fast subscriber event %d has seq %d; events must not reorder", fastGot, e.Seq)
+		}
+	}
+	if fastGot != n {
+		t.Fatalf("fast subscriber got %d/%d events", fastGot, n)
+	}
+	if d := s.SubscriberDropped(fastID); d != 0 {
+		t.Fatalf("fast subscriber dropped %d events", d)
+	}
+
+	// The slow consumer's misses are accounted: everything it did see
+	// plus its drops plus what is still buffered covers the emission.
+	dropped := s.SubscriberDropped(slowID)
+	if dropped == 0 {
+		t.Fatal("slow subscriber should have dropped events")
+	}
+	for len(slow) > 0 {
+		e := <-slow
+		slowGot = append(slowGot, e.Seq)
+	}
+	if got := int64(len(slowGot)) + dropped; got != n {
+		t.Fatalf("slow subscriber: seen %d + dropped %d = %d, want %d", len(slowGot), dropped, got, n)
+	}
+	for i := 1; i < len(slowGot); i++ {
+		if slowGot[i] <= slowGot[i-1] {
+			t.Fatalf("slow subscriber saw seq %d after %d; drops must not reorder", slowGot[i], slowGot[i-1])
+		}
+	}
+	if st := s.Status(); st.Dropped != dropped {
+		t.Fatalf("Status().Dropped = %d, want %d", st.Dropped, dropped)
+	}
+	_ = s.Close()
+}
+
+// TestLiveSinkSubscribeBufferClamp pins the MaxSubscriberBuffer bound:
+// a subscriber cannot make the emitter hold more than the cap.
+func TestLiveSinkSubscribeBufferClamp(t *testing.T) {
+	s := NewLiveSink(1)
+	id, ch := s.Subscribe(1 << 30)
+	if got := cap(ch); got != MaxSubscriberBuffer {
+		t.Fatalf("Subscribe(1<<30) buffer cap = %d, want clamp to %d", got, MaxSubscriberBuffer)
+	}
+	s.Unsubscribe(id)
+	if d := s.SubscriberDropped(id); d != 0 {
+		t.Fatalf("unknown subscriber dropped = %d, want 0", d)
+	}
+	_ = s.Close()
+}

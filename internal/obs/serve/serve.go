@@ -179,7 +179,10 @@ func (s *Server) eventz(w http.ResponseWriter, r *http.Request) {
 
 	// Subscribe before replaying so no event can fall in the gap; the
 	// replayed tail may then overlap the live stream by a few events,
-	// which SSE consumers dedupe on seq.
+	// which SSE consumers dedupe on seq. The buffer is bounded (the sink
+	// clamps it further): a consumer slower than the emitter misses
+	// events rather than stalling the run, and learns about each gap via
+	// an SSE comment carrying the running drop count.
 	id, ch := s.live.Subscribe(256)
 	defer s.live.Unsubscribe(id)
 	if n, err := strconv.Atoi(r.URL.Query().Get("replay")); err == nil && n > 0 {
@@ -189,6 +192,7 @@ func (s *Server) eventz(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	var reported int64
 	for {
 		select {
 		case e, ok := <-ch:
@@ -197,6 +201,13 @@ func (s *Server) eventz(w http.ResponseWriter, r *http.Request) {
 			}
 			if !write(e) {
 				return
+			}
+			if d := s.live.SubscriberDropped(id); d > reported {
+				reported = d
+				if _, err := fmt.Fprintf(w, ": dropped %d\n\n", d); err != nil {
+					return
+				}
+				fl.Flush()
 			}
 		case <-r.Context().Done():
 			return

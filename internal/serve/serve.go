@@ -1,0 +1,781 @@
+// Package serve is the formation-as-a-service layer: a long-running
+// multi-tenant service owning a pool of core.Sessions (one per
+// tenant/mesh), built to take the repository from "library" to
+// continuously served traffic. It exposes create/delete of tenant
+// meshes, fault add/remove deltas, region/label queries, route requests
+// and a per-tenant event stream, layered on the observability side-car
+// (internal/obs/serve) for metrics, liveness and trace tailing.
+//
+// Concurrency model — three rules carry all of it:
+//
+//   - Single writer per shard. Tenants are sharded across a fixed ring
+//     of worker goroutines (FNV of the tenant id); all mutations of a
+//     tenant's session — deltas, restore bookkeeping, teardown — run on
+//     its shard's loop, so the session itself needs no locking.
+//   - Batched deltas. A shard drains every queued request before
+//     applying: concurrent deltas to the same mesh coalesce, and
+//     consecutive same-op runs collapse into ONE bitset frontier pass
+//     (one AddFaults/RemoveFaults call) while strictly preserving each
+//     delta's order and effect. An optional batch window widens the
+//     coalescing under open-loop load.
+//   - Immutable snapshots. After each batch the shard publishes a fresh
+//     core.Result behind an atomic pointer; queries and routes read the
+//     snapshot and never touch the session, so readers always observe a
+//     consistent formation (no torn labels mid-pass) at a known
+//     sequence number.
+//
+// Tenant state serializes to a TenantSnapshot — the fault set plus both
+// label planes packed 64 labels per word (grid.BitGrid) — and restores
+// through core.RestoreSession without re-running the fixpoints. The
+// serving differential tests pin served state byte-identical to a fresh
+// core.Form on the same fault set, including across snapshot/restore
+// round-trips.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ocpmesh/internal/core"
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/obs"
+	"ocpmesh/internal/routing"
+)
+
+// Errors the service reports; the HTTP layer maps them onto status
+// codes.
+var (
+	ErrClosed         = errors.New("serve: service closed")
+	ErrTenantNotFound = errors.New("serve: tenant not found")
+	ErrTenantExists   = errors.New("serve: tenant exists with different state")
+	ErrTooLarge       = errors.New("serve: mesh exceeds the configured node limit")
+	ErrBadDelta       = errors.New("serve: bad delta")
+)
+
+// Options parameterizes a Service. The zero value serves: GOMAXPROCS
+// shards, no batch window (drain-only coalescing), a 4M-node mesh cap.
+type Options struct {
+	// Shards is the worker-pool ring size — the number of single-writer
+	// loops tenants are hashed across (0 = GOMAXPROCS).
+	Shards int
+	// BatchWindow, when positive, is how long a shard keeps collecting
+	// after the first delta of a batch before applying, widening
+	// coalescing under open-loop load. Zero applies as soon as the queue
+	// is drained (lowest latency, still coalesces bursts).
+	BatchWindow time.Duration
+	// QueueDepth is the per-shard request buffer (0 = 256).
+	QueueDepth int
+	// MaxMeshNodes caps Width*Height of a tenant mesh (0 = 1<<22).
+	MaxMeshNodes int
+	// SubscriberBuffer is the per-subscriber event buffer of tenant
+	// event streams (0 = 64). A subscriber that falls behind loses
+	// events — counted, never buffered unboundedly — rather than
+	// stalling the shard loop.
+	SubscriberBuffer int
+	// Recorder, when non-nil, receives serve_* trace events and the
+	// serve_* latency/batch metrics (P² quantiles via the registry).
+	Recorder *obs.Recorder
+}
+
+func (o Options) shards() int {
+	if o.Shards > 0 {
+		return o.Shards
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) queueDepth() int {
+	if o.QueueDepth > 0 {
+		return o.QueueDepth
+	}
+	return 256
+}
+
+func (o Options) maxNodes() int {
+	if o.MaxMeshNodes > 0 {
+		return o.MaxMeshNodes
+	}
+	return 1 << 22
+}
+
+func (o Options) subBuffer() int {
+	if o.SubscriberBuffer > 0 {
+		return o.SubscriberBuffer
+	}
+	return 64
+}
+
+// Event is one per-tenant formation event: exactly one is published to
+// the tenant's subscribers per applied delta request (requests that
+// coalesced into a shared engine pass carry the same delta statistics),
+// mirrored as a serve_delta trace event per engine pass.
+type Event struct {
+	// Tenant is the tenant id, Seq the snapshot sequence the delta
+	// produced (queries at or after Seq observe its effect).
+	Tenant string `json:"tenant"`
+	Seq    uint64 `json:"seq"`
+	// Op, Points, Frontier, Rounds, Changed summarize the applied delta
+	// (see incremental.Delta).
+	Op       string `json:"op"`
+	Points   int    `json:"points"`
+	Frontier int    `json:"frontier,omitempty"`
+	Rounds   int    `json:"rounds,omitempty"`
+	Changed  int    `json:"changed,omitempty"`
+	// Batched is how many queued requests the delta's batch coalesced
+	// (1 = no coalescing happened).
+	Batched int `json:"batched,omitempty"`
+	// DurNS is the wall-clock time of the whole batch apply.
+	DurNS int64 `json:"dur_ns,omitempty"`
+}
+
+// Snapshot is one published formation state: an immutable core.Result
+// plus the delta sequence number it reflects. Readers share it; nothing
+// reachable from it is ever mutated after publication.
+type Snapshot struct {
+	// Seq counts applied delta requests: 0 is the initial formation,
+	// and the snapshot published after the batch containing request k
+	// has Seq >= k.
+	Seq uint64
+	// Res is the formation result, interchangeable with a from-scratch
+	// core.Form on the tenant's current fault set.
+	Res *core.Result
+}
+
+// Tenant is one served mesh: a core.Session owned by a shard loop, the
+// atomically published snapshot readers use, and the tenant's event
+// subscribers.
+type Tenant struct {
+	id    string
+	cfg   core.Config
+	tcfg  TenantConfig
+	svc   *Service
+	shard *shard
+
+	// session is owned by the shard loop after the tenant is published;
+	// only Create/Restore touch it before that.
+	session *core.Session
+
+	snap atomic.Pointer[Snapshot]
+	// seq is the count of applied delta requests; only the shard loop
+	// writes it.
+	seq uint64
+	// deleted flips once the shard loop has torn the session down; ops
+	// that raced past the registry lookup observe it and fail.
+	deleted atomic.Bool
+
+	subMu   sync.Mutex
+	subs    map[int]chan Event
+	subSeq  int
+	dropped atomic.Int64
+}
+
+// ID returns the tenant id.
+func (t *Tenant) ID() string { return t.id }
+
+// Config returns the tenant's serving config (the JSON form it was
+// created with).
+func (t *Tenant) Config() TenantConfig { return t.tcfg }
+
+// Snapshot returns the tenant's current published formation snapshot.
+// It is immutable and stays valid across later deltas.
+func (t *Tenant) Snapshot() *Snapshot { return t.snap.Load() }
+
+// Dropped returns how many events slow subscribers of this tenant have
+// missed.
+func (t *Tenant) Dropped() int64 { return t.dropped.Load() }
+
+// Subscribe registers an event-stream subscriber with the service's
+// per-subscriber buffer. Events published while the buffer is full are
+// dropped for this subscriber only (counted in Dropped), never
+// buffered without bound. The channel closes on Unsubscribe and on
+// tenant deletion.
+func (t *Tenant) Subscribe() (int, <-chan Event) {
+	ch := make(chan Event, t.svc.opts.subBuffer())
+	t.subMu.Lock()
+	defer t.subMu.Unlock()
+	t.subSeq++
+	id := t.subSeq
+	if t.subs == nil {
+		t.subs = make(map[int]chan Event)
+	}
+	t.subs[id] = ch
+	return id, ch
+}
+
+// Unsubscribe removes a subscriber and closes its channel. Unknown ids
+// are ignored.
+func (t *Tenant) Unsubscribe(id int) {
+	t.subMu.Lock()
+	defer t.subMu.Unlock()
+	if ch, ok := t.subs[id]; ok {
+		close(ch)
+		delete(t.subs, id)
+	}
+}
+
+// publish fans one event out to the subscribers, dropping per-
+// subscriber on full buffers rather than blocking the shard loop or
+// buffering without bound. Called from the shard loop only.
+func (t *Tenant) publish(e Event) {
+	var dropped int64
+	t.subMu.Lock()
+	for _, ch := range t.subs {
+		select {
+		case ch <- e:
+		default:
+			dropped++
+		}
+	}
+	t.subMu.Unlock()
+	if dropped > 0 {
+		t.dropped.Add(dropped)
+		if rec := t.svc.opts.Recorder; rec != nil {
+			rec.Counter("serve_sse_dropped").Add(dropped)
+		}
+	}
+}
+
+func (t *Tenant) closeSubs() {
+	t.subMu.Lock()
+	defer t.subMu.Unlock()
+	for id, ch := range t.subs {
+		close(ch)
+		delete(t.subs, id)
+	}
+}
+
+// request is one unit of shard-loop work.
+type request struct {
+	t *Tenant
+	// op is opAdd/opRemove for deltas, opClose for teardown.
+	op     string
+	points []grid.Point
+	reply  chan Response
+}
+
+const (
+	opAdd    = "add"
+	opRemove = "remove"
+	opClose  = "close"
+)
+
+// Response answers one applied delta request.
+type Response struct {
+	// Seq is the snapshot sequence that includes the request's effect.
+	Seq uint64
+	// Delta is the engine pass the request was part of; coalesced
+	// requests of one run share it.
+	Delta core.Delta
+	// Batched is how many requests the tenant's batch carried.
+	Batched int
+	Err     error
+}
+
+// shard is one single-writer loop plus its queue.
+type shard struct {
+	ch   chan request
+	stop chan struct{}
+}
+
+// Service is the multi-tenant formation service.
+type Service struct {
+	opts   Options
+	shards []*shard
+
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+	closed  bool
+	// inflight counts enqueues that hold a guarantee the shard loops
+	// are still consuming; Close waits for them before stopping loops.
+	inflight sync.WaitGroup
+	loops    sync.WaitGroup
+}
+
+// New starts a service: its shard loops run until Close.
+func New(opts Options) *Service {
+	s := &Service{opts: opts, tenants: make(map[string]*Tenant)}
+	n := opts.shards()
+	s.shards = make([]*shard, n)
+	for i := range s.shards {
+		sh := &shard{ch: make(chan request, opts.queueDepth()), stop: make(chan struct{})}
+		s.shards[i] = sh
+		s.loops.Add(1)
+		go func() {
+			defer s.loops.Done()
+			s.run(sh)
+		}()
+	}
+	return s
+}
+
+// Close drains and stops the service: new work is refused, every
+// queued request is applied and answered, every session is closed.
+// Safe to call once.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	tenants := make([]*Tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.tenants = make(map[string]*Tenant)
+	s.mu.Unlock()
+
+	// Wait out enqueues that won the race against the closed flag, then
+	// stop the loops; each loop drains its queue before exiting, so
+	// every in-flight delta still applies and answers.
+	s.inflight.Wait()
+	for _, t := range tenants {
+		t.shard.ch <- request{t: t, op: opClose, reply: make(chan Response, 1)}
+	}
+	for _, sh := range s.shards {
+		close(sh.stop)
+	}
+	s.loops.Wait()
+	return nil
+}
+
+// shardFor hashes a tenant id onto the ring.
+func (s *Service) shardFor(id string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// Create registers a tenant and computes its initial formation
+// synchronously (outside the registry lock, so serving of other
+// tenants never stalls behind a large create). Creation is idempotent:
+// re-creating an existing tenant with an identical config and current
+// fault set returns the existing tenant (created=false); any
+// difference is ErrTenantExists.
+func (s *Service) Create(id string, tcfg TenantConfig, faults []grid.Point) (t *Tenant, created bool, err error) {
+	if id == "" {
+		return nil, false, fmt.Errorf("%w: empty tenant id", ErrBadDelta)
+	}
+	cfg, err := tcfg.CoreConfig()
+	if err != nil {
+		return nil, false, err
+	}
+	if cfg.Width*cfg.Height > s.opts.maxNodes() {
+		return nil, false, fmt.Errorf("%w: %dx%d > %d nodes", ErrTooLarge, cfg.Width, cfg.Height, s.opts.maxNodes())
+	}
+	fs := grid.PointSetOf(faults...)
+	for _, p := range faults {
+		if p.X < 0 || p.X >= cfg.Width || p.Y < 0 || p.Y >= cfg.Height {
+			return nil, false, fmt.Errorf("%w: fault %v outside %dx%d", ErrBadDelta, p, cfg.Width, cfg.Height)
+		}
+	}
+	// sameAs reports whether an existing tenant makes this create a
+	// no-op retry (identical config and fault set).
+	sameAs := func(old *Tenant) (t *Tenant, created bool, err error) {
+		if old.tcfg == tcfg && old.Snapshot().Res.Faults.Equal(fs) {
+			return old, false, nil
+		}
+		return nil, false, fmt.Errorf("%w: %q", ErrTenantExists, id)
+	}
+
+	s.mu.RLock()
+	closed := s.closed
+	old := s.tenants[id]
+	s.mu.RUnlock()
+	if closed {
+		return nil, false, ErrClosed
+	}
+	if old != nil {
+		return sameAs(old)
+	}
+
+	session, err := core.NewSession(cfg, faults)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		session.Close()
+		return nil, false, ErrClosed
+	}
+	if old := s.tenants[id]; old != nil {
+		s.mu.Unlock()
+		session.Close()
+		return sameAs(old)
+	}
+	t = s.adopt(id, tcfg, cfg, session)
+	s.mu.Unlock()
+	return t, true, nil
+}
+
+// Restore registers a tenant from a serialized snapshot, adopting the
+// packed label planes without re-running the formation. The tenant must
+// not already exist.
+func (s *Service) Restore(id string, snap *TenantSnapshot) (*Tenant, error) {
+	if id == "" {
+		id = snap.ID
+	}
+	if id == "" {
+		return nil, fmt.Errorf("%w: empty tenant id", ErrBadDelta)
+	}
+	session, cfg, err := snap.RestoreSession(s.opts.maxNodes())
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		session.Close()
+		return nil, ErrClosed
+	}
+	if _, ok := s.tenants[id]; ok {
+		session.Close()
+		return nil, fmt.Errorf("%w: %q", ErrTenantExists, id)
+	}
+	t := s.adopt(id, snap.Config, cfg, session)
+	t.seq = snap.Seq
+	t.snap.Store(&Snapshot{Seq: snap.Seq, Res: session.Result()})
+	return t, nil
+}
+
+// adopt wires a freshly built session into the registry. Caller holds
+// s.mu.
+func (s *Service) adopt(id string, tcfg TenantConfig, cfg core.Config, session *core.Session) *Tenant {
+	t := &Tenant{id: id, cfg: cfg, tcfg: tcfg, svc: s, shard: s.shardFor(id), session: session}
+	t.snap.Store(&Snapshot{Seq: 0, Res: session.Result()})
+	s.tenants[id] = t
+	if rec := s.opts.Recorder; rec != nil {
+		rec.Counter("serve_tenants_created").Inc()
+		rec.Gauge("serve_tenants").Set(float64(len(s.tenants)))
+	}
+	return t
+}
+
+// Delete removes a tenant: it leaves the registry immediately (no new
+// work can target it) and its session teardown is serialized behind
+// any still-queued deltas on the shard loop.
+func (s *Service) Delete(id string) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	t, ok := s.tenants[id]
+	if ok {
+		delete(s.tenants, id)
+		if rec := s.opts.Recorder; rec != nil {
+			rec.Gauge("serve_tenants").Set(float64(len(s.tenants)))
+		}
+	}
+	if ok {
+		s.inflight.Add(1)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrTenantNotFound, id)
+	}
+	defer s.inflight.Done()
+	reply := make(chan Response, 1)
+	t.shard.ch <- request{t: t, op: opClose, reply: reply}
+	<-reply
+	return nil
+}
+
+// Tenant looks a tenant up.
+func (s *Service) Tenant(id string) (*Tenant, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrTenantNotFound, id)
+	}
+	return t, nil
+}
+
+// Tenants returns the live tenant ids (unordered).
+func (s *Service) Tenants() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tenants))
+	for id := range s.tenants {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Apply submits one fault delta (op "add" or "remove") and blocks until
+// the batch containing it has been applied and its snapshot published.
+// The returned response carries the snapshot sequence that includes the
+// delta's effect. Points are validated against the tenant's mesh before
+// anything is enqueued.
+func (s *Service) Apply(id, op string, points []grid.Point) (Response, error) {
+	if op != opAdd && op != opRemove {
+		return Response{}, fmt.Errorf("%w: op %q (want add or remove)", ErrBadDelta, op)
+	}
+	if len(points) == 0 {
+		return Response{}, fmt.Errorf("%w: no points", ErrBadDelta)
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Response{}, ErrClosed
+	}
+	t, ok := s.tenants[id]
+	if !ok {
+		s.mu.RUnlock()
+		return Response{}, fmt.Errorf("%w: %q", ErrTenantNotFound, id)
+	}
+	topo := t.Snapshot().Res.Topo
+	for _, p := range points {
+		if !topo.Contains(p) {
+			s.mu.RUnlock()
+			return Response{}, fmt.Errorf("%w: point %v outside %v", ErrBadDelta, p, topo)
+		}
+	}
+	// Count the enqueue under the read lock: Close waits for it before
+	// stopping the loops, so the send below can never strand.
+	s.inflight.Add(1)
+	s.mu.RUnlock()
+	defer s.inflight.Done()
+
+	reply := make(chan Response, 1)
+	t.shard.ch <- request{t: t, op: op, points: points, reply: reply}
+	resp := <-reply
+	return resp, resp.Err
+}
+
+// Route answers one route query off the tenant's current snapshot.
+// router is "xy", "detour" or "bfs" (the shortest-path oracle); model
+// is a routing fault model name ("blocks", "regions", "faults-only").
+func (t *Tenant) Route(src, dst grid.Point, modelName, routerName string) (routing.Path, *Snapshot, error) {
+	snap := t.Snapshot()
+	model, err := ParseModel(modelName)
+	if err != nil {
+		return nil, snap, err
+	}
+	g := routing.NewGraph(snap.Res, model)
+	var (
+		path routing.Path
+		ok   bool
+	)
+	switch routerName {
+	case "", "detour":
+		path, err = routing.Detour{}.Route(g, src, dst)
+	case "xy":
+		path, err = routing.XY{}.Route(g, src, dst)
+	case "bfs":
+		if path, ok = g.ShortestPath(src, dst); !ok {
+			err = fmt.Errorf("routing: bfs: no path %v -> %v", src, dst)
+		}
+	default:
+		return nil, snap, fmt.Errorf("%w: unknown router %q (want xy, detour, or bfs)", ErrBadDelta, routerName)
+	}
+	if err != nil {
+		return nil, snap, err
+	}
+	return path, snap, nil
+}
+
+// ParseModel maps a fault-model name onto routing.Model; empty selects
+// the paper's refined region model.
+func ParseModel(name string) (routing.Model, error) {
+	switch name {
+	case "", "regions":
+		return routing.ModelRegions, nil
+	case "blocks":
+		return routing.ModelBlocks, nil
+	case "faults-only", "faults":
+		return routing.ModelFaultsOnly, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown model %q (want blocks, regions, or faults-only)", ErrBadDelta, name)
+	}
+}
+
+// run is one shard's single-writer loop: collect a batch, apply it,
+// repeat until stopped and drained.
+func (s *Service) run(sh *shard) {
+	for {
+		batch := s.collect(sh)
+		if batch == nil {
+			return
+		}
+		s.apply(batch)
+	}
+}
+
+// collect blocks for the batch's first request, optionally keeps
+// collecting for the batch window, then drains whatever else is queued.
+// It returns nil when the shard is stopped and its queue empty.
+func (s *Service) collect(sh *shard) []request {
+	var first request
+	select {
+	case first = <-sh.ch:
+	case <-sh.stop:
+		select {
+		case first = <-sh.ch:
+		default:
+			return nil
+		}
+	}
+	batch := []request{first}
+	if w := s.opts.BatchWindow; w > 0 {
+		timer := time.NewTimer(w)
+	window:
+		for {
+			select {
+			case r := <-sh.ch:
+				batch = append(batch, r)
+			case <-timer.C:
+				break window
+			case <-sh.stop:
+				break window
+			}
+		}
+		timer.Stop()
+	}
+	for {
+		select {
+		case r := <-sh.ch:
+			batch = append(batch, r)
+		default:
+			return batch
+		}
+	}
+}
+
+// apply executes one batch: requests are grouped by tenant in arrival
+// order, consecutive same-op delta runs per tenant collapse into one
+// engine pass, and each tenant publishes exactly one new snapshot per
+// batch. Every request is answered.
+func (s *Service) apply(batch []request) {
+	byTenant := make(map[*Tenant][]request, 1)
+	order := make([]*Tenant, 0, 1)
+	for _, r := range batch {
+		if _, ok := byTenant[r.t]; !ok {
+			order = append(order, r.t)
+		}
+		byTenant[r.t] = append(byTenant[r.t], r)
+	}
+	for _, t := range order {
+		s.applyTenant(t, byTenant[t])
+	}
+	if rec := s.opts.Recorder; rec != nil {
+		rec.Histogram("serve_batch_requests", nil).Observe(float64(len(batch)))
+	}
+}
+
+// applyTenant runs one tenant's slice of a batch on its session.
+func (s *Service) applyTenant(t *Tenant, reqs []request) {
+	if t.deleted.Load() {
+		for _, r := range reqs {
+			r.reply <- Response{Err: fmt.Errorf("%w: %q", ErrTenantNotFound, t.id)}
+		}
+		return
+	}
+	rec := s.opts.Recorder
+	start := time.Now()
+	mutated := false
+	type done struct {
+		reqs  []request
+		delta core.Delta
+		err   error
+	}
+	var dones []done
+
+	// Coalesce consecutive same-op runs into one engine pass each —
+	// order between add and remove runs is preserved exactly, so every
+	// delta's effect lands as if applied alone. A close op ends the
+	// tenant's service; anything queued behind it in the same batch was
+	// enqueued after the tenant left the registry and fails like any
+	// other post-delete request.
+	for i := 0; i < len(reqs); {
+		r := reqs[i]
+		if r.op == opClose {
+			t.deleted.Store(true)
+			t.session.Close()
+			t.closeSubs()
+			r.reply <- Response{Seq: t.seq}
+			for _, late := range reqs[i+1:] {
+				late.reply <- Response{Err: fmt.Errorf("%w: %q", ErrTenantNotFound, t.id)}
+			}
+			break
+		}
+		j := i + 1
+		for j < len(reqs) && reqs[j].op == r.op {
+			j++
+		}
+		points := r.points
+		if j > i+1 {
+			points = make([]grid.Point, 0, len(points)*(j-i))
+			for _, rr := range reqs[i:j] {
+				points = append(points, rr.points...)
+			}
+		}
+		var (
+			d   core.Delta
+			err error
+		)
+		if r.op == opAdd {
+			d, err = t.session.AddFaults(points...)
+		} else {
+			d, err = t.session.RemoveFaults(points...)
+		}
+		if err == nil {
+			mutated = true
+			t.seq += uint64(j - i)
+		}
+		dones = append(dones, done{reqs: reqs[i:j], delta: d, err: err})
+		i = j
+	}
+	// One snapshot per batch: all of the batch's effects become visible
+	// atomically at the new sequence number.
+	seq := t.seq
+	if mutated {
+		t.snap.Store(&Snapshot{Seq: seq, Res: t.session.Result()})
+	}
+	dur := time.Since(start)
+	for _, dn := range dones {
+		ev := Event{
+			Tenant: t.id, Seq: seq, Op: dn.delta.Op, Points: dn.delta.Points,
+			Frontier: dn.delta.Frontier, Rounds: dn.delta.Rounds(),
+			Changed: dn.delta.ChangedPhase1 + dn.delta.ChangedPhase2,
+			Batched: len(reqs), DurNS: dur.Nanoseconds(),
+		}
+		// One stream event per applied request — coalesced requests share
+		// their run's delta stats — so a subscriber (plus its drop count)
+		// can account for every request exactly once.
+		if dn.err == nil {
+			for range dn.reqs {
+				t.publish(ev)
+			}
+		}
+		if rec != nil {
+			e := obs.Event{
+				Type: obs.EServeDelta, Tenant: t.id, Name: dn.delta.Op,
+				N: dn.delta.Points, Frontier: dn.delta.Frontier,
+				Rounds: dn.delta.Rounds(), Changed: ev.Changed,
+				DurNS: dur.Nanoseconds(),
+			}
+			if dn.err != nil {
+				e.Err = dn.err.Error()
+			}
+			rec.Emit(e)
+		}
+		for _, r := range dn.reqs {
+			r.reply <- Response{Seq: seq, Delta: dn.delta, Batched: len(reqs), Err: dn.err}
+		}
+	}
+	if rec != nil && mutated {
+		rec.Counter("serve_deltas").Add(int64(len(reqs)))
+		rec.Counter("serve_batches").Inc()
+		rec.Histogram("serve_batch_size", nil).Observe(float64(len(reqs)))
+		rec.Histogram("serve_delta_ns", obs.NSBuckets).Observe(float64(dur.Nanoseconds()))
+		rec.Emit(obs.Event{Type: obs.EServeBatch, Tenant: t.id, N: len(reqs), Rounds: int(seq), DurNS: dur.Nanoseconds()})
+	}
+}
