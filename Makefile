@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: build vet test race bench churn-bench parallel-bench bitset-bench bitset-scale-bench bench-check overhead-bench overhead-gate converge-demo serve-demo serve-bench fuzz check
+.PHONY: build vet test race bench churn-bench parallel-bench bitset-bench bitset-scale-bench bench-check overhead-bench overhead-gate latency-overhead converge-demo serve-demo serve-bench fuzz check
 
 # serve-demo smoke-tests the live telemetry side-car: it starts a real
 # sweep with -serve, scrapes /healthz, /runz and /metrics while the
@@ -144,6 +144,26 @@ overhead-gate:
 	$(GO) run ./cmd/octrace bench overhead .bench-overhead-fresh.json
 	$(GO) run ./cmd/octrace bench check -tol 0.25 BENCH_overhead.json .bench-overhead-fresh.json
 	@rm -f .bench-overhead-fresh.json
+
+# latency-overhead gates the request-latency-attribution budget: the
+# served delta path with stage stamping, serve_request emission and
+# the flight-recorder ring (stages=on) must stay within 5% of its
+# stages=off twin (the -stages=false baseline). Same interleaved
+# sampling + min-merge discipline as overhead-bench — see that
+# target's comment for why -count-style consecutive legs are wrong.
+LATENCY_BENCH_CMD = $(GO) test -run '^$$' -bench 'BenchmarkServeStages' -benchmem -benchtime 200x ./internal/serve
+LATENCY_ROUNDS = 1 2 3 4 5 6 7 8
+
+latency-overhead:
+	@rm -f .bench-latency-raw.txt
+	@for i in $(LATENCY_ROUNDS); do \
+		echo "== latency sample $$i"; \
+		$(LATENCY_BENCH_CMD) >> .bench-latency-raw.txt || exit 1; \
+	done
+	$(GO) run ./scripts/benchjson < .bench-latency-raw.txt > .bench-latency-fresh.json
+	@rm -f .bench-latency-raw.txt
+	$(GO) run ./cmd/octrace bench overhead -max 0.05 .bench-latency-fresh.json
+	@rm -f .bench-latency-fresh.json
 
 # converge-demo records a paper-density sweep with the counter fabric
 # and strict invariant monitors on every engine, then renders the

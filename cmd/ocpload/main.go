@@ -20,9 +20,19 @@
 // of the X8 experiment).
 //
 // Latencies are measured per kind with the observability layer's P²
-// histograms; -bench prints go-test-style benchmark lines (inverse
-// throughput plus p50/p99 per kind) that scripts/benchjson converts
-// into BENCH_serve.json for the `octrace bench check` gate.
+// histograms. Delta responses additionally carry the server-side stage
+// breakdown (queue / batch / compute / publish — see TRACE.md), which
+// ocpload folds into its own histograms and reports next to the
+// client-observed latency, so "the server is fast but the wire is not"
+// and "the queue is the problem" are separable from the client side.
+// The target server must advertise the "stages" feature in its create
+// response; ocpload fails fast against one that does not (run with
+// -stages=false to drive a pre-attribution or DisableStages server).
+//
+// -bench prints go-test-style benchmark lines (inverse throughput plus
+// p50/p99 per kind, plus per-stage delta quantiles) that
+// scripts/benchjson converts into BENCH_serve.json for the
+// `octrace bench check` gate.
 package main
 
 import (
@@ -76,6 +86,7 @@ func run(args []string, out io.Writer) error {
 		bench     = fs.Bool("bench", false, "print go-bench result lines (pipe through scripts/benchjson)")
 		shards    = fs.Int("shards", 0, "in-process server shard count (0 = GOMAXPROCS)")
 		batch     = fs.Duration("batch", 0, "in-process server batch window")
+		stages    = fs.Bool("stages", true, "collect server-side stage breakdowns from delta responses (requires the server's \"stages\" feature)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -129,10 +140,26 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("create tenant %s: %w", ids[i], err)
 		}
-		io.Copy(io.Discard, resp.Body)
+		data, rerr := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("create tenant %s: HTTP %d", ids[i], resp.StatusCode)
+		}
+		// Feature negotiation off the create response: refuse to run a
+		// stage-collecting load against a server that will answer with no
+		// stage fields — zeroed breakdown columns would be worse than an
+		// error.
+		if *stages {
+			var st serve.TenantStatus
+			if rerr == nil {
+				rerr = json.Unmarshal(data, &st)
+			}
+			if rerr != nil {
+				return fmt.Errorf("create tenant %s: bad status response: %v", ids[i], rerr)
+			}
+			if !hasFeature(st.Features, "stages") {
+				return fmt.Errorf("server %s does not advertise the \"stages\" feature: it predates per-request latency attribution or runs with stages disabled — upgrade/reconfigure it, or rerun with -stages=false", base)
+			}
 		}
 	}
 
@@ -176,6 +203,13 @@ func run(args []string, out io.Writer) error {
 		"query": rec.Histogram("load_query_ns", obs.NSBuckets),
 		"route": rec.Histogram("load_route_ns", obs.NSBuckets),
 	}
+	// stageHist holds the server-reported delta stage breakdowns, in the
+	// serving pipeline's stage order.
+	stageOrder := []string{"queue", "batch", "compute", "publish", "total"}
+	stageHist := map[string]*obs.Histogram{}
+	for _, st := range stageOrder {
+		stageHist[st] = rec.Histogram("load_stage_"+st+"_ns", obs.NSBuckets)
+	}
 	counts := map[string]*atomic.Int64{
 		"delta": {}, "query": {}, "route": {},
 	}
@@ -186,6 +220,7 @@ func run(args []string, out io.Writer) error {
 		var (
 			resp *http.Response
 			err  error
+			sb   *serve.StageBreakdown
 		)
 		start := time.Now()
 		if o.kind == "delta" {
@@ -194,7 +229,24 @@ func run(args []string, out io.Writer) error {
 		} else {
 			resp, err = client.Get(baseURL + "/api/tenants/" + o.tenant + o.path)
 		}
-		if err == nil {
+		if err == nil && o.kind == "delta" && *stages {
+			// Decode the delta response for its server-side stage fields;
+			// their absence is an error (the create-time negotiation said
+			// they would be there), never a row of zeroed columns.
+			data, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			var dr serve.DeltaResponse
+			switch {
+			case resp.StatusCode != http.StatusOK:
+				err = fmt.Errorf("%s %s: HTTP %d", o.kind, o.tenant, resp.StatusCode)
+			case rerr != nil:
+				err = fmt.Errorf("%s %s: %v", o.kind, o.tenant, rerr)
+			case json.Unmarshal(data, &dr) != nil || dr.Stages == nil:
+				err = fmt.Errorf("%s %s: response carries no stage breakdown (server lost the \"stages\" feature mid-run?)", o.kind, o.tenant)
+			default:
+				sb = dr.Stages
+			}
+		} else if err == nil {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			if resp.StatusCode != http.StatusOK {
@@ -213,6 +265,13 @@ func run(args []string, out io.Writer) error {
 		}
 		hist[o.kind].Observe(float64(elapsed.Nanoseconds()))
 		counts[o.kind].Add(1)
+		if sb != nil {
+			stageHist["queue"].Observe(float64(sb.QueueNS))
+			stageHist["batch"].Observe(float64(sb.BatchNS))
+			stageHist["compute"].Observe(float64(sb.ComputeNS))
+			stageHist["publish"].Observe(float64(sb.PublishNS))
+			stageHist["total"].Observe(float64(sb.TotalNS))
+		}
 	}
 
 	// Warmup: sequential, unrecorded (connection setup, first-touch
@@ -276,6 +335,15 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "BenchmarkServe/%s_p50 %d %d ns/op\n", s.name, s.n, s.p50.Nanoseconds())
 			fmt.Fprintf(out, "BenchmarkServe/%s_p99 %d %d ns/op\n", s.name, s.n, s.p99.Nanoseconds())
 		}
+		for _, st := range stageOrder {
+			h := stageHist[st]
+			n := int64(h.Count())
+			if n == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "BenchmarkServe/delta_%s_p50 %d %d ns/op\n", st, n, int64(h.Quantile(0.5)))
+			fmt.Fprintf(out, "BenchmarkServe/delta_%s_p99 %d %d ns/op\n", st, n, int64(h.Quantile(0.99)))
+		}
 		return nil
 	}
 	fmt.Fprintf(out, "ocpload: %d ops in %v (offered %.0f/s, %d tenants, %dx%d %s)\n",
@@ -284,5 +352,28 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  %-6s %7d ops  %8.0f/s  p50 %10v  p99 %10v\n",
 			s.name, s.n, s.opsSec, s.p50.Round(time.Microsecond), s.p99.Round(time.Microsecond))
 	}
+	// Server-side delta stage breakdown, next to the client-observed
+	// delta latency above: the difference between client p99 and stage
+	// total p99 is wire + HTTP handling.
+	if stageHist["total"].Count() > 0 {
+		fmt.Fprintf(out, "  server-side delta stages:\n")
+		for _, st := range stageOrder {
+			h := stageHist[st]
+			fmt.Fprintf(out, "    %-8s p50 %10v  p99 %10v\n", st,
+				time.Duration(h.Quantile(0.5)).Round(time.Microsecond),
+				time.Duration(h.Quantile(0.99)).Round(time.Microsecond))
+		}
+	}
 	return nil
+}
+
+// hasFeature reports whether the create response advertised a serving
+// capability.
+func hasFeature(features []string, want string) bool {
+	for _, f := range features {
+		if f == want {
+			return true
+		}
+	}
+	return false
 }

@@ -16,9 +16,19 @@
 //
 // Observability: the tenant API and the telemetry side-car share one
 // listener — /metrics (Prometheus text), /runz, /eventz (SSE trace
-// tail), /convergz and /debug/pprof/ answer next to /api/. -trace FILE
-// writes the NDJSON event trace (serve_delta / serve_batch events, see
-// TRACE.md), -metrics FILE a JSON metrics snapshot at exit.
+// tail), /convergz, /debugz and /debug/pprof/ answer next to /api/.
+// -trace FILE writes the NDJSON event trace (serve_delta / serve_batch
+// / serve_request events, see TRACE.md), -metrics FILE a JSON metrics
+// snapshot at exit.
+//
+// A flight recorder is always on: a bounded ring of recent events
+// (fetchable at /debugz) that auto-dumps an NDJSON snapshot into
+// -flight-dir when an invariant_violation arrives or a serve_request
+// breaches the -flight-slo per-stage budget, so a bad second is
+// analyzable after the fact without tracing having been enabled.
+// -flight-dir "" keeps the ring /debugz-only; -stages=false turns off
+// per-request latency attribution entirely (the latency-overhead
+// benchmark's baseline leg).
 package main
 
 import (
@@ -57,10 +67,23 @@ func run(args []string, out io.Writer) (retErr error) {
 
 		tracePath   = fs.String("trace", "", "write an NDJSON event trace to this file")
 		metricsPath = fs.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
+
+		stages       = fs.Bool("stages", true, "per-request latency attribution (serve_request events, stage metrics, response breakdowns)")
+		flightDir    = fs.String("flight-dir", ".", "directory for flight-recorder auto-dumps (empty = ring is /debugz-only)")
+		flightSize   = fs.Int("flight-size", 0, "flight-recorder ring capacity in events (0 = 4096)")
+		flightWindow = fs.Duration("flight-window", 0, "minimum spacing between flight dumps (0 = 10s)")
+		flightSLO    = fs.String("flight-slo", "", "per-stage latency budget triggering a dump, e.g. queue=5ms,compute=50ms,total=1s")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	slo, err := obs.ParseStageSLO(*flightSLO)
+	if err != nil {
+		return err
+	}
+	flight := obs.NewFlightRecorder(obs.FlightConfig{
+		Size: *flightSize, Dir: *flightDir, Window: *flightWindow, SLO: slo,
+	})
 
 	live := obs.NewLiveSink(1024)
 	rec, finish, err := obs.SetupWith(obs.SetupConfig{
@@ -68,7 +91,7 @@ func run(args []string, out io.Writer) (retErr error) {
 			"addr": *addr, "shards": *shards, "batch": batch.String(), "queue": *queue,
 		}),
 		TracePath: *tracePath, MetricsPath: *metricsPath, Metrics: true,
-		Extra: []obs.Sink{live},
+		Extra: []obs.Sink{live, flight},
 	})
 	if err != nil {
 		return err
@@ -81,13 +104,14 @@ func run(args []string, out io.Writer) (retErr error) {
 	fabric := costs.NewFabric(0)
 
 	svc := serve.New(serve.Options{
-		Shards:       *shards,
-		BatchWindow:  *batch,
-		QueueDepth:   *queue,
-		MaxMeshNodes: *maxNodes,
-		Recorder:     rec,
+		Shards:        *shards,
+		BatchWindow:   *batch,
+		QueueDepth:    *queue,
+		MaxMeshNodes:  *maxNodes,
+		Recorder:      rec,
+		DisableStages: !*stages,
 	})
-	side := obsserve.New(rec, live, fabric)
+	side := obsserve.New(rec, live, fabric).WithFlight(flight)
 	srv := serve.NewServer(svc, side.Handler())
 	bound, err := srv.Start(*addr)
 	if err != nil {

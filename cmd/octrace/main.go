@@ -24,10 +24,11 @@
 //	    The CI perf gate runs this against the committed BENCH_*.json.
 //
 //	octrace bench overhead [-max 0.05] BENCH_overhead.json
-//	    Enforce the counter-fabric overhead budget: each fabric=on
+//	    Enforce an instrumentation overhead budget: each <key>=on
 //	    benchmark in the document must stay within the budget of its
-//	    fabric=off twin (BenchmarkOverhead emits the pairs). Exits 1
-//	    when any engine exceeds it.
+//	    <key>=off twin (BenchmarkOverhead emits fabric=off/on pairs,
+//	    BenchmarkServeStages stages=off/on pairs). Exits 1 when any
+//	    pair exceeds it.
 //
 //	octrace bench scaling [-min-n 2048] [-tol 0.10] BENCH_bitset.json
 //	    Enforce the worker-scaling contract on a document with /w=N
@@ -35,6 +36,15 @@
 //	    worker count's ns/op must not exceed the lowest's beyond -tol.
 //	    Exits 1 on violation, on a document without /w=N legs, and
 //	    when no family reaches -min-n (make bitset-scale-bench).
+//
+//	octrace latency [-json] [-top 5] trace.ndjson [more.ndjson ...]
+//	    Latency attribution from serve_request events (a trace recorded
+//	    by ocpserve -trace under load): exact per-stage percentiles
+//	    (queue / batch / compute / publish vs end-to-end), per-shard and
+//	    per-tenant attribution tables, and a worst-request drill-down.
+//	    Exits 1 when any event's stage sums disagree with its end-to-end
+//	    latency (a corrupted trace) or when the trace carries no
+//	    serve_request events at all.
 //
 //	octrace converge [-json] trace.ndjson [more.ndjson ...]
 //	    The convergence observatory's offline report, from the costs /
@@ -77,6 +87,8 @@ func run(args []string, out io.Writer) error {
 		return runReport(args[1:], out)
 	case "diff":
 		return runDiff(args[1:], out)
+	case "latency":
+		return runLatency(args[1:], out)
 	case "converge":
 		return runConverge(args[1:], out)
 	case "bench":
@@ -91,7 +103,7 @@ func run(args []string, out io.Writer) error {
 		}
 		return runBenchCheck(args[2:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want report, diff, converge, or bench check)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want report, diff, latency, converge, or bench check)", args[0])
 	}
 }
 
@@ -154,6 +166,52 @@ func runDiff(args []string, out io.Writer) error {
 		fmt.Fprintln(out, d)
 	}
 	return fmt.Errorf("traces diverge (%d difference(s) shown)", len(diffs))
+}
+
+// runLatency is the serving layer's offline latency-attribution
+// report. It treats a stage-sum mismatch as trace corruption and exits
+// nonzero: the serving layer derives every serve_request's stages from
+// one chain of monotonic stamps, so they telescope exactly by
+// construction.
+func runLatency(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("octrace latency", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	top := fs.Int("top", 5, "worst requests to list in the drill-down (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: octrace latency [-json] [-top 5] trace.ndjson ...")
+	}
+	inconsistent := 0
+	for i, path := range fs.Args() {
+		events, err := readTrace(path)
+		if err != nil {
+			return err
+		}
+		rep := analyze.Latency(events, *top)
+		if rep.Requests == 0 {
+			return fmt.Errorf("latency: %s has no serve_request events — server run with stages disabled, or trace predates latency attribution? (see TRACE.md)", path)
+		}
+		inconsistent += rep.Inconsistent
+		if *asJSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				return err
+			}
+			continue
+		}
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		fmt.Fprintf(out, "== %s ==\n", path)
+		rep.WriteText(out)
+	}
+	if inconsistent > 0 {
+		return fmt.Errorf("latency: %d serve_request event(s) whose stages do not sum to the end-to-end latency — corrupted trace?", inconsistent)
+	}
+	return nil
 }
 
 func runConverge(args []string, out io.Writer) error {
@@ -290,10 +348,12 @@ func runBenchScaling(args []string, out io.Writer) error {
 	return nil
 }
 
-// runBenchOverhead enforces the convergence observatory's acceptance
-// budget: every fabric=on benchmark in a BENCH_overhead.json document
-// must stay within -max (default 5%) of its fabric=off twin. The CI
-// overhead-gate runs this against a freshly measured document.
+// runBenchOverhead enforces an instrumentation acceptance budget:
+// every <key>=on benchmark in the document must stay within -max
+// (default 5%) of its <key>=off twin — fabric=off/on for the counter
+// fabric (CI overhead-gate), stages=off/on for request-latency
+// attribution (CI latency-overhead gate). Both gates run this against
+// a freshly measured document.
 func runBenchOverhead(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("octrace bench overhead", flag.ContinueOnError)
 	max := fs.Float64("max", 0.05, "allowed on/off overhead fraction (0.05 = fail beyond +5%)")
@@ -309,7 +369,7 @@ func runBenchOverhead(args []string, out io.Writer) error {
 	}
 	pairs := analyze.OverheadPairs(rep)
 	if len(pairs) == 0 {
-		return fmt.Errorf("bench overhead: %s has no fabric=off/fabric=on pairs — was it produced by BenchmarkOverhead?", fs.Arg(0))
+		return fmt.Errorf("bench overhead: %s has no <key>=off/<key>=on pairs — was it produced by BenchmarkOverhead or BenchmarkServeStages?", fs.Arg(0))
 	}
 	exceeded := 0
 	for _, p := range pairs {
@@ -322,10 +382,10 @@ func runBenchOverhead(args []string, out io.Writer) error {
 			marker, p.Name, p.OffNS, p.OnNS, p.Ratio)
 	}
 	if exceeded > 0 {
-		return fmt.Errorf("bench overhead: counter fabric exceeds +%.0f%% on %d of %d engine(s)",
+		return fmt.Errorf("bench overhead: instrumentation exceeds +%.0f%% on %d of %d pair(s)",
 			*max*100, exceeded, len(pairs))
 	}
-	fmt.Fprintf(out, "overhead ok: %d engine pair(s) within +%.0f%%\n", len(pairs), *max*100)
+	fmt.Fprintf(out, "overhead ok: %d pair(s) within +%.0f%%\n", len(pairs), *max*100)
 	return nil
 }
 

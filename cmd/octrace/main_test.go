@@ -12,6 +12,7 @@ import (
 	"ocpmesh/internal/obs"
 	"ocpmesh/internal/obs/analyze"
 	"ocpmesh/internal/obs/costs"
+	"ocpmesh/internal/serve"
 	"ocpmesh/internal/status"
 	"ocpmesh/internal/sweep"
 )
@@ -381,13 +382,117 @@ func TestBenchOverheadGate(t *testing.T) {
 		{Name: "BenchmarkChurn/incremental/f=10", NsPerOp: 100},
 	}})
 	if err := run([]string{"bench", "overhead", unpaired}, &out); err == nil ||
-		!strings.Contains(err.Error(), "no fabric=off/fabric=on pairs") {
+		!strings.Contains(err.Error(), "no <key>=off/<key>=on pairs") {
 		t.Fatalf("pairless document not rejected: %v", err)
 	}
 
 	if err := run([]string{"bench", "overhead", filepath.Join(dir, "gone.json")}, &out); err == nil ||
 		!strings.Contains(err.Error(), "overhead") || !strings.Contains(err.Error(), "does not exist") {
 		t.Fatalf("missing overhead document not diagnosed: %v", err)
+	}
+}
+
+// TestLatencyCommand drives `octrace latency` over a real served
+// trace: the report must print the stage and attribution tables, and
+// the command must fail on traces with no serve_request events and on
+// traces whose stage sums do not telescope.
+func TestLatencyCommand(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "served.ndjson")
+	rec, finish, err := obs.Setup(obs.NewRun("latency-test", 1, nil), path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := serve.New(serve.Options{Shards: 2, Recorder: rec})
+	for i := 0; i < 2; i++ {
+		cfg := serve.TenantConfig{Width: 12, Height: 12, Engine: "bitset"}
+		if _, _, err := svc.Create([]string{"alpha", "beta"}[i], cfg, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		tenant := []string{"alpha", "beta"}[i%2]
+		if _, err := svc.Apply(tenant, "add", []grid.Point{{X: i, Y: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run([]string{"latency", "-top", "3", path}, &out); err != nil {
+		t.Fatalf("latency over served trace: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"requests 10", "queue", "compute", "shard", "alpha", "beta", "worst requests:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("latency report missing %q:\n%s", want, out.String())
+		}
+	}
+	out.Reset()
+	if err := run([]string{"latency", "-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep analyze.LatencyReport
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("latency -json not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Requests != 10 || rep.Inconsistent != 0 {
+		t.Fatalf("latency -json report = %+v, want 10 consistent requests", rep)
+	}
+
+	// A trace with no serve_request events is an error, with a pointer
+	// at the stages feature.
+	bare := writeTrace(t, dir, "formation.ndjson", core.EngineSequential)
+	if err := run([]string{"latency", bare}, &out); err == nil ||
+		!strings.Contains(err.Error(), "no serve_request events") {
+		t.Fatalf("serve_request-free trace not diagnosed: %v", err)
+	}
+
+	// A serve_request whose stages do not sum to its DurNS exits nonzero.
+	broken := filepath.Join(dir, "broken.ndjson")
+	line, err := json.Marshal(obs.Event{
+		Type: obs.EServeRequest, Tenant: "x", Shard: 1, Req: 1,
+		QueueNS: 1, BatchNS: 1, ComputeNS: 1, PublishNS: 1, DurNS: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(broken, append(line, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"latency", broken}, &out); err == nil ||
+		!strings.Contains(err.Error(), "do not sum") {
+		t.Fatalf("inconsistent trace not diagnosed: %v", err)
+	}
+}
+
+// TestBenchOverheadStagesPair pins the generalized pair matcher on the
+// latency-attribution legs: BenchmarkServeStages' stages=off/on pair
+// gates like fabric=off/on, and its warmup leg is ignored.
+func TestBenchOverheadStagesPair(t *testing.T) {
+	dir := t.TempDir()
+	data, err := json.Marshal(analyze.BenchReport{Results: []analyze.BenchResult{
+		{Name: "BenchmarkServeStages/warmup-8", NsPerOp: 999999},
+		{Name: "BenchmarkServeStages/delta/stages=off-8", NsPerOp: 100},
+		{Name: "BenchmarkServeStages/delta/stages=on-8", NsPerOp: 103},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "stages.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"bench", "overhead", path}, &out); err != nil {
+		t.Fatalf("3%% stage overhead failed the 5%% gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "1 pair(s)") {
+		t.Fatalf("warmup leg counted as a pair:\n%s", out.String())
 	}
 }
 

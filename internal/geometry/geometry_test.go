@@ -328,12 +328,11 @@ func TestCornerNodes(t *testing.T) {
 	if got := CornerNodes(grid.PointSetOf(grid.Pt(7, 7))); len(got) != 1 {
 		t.Fatalf("singleton corners = %v", got)
 	}
-	// L shape has 5 convex corner nodes (the reflex inner corner has both
-	// x-neighbors? no: count by definition).
-	//	X..    corners: (0,2), (0,0), (2,0); plus (1,0)? (1,0) has west&east
-	//	X..    present -> not corner. (0,1): north&south present -> not corner.
-	//	XXX    So corners: (0,0),(2,0),(0,2). Wait (0,0) has west,south missing
-	//	       and east,north present -> missing in both dims -> corner.
+	// The L shape (see lShape's diagram): a corner node is one missing a
+	// neighbor in both dimensions. The arm interiors fail the test —
+	// (1,0) has both x-neighbors, (0,1) both y-neighbors — while the two
+	// arm tips (2,0) and (0,2) and the elbow (0,0) each lack an
+	// x-neighbor and a y-neighbor, so exactly those three are corners.
 	l := lShape()
 	got = CornerNodes(l)
 	wantL := map[grid.Point]bool{grid.Pt(0, 0): true, grid.Pt(2, 0): true, grid.Pt(0, 2): true}

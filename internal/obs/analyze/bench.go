@@ -149,39 +149,49 @@ func (c *BenchCheck) WriteText(w io.Writer, tolerance float64) {
 	fmt.Fprintf(w, "median ratio x%.3f (tolerance x%.3f)\n", c.MedianRatio, 1+tolerance)
 }
 
-// OverheadPair couples a fabric=off benchmark with its fabric=on
-// counterpart from one BENCH_overhead.json document. Ratio is on/off:
-// 1.0 means the counter fabric is free, 1.05 is the acceptance budget.
+// OverheadPair couples a <key>=off benchmark with its <key>=on
+// counterpart from one BENCH_overhead.json document (fabric=off/on for
+// the cost counter fabric, stages=off/on for request-latency
+// attribution). Ratio is on/off: 1.0 means the instrumented leg is
+// free, 1.05 is the acceptance budget.
 type OverheadPair struct {
-	Name  string  `json:"name"` // pair name with the fabric=... leg stripped
+	Name  string  `json:"name"` // pair name with the <key>=... leg stripped
 	OffNS float64 `json:"off_ns"`
 	OnNS  float64 `json:"on_ns"`
 	Ratio float64 `json:"ratio"`
 }
 
-// OverheadPairs extracts the fabric=off / fabric=on benchmark pairs
-// from an overhead document (BenchmarkOverhead's sub-benchmark naming).
-// Results without a counterpart are skipped; pairs are returned in the
-// document's off-leg order.
+// offLeg matches the first <key>=off component of a benchmark name —
+// the sub-benchmark naming convention every overhead pair follows
+// (BenchmarkOverhead's fabric=off/on, BenchmarkServeStages'
+// stages=off/on).
+var offLeg = regexp.MustCompile(`([A-Za-z_][A-Za-z0-9_]*)=off`)
+
+// OverheadPairs extracts the <key>=off / <key>=on benchmark pairs from
+// an overhead document. Results without a counterpart are skipped;
+// pairs are returned in the document's off-leg order.
 func OverheadPairs(rep *BenchReport) []OverheadPair {
-	onBy := map[string]BenchResult{}
+	byName := map[string]BenchResult{}
 	for _, r := range rep.Results {
-		if name := trimProcs(r.Name); strings.Contains(name, "fabric=on") {
-			onBy[strings.ReplaceAll(name, "fabric=on", "fabric=off")] = r
-		}
+		byName[trimProcs(r.Name)] = r
 	}
 	var pairs []OverheadPair
 	for _, off := range rep.Results {
 		name := trimProcs(off.Name)
-		if !strings.Contains(name, "fabric=off") {
+		m := offLeg.FindStringSubmatch(name)
+		if m == nil {
 			continue
 		}
-		on, ok := onBy[name]
+		on, ok := byName[strings.Replace(name, m[0], m[1]+"=on", 1)]
 		if !ok || off.NsPerOp <= 0 {
 			continue
 		}
+		stripped := strings.Replace(name, "/"+m[0], "", 1)
+		if stripped == name {
+			stripped = strings.Replace(name, m[0], "", 1)
+		}
 		pairs = append(pairs, OverheadPair{
-			Name:  strings.ReplaceAll(name, "/fabric=off", ""),
+			Name:  stripped,
 			OffNS: off.NsPerOp,
 			OnNS:  on.NsPerOp,
 			Ratio: on.NsPerOp / off.NsPerOp,

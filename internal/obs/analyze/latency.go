@@ -1,0 +1,273 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"ocpmesh/internal/obs"
+)
+
+// stageNames orders the serving pipeline's stages everywhere the
+// latency report prints or aggregates them.
+var stageNames = [4]string{"queue", "batch", "compute", "publish"}
+
+// stagesOf decomposes one serve_request event into its four stages in
+// stageNames order.
+func stagesOf(e obs.Event) [4]int64 {
+	return [4]int64{e.QueueNS, e.BatchNS, e.ComputeNS, e.PublishNS}
+}
+
+// StageDist is the exact distribution of one stage across a trace's
+// serve_request events (exact sample percentiles, not the P² stream
+// estimates of the live /metrics endpoint).
+type StageDist struct {
+	Stage string `json:"stage"`
+	Count int    `json:"count"`
+	SumNS int64  `json:"sum_ns"`
+	P50NS int64  `json:"p50_ns"`
+	P90NS int64  `json:"p90_ns"`
+	P99NS int64  `json:"p99_ns"`
+	MaxNS int64  `json:"max_ns"`
+}
+
+// LatencyGroup is one attribution row — a tenant or a shard — with its
+// request count and the per-stage split of the time its requests spent.
+type LatencyGroup struct {
+	Key      string `json:"key"`
+	Requests int    `json:"requests"`
+	Errors   int    `json:"errors,omitempty"`
+	// QueueNS..PublishNS are stage sums across the group's requests;
+	// TotalNS is their end-to-end sum and MaxNS the slowest single
+	// request.
+	QueueNS   int64 `json:"queue_ns"`
+	BatchNS   int64 `json:"batch_ns"`
+	ComputeNS int64 `json:"compute_ns"`
+	PublishNS int64 `json:"publish_ns"`
+	TotalNS   int64 `json:"total_ns"`
+	MaxNS     int64 `json:"max_ns"`
+}
+
+func (g *LatencyGroup) fold(e obs.Event) {
+	g.Requests++
+	if e.Err != "" {
+		g.Errors++
+	}
+	g.QueueNS += e.QueueNS
+	g.BatchNS += e.BatchNS
+	g.ComputeNS += e.ComputeNS
+	g.PublishNS += e.PublishNS
+	g.TotalNS += e.DurNS
+	if e.DurNS > g.MaxNS {
+		g.MaxNS = e.DurNS
+	}
+}
+
+// LatencyReport is the offline latency-attribution summary of a trace's
+// serve_request events: per-stage exact percentiles, per-tenant and
+// per-shard attribution, and the worst requests for drill-down.
+type LatencyReport struct {
+	Requests int `json:"requests"`
+	Errors   int `json:"errors,omitempty"`
+	// Inconsistent counts serve_request events whose four stages do not
+	// sum to their end-to-end DurNS. The serving layer derives all five
+	// numbers from one chain of monotonic stamps, so anything nonzero
+	// means a corrupted or foreign trace; TestLatencyStagesConsistent
+	// pins it to zero for served traffic.
+	Inconsistent int         `json:"inconsistent"`
+	Stages       []StageDist `json:"stages,omitempty"`
+	// Total is the end-to-end distribution next to the Stages rows.
+	Total   *StageDist     `json:"total,omitempty"`
+	Tenants []LatencyGroup `json:"tenants,omitempty"`
+	Shards  []LatencyGroup `json:"shards,omitempty"`
+	// Worst holds the top requests by end-to-end latency, slowest first.
+	Worst []obs.Event `json:"worst,omitempty"`
+}
+
+// Latency folds a trace's serve_request events into a LatencyReport.
+// top bounds the worst-request drill-down list (<= 0 keeps none).
+func Latency(events []obs.Event, top int) *LatencyReport {
+	rep := &LatencyReport{}
+	var samples [4][]int64
+	var totals []int64
+	tenants := map[string]*LatencyGroup{}
+	shards := map[string]*LatencyGroup{}
+	var reqs []obs.Event
+	for _, e := range events {
+		if e.Type != obs.EServeRequest {
+			continue
+		}
+		rep.Requests++
+		if e.Err != "" {
+			rep.Errors++
+		}
+		if e.QueueNS+e.BatchNS+e.ComputeNS+e.PublishNS != e.DurNS {
+			rep.Inconsistent++
+		}
+		for i, v := range stagesOf(e) {
+			samples[i] = append(samples[i], v)
+		}
+		totals = append(totals, e.DurNS)
+		latencyGroup(tenants, e.Tenant).fold(e)
+		latencyGroup(shards, strconv.Itoa(e.Shard)).fold(e)
+		reqs = append(reqs, e)
+	}
+	if rep.Requests == 0 {
+		return rep
+	}
+	for i, name := range stageNames {
+		rep.Stages = append(rep.Stages, stageDist(name, samples[i]))
+	}
+	total := stageDist("total", totals)
+	rep.Total = &total
+	rep.Tenants = sortedGroups(tenants, false)
+	rep.Shards = sortedGroups(shards, true)
+	if top > 0 {
+		sort.SliceStable(reqs, func(a, b int) bool { return reqs[a].DurNS > reqs[b].DurNS })
+		if top < len(reqs) {
+			reqs = reqs[:top]
+		}
+		rep.Worst = reqs
+	}
+	return rep
+}
+
+func latencyGroup(m map[string]*LatencyGroup, key string) *LatencyGroup {
+	g, ok := m[key]
+	if !ok {
+		g = &LatencyGroup{Key: key}
+		m[key] = g
+	}
+	return g
+}
+
+// sortedGroups orders attribution rows: shards numerically by key,
+// tenants by total attributed time descending (hottest first) with the
+// key as tiebreak.
+func sortedGroups(m map[string]*LatencyGroup, numeric bool) []LatencyGroup {
+	out := make([]LatencyGroup, 0, len(m))
+	for _, g := range m {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if numeric {
+			ai, aerr := strconv.Atoi(out[a].Key)
+			bi, berr := strconv.Atoi(out[b].Key)
+			if aerr == nil && berr == nil && ai != bi {
+				return ai < bi
+			}
+			return out[a].Key < out[b].Key
+		}
+		if out[a].TotalNS != out[b].TotalNS {
+			return out[a].TotalNS > out[b].TotalNS
+		}
+		return out[a].Key < out[b].Key
+	})
+	return out
+}
+
+// stageDist computes exact nearest-rank percentiles over one stage's
+// samples. The slice is sorted in place.
+func stageDist(name string, vs []int64) StageDist {
+	d := StageDist{Stage: name, Count: len(vs)}
+	if len(vs) == 0 {
+		return d
+	}
+	sort.Slice(vs, func(a, b int) bool { return vs[a] < vs[b] })
+	for _, v := range vs {
+		d.SumNS += v
+	}
+	d.P50NS = rank(vs, 0.50)
+	d.P90NS = rank(vs, 0.90)
+	d.P99NS = rank(vs, 0.99)
+	d.MaxNS = vs[len(vs)-1]
+	return d
+}
+
+// rank is the nearest-rank percentile of sorted samples.
+func rank(sorted []int64, q float64) int64 {
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// ms renders nanoseconds as milliseconds for the text tables.
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+// pct renders part/whole as a percentage (0 when whole is 0).
+func pct(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// WriteText renders the latency report for humans: the stage
+// percentile table, the per-shard and per-tenant attribution tables,
+// and the worst-request drill-down.
+func (rep *LatencyReport) WriteText(w io.Writer) {
+	if rep.Requests == 0 {
+		fmt.Fprintln(w, "no serve_request events in trace (server run with stages disabled, or trace predates latency attribution)")
+		return
+	}
+	fmt.Fprintf(w, "requests %d", rep.Requests)
+	if rep.Errors > 0 {
+		fmt.Fprintf(w, "  errors %d", rep.Errors)
+	}
+	if rep.Inconsistent > 0 {
+		fmt.Fprintf(w, "  INCONSISTENT %d (stage sums != end-to-end)", rep.Inconsistent)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %10s %7s\n", "stage", "p50 ms", "p90 ms", "p99 ms", "max ms", "share")
+	for _, d := range rep.Stages {
+		fmt.Fprintf(w, "%-8s %10.3f %10.3f %10.3f %10.3f %6.1f%%\n",
+			d.Stage, ms(d.P50NS), ms(d.P90NS), ms(d.P99NS), ms(d.MaxNS), pct(d.SumNS, rep.Total.SumNS))
+	}
+	d := *rep.Total
+	fmt.Fprintf(w, "%-8s %10.3f %10.3f %10.3f %10.3f %6.1f%%\n",
+		d.Stage, ms(d.P50NS), ms(d.P90NS), ms(d.P99NS), ms(d.MaxNS), 100.0)
+
+	writeGroups := func(label string, groups []LatencyGroup) {
+		if len(groups) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "\n%-16s %8s %7s %7s %7s %7s %10s %10s\n",
+			label, "reqs", "queue", "batch", "compute", "publish", "mean ms", "max ms")
+		for _, g := range groups {
+			mean := int64(0)
+			if g.Requests > 0 {
+				mean = g.TotalNS / int64(g.Requests)
+			}
+			fmt.Fprintf(w, "%-16s %8d %6.1f%% %6.1f%% %6.1f%% %6.1f%% %10.3f %10.3f",
+				g.Key, g.Requests,
+				pct(g.QueueNS, g.TotalNS), pct(g.BatchNS, g.TotalNS),
+				pct(g.ComputeNS, g.TotalNS), pct(g.PublishNS, g.TotalNS),
+				ms(mean), ms(g.MaxNS))
+			if g.Errors > 0 {
+				fmt.Fprintf(w, "  errors=%d", g.Errors)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	writeGroups("shard", rep.Shards)
+	writeGroups("tenant", rep.Tenants)
+
+	if len(rep.Worst) > 0 {
+		fmt.Fprintf(w, "\nworst requests:\n")
+		for _, e := range rep.Worst {
+			fmt.Fprintf(w, "  req=%-6d tenant=%-12s shard=%-2d op=%-6s n=%-5d total=%.3fms  queue=%.3f batch=%.3f compute=%.3f publish=%.3f",
+				e.Req, e.Tenant, e.Shard, e.Name, e.N, ms(e.DurNS),
+				ms(e.QueueNS), ms(e.BatchNS), ms(e.ComputeNS), ms(e.PublishNS))
+			if e.Err != "" {
+				fmt.Fprintf(w, "  err=%s", e.Err)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -96,8 +96,21 @@ const (
 	// EServeBatch summarizes one applied tenant batch (internal/serve):
 	// Tenant is the tenant id, N the number of coalesced delta requests
 	// (1 = no coalescing), Rounds the tenant's delta sequence after the
-	// batch, DurNS the batch wall-clock time.
+	// batch, Shard the 1-based shard index, Depth the shard queue backlog
+	// left after the drain, DurNS the batch wall-clock time.
 	EServeBatch = "serve_batch"
+	// EServeRequest is one delta request's end-to-end latency attribution
+	// (internal/serve): Req is the request id, Tenant the tenant id,
+	// Shard the 1-based shard index, Name the operation, N the number of
+	// points, and the four stage fields decompose DurNS exactly —
+	// QueueNS (enqueue to shard-loop dequeue), BatchNS (dequeue to the
+	// request's engine pass starting, including any batch window),
+	// ComputeNS (the AddFaults/RemoveFaults frontier pass the request
+	// coalesced into), PublishNS (pass end to snapshot publish + event
+	// emission). QueueNS+BatchNS+ComputeNS+PublishNS == DurNS for every
+	// serve_request event; octrace latency pins this. Err is set when the
+	// engine pass failed.
+	EServeRequest = "serve_request"
 	// EInvariantViolation reports a failed paper-invariant monitor
 	// (core/monitor.go, simnet frontier): Name is the monitor
 	// ("rounds_bound", "phase_monotone", "frontier_shrink"), Phase the
@@ -153,6 +166,21 @@ type Event struct {
 
 	// Tenant is the serving tenant id on serve_* events.
 	Tenant string `json:"tenant,omitempty"`
+	// Req is the serving request id on serve_request events.
+	Req int64 `json:"req,omitempty"`
+	// Shard is the 1-based serving shard index on serve_request and
+	// serve_batch events (1-based so the zero value is omitted, like
+	// Block).
+	Shard int `json:"shard,omitempty"`
+	// Depth is the shard queue backlog left after a batch drain on
+	// serve_batch events.
+	Depth int `json:"depth,omitempty"`
+	// QueueNS, BatchNS, ComputeNS and PublishNS are the per-stage
+	// latency attribution on serve_request events; they sum to DurNS.
+	QueueNS   int64 `json:"queue_ns,omitempty"`
+	BatchNS   int64 `json:"batch_ns,omitempty"`
+	ComputeNS int64 `json:"compute_ns,omitempty"`
+	PublishNS int64 `json:"publish_ns,omitempty"`
 
 	Router  string `json:"router,omitempty"`
 	Model   string `json:"model,omitempty"`

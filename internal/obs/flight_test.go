@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseStageSLO(t *testing.T) {
+	slo, err := ParseStageSLO("queue=5ms,compute=50ms,total=1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := StageSLO{QueueNS: 5e6, ComputeNS: 50e6, TotalNS: 1e9}
+	if slo != want {
+		t.Fatalf("parsed %+v, want %+v", slo, want)
+	}
+	if slo, err := ParseStageSLO(""); err != nil || slo != (StageSLO{}) {
+		t.Fatalf("empty SLO: %+v, %v", slo, err)
+	}
+	for _, bad := range []string{"queue", "queue=", "queue=5xs", "queue=-1ms", "queue=0s", "frobnicate=5ms"} {
+		if _, err := ParseStageSLO(bad); err == nil {
+			t.Errorf("ParseStageSLO(%q) accepted", bad)
+		}
+	}
+}
+
+func TestStageSLOBreached(t *testing.T) {
+	slo := StageSLO{ComputeNS: 100, TotalNS: 1000}
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Type: EServeRequest, ComputeNS: 50, DurNS: 500}, ""},
+		{Event{Type: EServeRequest, ComputeNS: 101, DurNS: 500}, "compute"},
+		{Event{Type: EServeRequest, ComputeNS: 50, DurNS: 1001}, "total"},
+		// Only serve_request events are judged, however large.
+		{Event{Type: ESpan, ComputeNS: 9999, DurNS: 9999}, ""},
+	}
+	for i, c := range cases {
+		if got := slo.Breached(c.e); got != c.want {
+			t.Errorf("case %d: Breached = %q, want %q", i, got, c.want)
+		}
+	}
+}
+
+// readDump parses one flight dump file back into events, failing on any
+// malformed line — the dump must be valid NDJSON down to the last byte.
+func readDump(t *testing.T, path string) []Event {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	for i, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("%s line %d: %v (%q)", path, i+1, err, line)
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+func dumpFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "flight-*.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+func TestFlightDumpOnInvariantViolation(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(0, 0)
+	f := NewFlightRecorder(FlightConfig{
+		Size: 8, Dir: dir, Window: 10 * time.Second,
+		Clock: func() time.Time { return now },
+	})
+	// Overfill the ring so the dump exercises the wrap path.
+	for i := 0; i < 12; i++ {
+		f.Emit(Event{Type: ESpan, Name: "warm", N: i})
+	}
+	f.Emit(Event{Type: EInvariantViolation, Name: "rounds_bound", Err: "boom"})
+
+	files := dumpFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("dumps = %v, want exactly one", files)
+	}
+	if !strings.Contains(files[0], "invariant_violation") {
+		t.Fatalf("dump file %s does not name its trigger", files[0])
+	}
+	events := readDump(t, files[0])
+	if len(events) != 8 {
+		t.Fatalf("dump holds %d events, want the full ring of 8", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Type != EInvariantViolation || last.Err != "boom" {
+		t.Fatalf("dump's last event is %+v, want the trigger", last)
+	}
+	// The preceding entries are the newest pre-trigger ring contents,
+	// oldest first.
+	for i, e := range events[:len(events)-1] {
+		if e.Type != ESpan || e.N != 5+i {
+			t.Fatalf("dump[%d] = %+v, want warm span n=%d", i, e, 5+i)
+		}
+	}
+
+	// A second trigger inside the window is suppressed, not dumped.
+	now = now.Add(5 * time.Second)
+	f.Emit(Event{Type: EInvariantViolation, Name: "again"})
+	if got := dumpFiles(t, dir); len(got) != 1 {
+		t.Fatalf("trigger inside window dumped: %v", got)
+	}
+	st := f.Status()
+	if st.Dumps != 1 || st.Suppressed != 1 {
+		t.Fatalf("status = %+v, want 1 dump, 1 suppressed", st)
+	}
+	if st.LastDump != dumpFiles(t, dir)[0] {
+		t.Fatalf("status names %q, want %q", st.LastDump, files[0])
+	}
+
+	// Past the window the next trigger dumps again.
+	now = now.Add(6 * time.Second)
+	f.Emit(Event{Type: EInvariantViolation, Name: "later"})
+	if got := dumpFiles(t, dir); len(got) != 2 {
+		t.Fatalf("post-window trigger did not dump: %v", got)
+	}
+}
+
+func TestFlightSLOTriggers(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFlightRecorder(FlightConfig{
+		Size: 16, Dir: dir, Window: time.Hour,
+		SLO: StageSLO{ComputeNS: 1000},
+	})
+	f.Emit(Event{Type: EServeRequest, ComputeNS: 999, DurNS: 999})
+	if got := dumpFiles(t, dir); len(got) != 0 {
+		t.Fatalf("within-budget request dumped: %v", got)
+	}
+	f.Emit(Event{Type: EServeRequest, Tenant: "hot", ComputeNS: 5000, DurNS: 5000})
+	files := dumpFiles(t, dir)
+	if len(files) != 1 || !strings.Contains(files[0], "slo_compute") {
+		t.Fatalf("dumps = %v, want one slo_compute dump", files)
+	}
+	events := readDump(t, files[0])
+	if last := events[len(events)-1]; last.Tenant != "hot" {
+		t.Fatalf("dump's last event %+v is not the breaching request", last)
+	}
+}
+
+func TestFlightNoDirStillArmsWindow(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{Size: 4, Window: time.Hour})
+	f.Emit(Event{Type: EInvariantViolation})
+	f.Emit(Event{Type: EInvariantViolation})
+	st := f.Status()
+	if st.Dumps != 0 || st.Suppressed != 1 {
+		t.Fatalf("status = %+v, want 0 dumps and 1 suppressed without a dir", st)
+	}
+	if got := f.Recent(0); len(got) != 2 {
+		t.Fatalf("ring holds %d events, want 2", len(got))
+	}
+}
+
+func TestFlightRecent(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{Size: 4})
+	for i := 1; i <= 6; i++ {
+		f.Emit(Event{Type: ESpan, N: i})
+	}
+	got := f.Recent(2)
+	if len(got) != 2 || got[0].N != 5 || got[1].N != 6 {
+		t.Fatalf("Recent(2) = %+v, want spans 5,6", got)
+	}
+	if got := f.Recent(0); len(got) != 4 || got[0].N != 3 {
+		t.Fatalf("Recent(0) = %+v, want spans 3..6", got)
+	}
+}
+
+// TestFlightConcurrentTriggerStorm is the race-mode contract: many
+// writers hammering Emit (trigger events included) while readers poll
+// Recent and Status must not deadlock or race, every dump file must be
+// valid NDJSON, and a whole storm inside one window must cost at most
+// one dump.
+func TestFlightConcurrentTriggerStorm(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFlightRecorder(FlightConfig{Size: 128, Dir: dir, Window: time.Hour})
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					f.Recent(16)
+					f.Status()
+				}
+			}
+		}()
+	}
+	var storm sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		storm.Add(1)
+		go func(w int) {
+			defer storm.Done()
+			for i := 0; i < perWriter; i++ {
+				if i%25 == 0 {
+					f.Emit(Event{Type: EInvariantViolation, Name: "storm", N: w})
+				} else {
+					f.Emit(Event{Type: EServeRequest, Shard: w + 1, QueueNS: 1, DurNS: 1})
+				}
+			}
+		}(w)
+	}
+	storm.Wait()
+	close(stop)
+	wg.Wait()
+
+	files := dumpFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("storm produced %d dumps (%v), window allows exactly 1", len(files), files)
+	}
+	if events := readDump(t, files[0]); len(events) == 0 {
+		t.Fatal("dump is empty")
+	}
+	st := f.Status()
+	triggers := int64(writers * perWriter / 25)
+	if st.Dumps+st.Suppressed != triggers {
+		t.Fatalf("dumps %d + suppressed %d != %d triggers fired", st.Dumps, st.Suppressed, triggers)
+	}
+	if st.Buffered != 128 {
+		t.Fatalf("ring buffered %d, want full 128", st.Buffered)
+	}
+}

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"fmt"
+	"io"
 	"sync"
 	"time"
 )
@@ -48,6 +50,40 @@ type LiveStatus struct {
 	Counts map[string]int64 `json:"counts"`
 	// Dropped counts events a slow /eventz subscriber missed.
 	Dropped int64 `json:"dropped,omitempty"`
+	// SubscriberDropped breaks Dropped down per live subscriber id, so a
+	// single slow tail is identifiable from /runz (the same counts back
+	// the ocpmesh_live_subscriber_dropped Prometheus family).
+	SubscriberDropped map[string]int64 `json:"subscriber_dropped,omitempty"`
+	// Serve is the serving layer's attribution view, folded from
+	// serve_batch and serve_request events (nil when none were seen).
+	Serve *ServeLive `json:"serve,omitempty"`
+}
+
+// ServeLive is the /runz view of the formation service, assembled from
+// the serve_* event stream alone: per-shard and per-tenant request
+// counts, busy time and queue depth, so shard imbalance and hot tenants
+// are visible without scraping Prometheus.
+type ServeLive struct {
+	// Requests counts serve_request events; Shards and Tenants key
+	// their stats by 1-based shard index and tenant id respectively.
+	Requests int64                 `json:"requests"`
+	Shards   map[string]*ShardLive `json:"shards,omitempty"`
+	Tenants  map[string]*ShardLive `json:"tenants,omitempty"`
+}
+
+// ShardLive is one shard's (or tenant's) rolling serving stats.
+type ShardLive struct {
+	// Requests counts applied delta requests, Batches applied batches.
+	Requests int64 `json:"requests"`
+	Batches  int64 `json:"batches,omitempty"`
+	// BusyNS is the cumulative engine-pass wall-clock attributed here;
+	// Busy is BusyNS over the stream's elapsed time (the busy fraction).
+	BusyNS int64   `json:"busy_ns"`
+	Busy   float64 `json:"busy,omitempty"`
+	// Depth is the latest observed queue backlog (shards only).
+	Depth int `json:"depth,omitempty"`
+	// Seq is the latest snapshot sequence (tenants only).
+	Seq int `json:"seq,omitempty"`
 }
 
 // LiveSink is an in-process Sink that keeps a ring buffer of recent
@@ -155,7 +191,55 @@ func (s *LiveSink) update(e Event) {
 		st.SweepDone++
 	case ESweepPoint:
 		st.SweepPoints++
+	case EServeRequest:
+		sv := st.serve()
+		sv.Requests++
+		if e.Tenant != "" {
+			tn := liveSlot(&sv.Tenants, e.Tenant)
+			tn.Requests++
+			// Per-request busy attribution: the compute+publish time the
+			// request's engine pass cost. Coalesced requests share a pass,
+			// so the per-tenant sum over-counts shared passes in exchange
+			// for ranking hot tenants by the work they demanded — which is
+			// the signal hot-tenant detection needs.
+			tn.BusyNS += e.ComputeNS + e.PublishNS
+		}
+	case EServeBatch:
+		sv := st.serve()
+		if e.Shard > 0 {
+			sh := liveSlot(&sv.Shards, fmt.Sprintf("%d", e.Shard))
+			sh.Batches++
+			sh.Requests += int64(e.N)
+			sh.BusyNS += e.DurNS
+			sh.Depth = e.Depth
+		}
+		if e.Tenant != "" {
+			tn := liveSlot(&sv.Tenants, e.Tenant)
+			tn.Batches++
+			tn.Seq = e.Rounds
+		}
 	}
+}
+
+// serve returns the lazily allocated serving view. Called with mu held.
+func (st *LiveStatus) serve() *ServeLive {
+	if st.Serve == nil {
+		st.Serve = &ServeLive{}
+	}
+	return st.Serve
+}
+
+// liveSlot returns m[key], allocating the map and slot on first use.
+func liveSlot(m *map[string]*ShardLive, key string) *ShardLive {
+	if *m == nil {
+		*m = make(map[string]*ShardLive)
+	}
+	s, ok := (*m)[key]
+	if !ok {
+		s = &ShardLive{}
+		(*m)[key] = s
+	}
+	return s
 }
 
 // liveFlushWait bounds how long Flush waits for subscribers to drain.
@@ -198,7 +282,8 @@ func (s *LiveSink) Close() error {
 	return nil
 }
 
-// Status returns a copy of the rolling status.
+// Status returns a copy of the rolling status, with the per-subscriber
+// drop counts and the serving busy fractions filled in.
 func (s *LiveSink) Status() LiveStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -209,7 +294,81 @@ func (s *LiveSink) Status() LiveStatus {
 		counts[k] = v
 	}
 	st.Counts = counts
+	if len(s.subs) > 0 {
+		st.SubscriberDropped = make(map[string]int64, len(s.subs))
+		for id, sub := range s.subs {
+			st.SubscriberDropped[fmt.Sprintf("%d", id)] = sub.dropped
+		}
+	}
+	if s.status.Serve != nil {
+		sv := &ServeLive{Requests: s.status.Serve.Requests}
+		sv.Shards = copyLiveSlots(s.status.Serve.Shards, st.TNS)
+		sv.Tenants = copyLiveSlots(s.status.Serve.Tenants, st.TNS)
+		st.Serve = sv
+	}
 	return st
+}
+
+// copyLiveSlots deep-copies one attribution map, deriving each slot's
+// busy fraction from the stream-relative elapsed time.
+func copyLiveSlots(m map[string]*ShardLive, elapsedNS int64) map[string]*ShardLive {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]*ShardLive, len(m))
+	for k, v := range m {
+		c := *v
+		if elapsedNS > 0 {
+			c.Busy = float64(c.BusyNS) / float64(elapsedNS)
+		}
+		out[k] = &c
+	}
+	return out
+}
+
+// SubscriberDrops returns the per-subscriber drop counts of the current
+// subscribers, keyed by subscriber id.
+func (s *LiveSink) SubscriberDrops() map[int]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]int64, len(s.subs))
+	for id, sub := range s.subs {
+		out[id] = sub.dropped
+	}
+	return out
+}
+
+// WriteDropsPrometheus renders the sink's drop accounting as a
+// Prometheus counter family: the aggregate ocpmesh_live_dropped plus
+// one ocpmesh_live_subscriber_dropped{subscriber="N"} series per live
+// subscriber — the /metrics face of the SSE ": dropped N" gap comments,
+// so a slow tail is visible to scrapes, not only to itself.
+func (s *LiveSink) WriteDropsPrometheus(w io.Writer) error {
+	s.mu.Lock()
+	total := s.dropped
+	type sub struct {
+		id      int
+		dropped int64
+	}
+	subs := make([]sub, 0, len(s.subs))
+	for id, ls := range s.subs {
+		subs = append(subs, sub{id, ls.dropped})
+	}
+	s.mu.Unlock()
+	for i := 1; i < len(subs); i++ { // stable output: ascending id
+		for j := i; j > 0 && subs[j].id < subs[j-1].id; j-- {
+			subs[j], subs[j-1] = subs[j-1], subs[j]
+		}
+	}
+	var b []byte
+	b = append(b, "# TYPE ocpmesh_live_dropped counter\nocpmesh_live_dropped "...)
+	b = append(b, fmt.Sprintf("%d\n", total)...)
+	b = append(b, "# TYPE ocpmesh_live_subscriber_dropped counter\n"...)
+	for _, su := range subs {
+		b = append(b, fmt.Sprintf("ocpmesh_live_subscriber_dropped{subscriber=\"%d\"} %d\n", su.id, su.dropped)...)
+	}
+	_, err := w.Write(b)
+	return err
 }
 
 // Recent returns up to n of the most recent events, oldest first.

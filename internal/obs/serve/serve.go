@@ -17,6 +17,9 @@
 //	               frontier sizes, deltas, invariant violations)
 //	/eventz        SSE stream tailing live trace events
 //	               (?replay=N prepends the last N buffered events)
+//	/debugz        NDJSON fetch of the flight recorder's event ring
+//	               (?n=N limits to the most recent N; ?status=1 returns
+//	               the recorder's JSON self-accounting instead)
 //	/debug/pprof/  the standard pprof handlers
 //
 // The CLIs wire it up behind a -serve addr flag; see obs.LiveSink for
@@ -39,11 +42,13 @@ import (
 // Server serves live telemetry for one process. Every half is optional:
 // without a metrics registry /metrics renders an empty (but valid) page,
 // without a live sink /runz and /eventz answer 404, without a counter
-// fabric /convergz answers 404.
+// fabric /convergz answers 404, without a flight recorder /debugz
+// answers 404.
 type Server struct {
 	rec    *obs.Recorder
 	live   *obs.LiveSink
 	fabric *costs.Fabric
+	flight *obs.FlightRecorder
 	http   *http.Server
 	ln     net.Listener
 }
@@ -52,6 +57,12 @@ type Server struct {
 // event stream, and fabric's cost counters (any of which may be nil).
 func New(rec *obs.Recorder, live *obs.LiveSink, fabric *costs.Fabric) *Server {
 	return &Server{rec: rec, live: live, fabric: fabric}
+}
+
+// WithFlight attaches a flight recorder, enabling /debugz. Returns s.
+func (s *Server) WithFlight(f *obs.FlightRecorder) *Server {
+	s.flight = f
+	return s
 }
 
 // Handler returns the telemetry mux (also used directly by tests via
@@ -64,6 +75,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/runz", s.runz)
 	mux.HandleFunc("/convergz", s.convergz)
 	mux.HandleFunc("/eventz", s.eventz)
+	mux.HandleFunc("/debugz", s.debugz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -107,6 +119,7 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 		"/runz           JSON snapshot of the in-flight run\n"+
 		"/convergz       JSON snapshot of the convergence cost counters\n"+
 		"/eventz         SSE tail of live trace events (?replay=N)\n"+
+		"/debugz         flight-recorder ring as NDJSON (?n=N, ?status=1)\n"+
 		"/debug/pprof/   profiling\n")
 }
 
@@ -115,6 +128,38 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	_ = s.rec.Metrics().Snapshot().WritePrometheus(w)
 	if s.fabric != nil {
 		_ = s.fabric.Snapshot().WritePrometheus(w)
+	}
+	if s.live != nil {
+		_ = s.live.WriteDropsPrometheus(w)
+	}
+}
+
+// debugz serves the flight recorder: by default the current event ring
+// as NDJSON (the exact format of the auto-dump files, so the same jq
+// and octrace tooling applies), with ?status=1 the recorder's JSON
+// self-accounting (ring fill, dumps written, suppressed triggers).
+func (s *Server) debugz(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		http.Error(w, "no flight recorder attached", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("status") == "1" {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.flight.Status())
+		return
+	}
+	n := 0
+	if v, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && v > 0 {
+		n = v
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, e := range s.flight.Recent(n) {
+		if err := enc.Encode(e); err != nil {
+			return
+		}
 	}
 }
 

@@ -337,6 +337,95 @@ func TestEndpointsWithoutLiveSink(t *testing.T) {
 	}
 }
 
+// TestDebugzFlight pins the flight-recorder fetch path: /debugz serves
+// the ring as NDJSON (bounded by ?n=), ?status=1 serves the recorder's
+// self-accounting, and a side-car without a flight recorder answers
+// 404.
+func TestDebugzFlight(t *testing.T) {
+	flight := obs.NewFlightRecorder(obs.FlightConfig{Size: 8})
+	rec := obs.NewRecorder(obs.NewTracer(flight), obs.NewRegistry())
+	ts := httptest.NewServer(New(rec, nil, nil).WithFlight(flight).Handler())
+	defer ts.Close()
+
+	for i := 0; i < 5; i++ {
+		rec.Emit(obs.Event{Type: obs.ERound, Round: i})
+	}
+
+	code, body := get(t, ts.URL+"/debugz")
+	if code != http.StatusOK {
+		t.Fatalf("/debugz status %d", code)
+	}
+	lines := strings.Split(strings.TrimRight(body, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("/debugz served %d lines, want the full ring of 5", len(lines))
+	}
+	for i, line := range lines {
+		var e obs.Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("/debugz line %d not a valid event: %v (%q)", i+1, err, line)
+		}
+		if e.Round != i {
+			t.Fatalf("/debugz line %d is round %d, want oldest-first order", i+1, e.Round)
+		}
+	}
+
+	_, body = get(t, ts.URL+"/debugz?n=2")
+	if lines := strings.Split(strings.TrimRight(body, "\n"), "\n"); len(lines) != 2 {
+		t.Fatalf("/debugz?n=2 served %d lines", len(lines))
+	}
+
+	code, body = get(t, ts.URL+"/debugz?status=1")
+	if code != http.StatusOK {
+		t.Fatalf("/debugz?status=1 status %d", code)
+	}
+	var st obs.FlightStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/debugz?status=1 not JSON: %v\n%s", err, body)
+	}
+	if st.Ring != 8 || st.Buffered != 5 {
+		t.Fatalf("/debugz?status=1 = %+v, want ring 8 buffered 5", st)
+	}
+
+	bare := httptest.NewServer(New(rec, nil, nil).Handler())
+	defer bare.Close()
+	if code, _ := get(t, bare.URL+"/debugz"); code != http.StatusNotFound {
+		t.Fatalf("/debugz without flight recorder = %d, want 404", code)
+	}
+}
+
+// TestMetricsSubscriberDrops pins the per-subscriber drop accounting on
+// /metrics: a slow subscriber's losses surface as the
+// ocpmesh_live_subscriber_dropped counter family next to the total.
+func TestMetricsSubscriberDrops(t *testing.T) {
+	live := obs.NewLiveSink(16)
+	rec := obs.NewRecorder(obs.NewTracer(live), obs.NewRegistry())
+	ts := httptest.NewServer(New(rec, live, nil).Handler())
+	defer ts.Close()
+
+	id, ch := live.Subscribe(2)
+	defer live.Unsubscribe(id)
+	for i := 0; i < 6; i++ {
+		rec.Emit(obs.Event{Type: obs.ERound, Round: i})
+	}
+	if got := live.SubscriberDropped(id); got != 4 {
+		t.Fatalf("subscriber dropped %d events, want 4 (buffer 2, 6 emitted)", got)
+	}
+	<-ch
+
+	code, page := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	checkPromPage(t, page)
+	want := `ocpmesh_live_subscriber_dropped{subscriber="` + strconv.Itoa(id) + `"} 4`
+	if !strings.Contains(page, want) {
+		t.Fatalf("/metrics missing %q:\n%s", want, page)
+	}
+	if !strings.Contains(page, "ocpmesh_live_dropped 4") {
+		t.Fatalf("/metrics missing aggregate ocpmesh_live_dropped:\n%s", page)
+	}
+}
+
 // TestStartAndClose binds a real listener on :0 and scrapes it over TCP.
 func TestStartAndClose(t *testing.T) {
 	rec := obs.NewRecorder(nil, obs.NewRegistry())

@@ -234,6 +234,11 @@ type TenantStatus struct {
 	Regions       int   `json:"regions"`
 	Disabled      int   `json:"disabled_nonfaulty"`
 	DroppedEvents int64 `json:"dropped_events,omitempty"`
+	// Features lists the serving capabilities clients negotiate on:
+	// "stages" means delta responses carry the per-stage latency
+	// breakdown (ocpload refuses to benchmark stage columns against a
+	// server that does not advertise it).
+	Features []string `json:"features,omitempty"`
 }
 
 func (s *Server) listTenants(w http.ResponseWriter, _ *http.Request) {
@@ -275,6 +280,7 @@ func statusOf(t *Tenant) TenantStatus {
 		Regions:       len(snap.Res.Regions),
 		Disabled:      snap.Res.DisabledNonfaultyCount(),
 		DroppedEvents: t.Dropped(),
+		Features:      t.svc.Features(),
 	}
 }
 
@@ -313,6 +319,9 @@ type DeltaResponse struct {
 	// Batched is how many concurrent requests the delta's batch
 	// coalesced into shared engine passes.
 	Batched int `json:"batched,omitempty"`
+	// Stages is the server-side per-stage latency attribution of this
+	// request (absent when the server runs with stages disabled).
+	Stages *StageBreakdown `json:"stages,omitempty"`
 }
 
 func (s *Server) postDelta(w http.ResponseWriter, r *http.Request) {
@@ -341,6 +350,7 @@ func (s *Server) postDelta(w http.ResponseWriter, r *http.Request) {
 		Rounds:   resp.Delta.Rounds(),
 		Changed:  resp.Delta.ChangedPhase1 + resp.Delta.ChangedPhase2,
 		Batched:  resp.Batched,
+		Stages:   resp.Stages,
 	})
 }
 

@@ -1,0 +1,299 @@
+// Latency-attribution tests: the serve_request stage breakdown must
+// telescope exactly — queue + batch + compute + publish equals the
+// end-to-end latency for every request, always, because all five
+// numbers derive from one chain of monotonic stamps. These tests pin
+// that contract, the stages feature negotiation, and the flight
+// recorder's dump-on-invariant-violation behavior under live load.
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/obs"
+	"ocpmesh/internal/serve"
+)
+
+func stageTestService(t *testing.T, opts serve.Options, tenants int) (*serve.Service, *obs.CollectSink) {
+	t.Helper()
+	sink := &obs.CollectSink{}
+	if opts.Recorder == nil {
+		opts.Recorder = obs.NewRecorder(obs.NewTracer(sink), obs.NewRegistry())
+	}
+	svc := serve.New(opts)
+	t.Cleanup(func() { svc.Close() })
+	for i := 0; i < tenants; i++ {
+		cfg := serve.TenantConfig{Width: 16, Height: 16, Engine: "bitset"}
+		if _, _, err := svc.Create(fmt.Sprintf("t%d", i), cfg, nil); err != nil {
+			t.Fatalf("create t%d: %v", i, err)
+		}
+	}
+	return svc, sink
+}
+
+// TestServeStageSumsExact is the acceptance pin for latency
+// attribution: under concurrent load across tenants and shards, every
+// serve_request event's stage fields sum to exactly its end-to-end
+// duration, request ids are unique, and shard ids are 1-based.
+func TestServeStageSumsExact(t *testing.T) {
+	const shards, tenants, workers, perWorker = 3, 4, 8, 25
+	svc, sink := stageTestService(t, serve.Options{Shards: shards}, tenants)
+
+	if got := svc.Features(); len(got) != 1 || got[0] != "stages" {
+		t.Fatalf("Features() = %v, want [stages]", got)
+	}
+
+	var mu sync.Mutex
+	var responses []serve.Response
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				op := "add"
+				if i%2 == 1 {
+					op = "remove"
+				}
+				id := fmt.Sprintf("t%d", (w+i)%tenants)
+				resp, err := svc.Apply(id, op, []grid.Point{grid.Pt((w*3+i)%16, i%16)})
+				if err != nil {
+					t.Errorf("apply %s: %v", id, err)
+					return
+				}
+				mu.Lock()
+				responses = append(responses, resp)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for i, resp := range responses {
+		b := resp.Stages
+		if b == nil {
+			t.Fatalf("response %d has no stage breakdown", i)
+		}
+		if sum := b.QueueNS + b.BatchNS + b.ComputeNS + b.PublishNS; sum != b.TotalNS {
+			t.Fatalf("response %d stages sum to %d, total is %d: %+v", i, sum, b.TotalNS, b)
+		}
+	}
+
+	events := sink.Filter(obs.EServeRequest)
+	if len(events) != workers*perWorker {
+		t.Fatalf("%d serve_request events, want one per request (%d)", len(events), workers*perWorker)
+	}
+	seen := make(map[int64]bool, len(events))
+	for _, e := range events {
+		if sum := e.QueueNS + e.BatchNS + e.ComputeNS + e.PublishNS; sum != e.DurNS {
+			t.Fatalf("serve_request req=%d: stages sum to %d, dur_ns is %d: %+v", e.Req, sum, e.DurNS, e)
+		}
+		if e.QueueNS < 0 || e.BatchNS < 0 || e.ComputeNS < 0 || e.PublishNS < 0 {
+			t.Fatalf("serve_request req=%d has a negative stage: %+v", e.Req, e)
+		}
+		if e.Req <= 0 || seen[e.Req] {
+			t.Fatalf("serve_request id %d missing or duplicated", e.Req)
+		}
+		seen[e.Req] = true
+		if e.Shard < 1 || e.Shard > shards {
+			t.Fatalf("serve_request req=%d shard %d out of 1..%d", e.Req, e.Shard, shards)
+		}
+		if e.Tenant == "" || e.Name == "" {
+			t.Fatalf("serve_request req=%d missing tenant or op: %+v", e.Req, e)
+		}
+	}
+}
+
+// TestServeStageMetrics checks the cached serve_stage_* histogram
+// family and per-tenant attribution counters observe every request.
+func TestServeStageMetrics(t *testing.T) {
+	sink := &obs.CollectSink{}
+	rec := obs.NewRecorder(obs.NewTracer(sink), obs.NewRegistry())
+	svc, _ := stageTestService(t, serve.Options{Shards: 2, Recorder: rec}, 1)
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := svc.Apply("t0", "add", []grid.Point{grid.Pt(i%16, i/16)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rec.Counter("serve_requests").Value(); got != n {
+		t.Fatalf("serve_requests = %d, want %d", got, n)
+	}
+	for _, stage := range []string{"queue", "batch", "compute", "publish", "total"} {
+		h := rec.Histogram("serve_stage_"+stage+"_ns", obs.NSBuckets)
+		if got := h.Count(); got != n {
+			t.Fatalf("serve_stage_%s_ns count = %d, want %d", stage, got, n)
+		}
+	}
+	if got := rec.Counter("serve_tenant_requests:t0").Value(); got != n {
+		t.Fatalf("serve_tenant_requests:t0 = %d, want %d", got, n)
+	}
+	if rec.Counter("serve_tenant_busy_ns:t0").Value() <= 0 {
+		t.Fatal("serve_tenant_busy_ns:t0 never accumulated")
+	}
+}
+
+// TestServeStagesDisabled: the -stages=false baseline leg carries no
+// stamps, no serve_request events, no response breakdowns, and
+// advertises no stages feature — this is what the overhead gate
+// compares against.
+func TestServeStagesDisabled(t *testing.T) {
+	svc, sink := stageTestService(t, serve.Options{Shards: 1, DisableStages: true}, 1)
+	if got := svc.Features(); got != nil {
+		t.Fatalf("Features() = %v, want nil with stages disabled", got)
+	}
+	resp, err := svc.Apply("t0", "add", []grid.Point{grid.Pt(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stages != nil {
+		t.Fatalf("response carries stages %+v with stages disabled", resp.Stages)
+	}
+	if got := sink.Filter(obs.EServeRequest); len(got) != 0 {
+		t.Fatalf("%d serve_request events with stages disabled", len(got))
+	}
+	// The delta stream itself is unaffected.
+	if got := sink.Filter(obs.EServeDelta); len(got) == 0 {
+		t.Fatal("no serve_delta events: disabling stages must not mute the delta stream")
+	}
+}
+
+// TestServeStagesWithoutRecorder: stage breakdowns ride the response
+// even with no recorder wired, so feature negotiation holds for
+// in-process services too.
+func TestServeStagesWithoutRecorder(t *testing.T) {
+	svc := serve.New(serve.Options{Shards: 1})
+	defer svc.Close()
+	if _, _, err := svc.Create("t0", serve.TenantConfig{Width: 8, Height: 8}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Features(); len(got) != 1 || got[0] != "stages" {
+		t.Fatalf("Features() = %v, want [stages]", got)
+	}
+	resp, err := svc.Apply("t0", "add", []grid.Point{grid.Pt(2, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := resp.Stages
+	if b == nil {
+		t.Fatal("no stage breakdown without a recorder")
+	}
+	if sum := b.QueueNS + b.BatchNS + b.ComputeNS + b.PublishNS; sum != b.TotalNS {
+		t.Fatalf("stages sum to %d, total is %d: %+v", sum, b.TotalNS, b)
+	}
+}
+
+// TestServeFlightDumpUnderLoad is the flight-recorder integration pin:
+// an invariant_violation injected while the service is under live load
+// produces exactly one dump whose last line is the trigger and whose
+// preceding lines are the ring of events leading up to it; a second
+// violation inside the window is suppressed, not dumped again.
+func TestServeFlightDumpUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	flight := obs.NewFlightRecorder(obs.FlightConfig{Size: 4096, Dir: dir, Window: time.Hour})
+	sink := &obs.CollectSink{}
+	rec := obs.NewRecorder(obs.NewTracer(obs.MultiSink(sink, flight)), obs.NewRegistry())
+	svc, _ := stageTestService(t, serve.Options{Shards: 2, Recorder: rec}, 2)
+
+	// Warm synchronously so the ring provably holds serve_request
+	// context before the trigger fires.
+	for i := 0; i < 20; i++ {
+		if _, err := svc.Apply(fmt.Sprintf("t%d", i%2), "add", []grid.Point{grid.Pt(i%16, i%16)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				op := "add"
+				if i%2 == 1 {
+					op = "remove"
+				}
+				if _, err := svc.Apply(fmt.Sprintf("t%d", w%2), op, []grid.Point{grid.Pt((w+i)%16, i%16)}); err != nil {
+					t.Errorf("apply under load: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	rec.Emit(obs.Event{Type: obs.EInvariantViolation, Name: "injected", Err: "flight test trigger"})
+	rec.Emit(obs.Event{Type: obs.EInvariantViolation, Name: "injected_again", Err: "should be suppressed"})
+	close(stop)
+	wg.Wait()
+
+	files, err := filepath.Glob(filepath.Join(dir, "flight-*.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("flight dumps = %v, want exactly one", files)
+	}
+	st := flight.Status()
+	if st.Dumps != 1 || st.Suppressed != 1 {
+		t.Fatalf("flight status %+v, want 1 dump and 1 suppressed", st)
+	}
+
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []obs.Event
+	for i, line := range splitLines(data) {
+		var e obs.Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("dump line %d is not a valid event: %v", i+1, err)
+		}
+		events = append(events, e)
+	}
+	if len(events) < 21 {
+		t.Fatalf("dump holds %d events, want the warm ring plus trigger", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Type != obs.EInvariantViolation || last.Name != "injected" {
+		t.Fatalf("dump's last event is %+v, want the injected trigger", last)
+	}
+	reqs := 0
+	for _, e := range events[:len(events)-1] {
+		if e.Type == obs.EServeRequest {
+			reqs++
+		}
+	}
+	if reqs < 20 {
+		t.Fatalf("dump holds %d serve_request events before the trigger, want the warm load (>= 20)", reqs)
+	}
+}
+
+func splitLines(data []byte) [][]byte {
+	var lines [][]byte
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			if i > start {
+				lines = append(lines, data[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		lines = append(lines, data[start:])
+	}
+	return lines
+}

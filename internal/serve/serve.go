@@ -80,6 +80,13 @@ type Options struct {
 	// Recorder, when non-nil, receives serve_* trace events and the
 	// serve_* latency/batch metrics (P² quantiles via the registry).
 	Recorder *obs.Recorder
+	// DisableStages turns off per-request latency attribution: no stage
+	// stamps are taken, no serve_request events or serve_stage_* metrics
+	// are emitted, and delta responses omit the stage breakdown (clients
+	// see the "stages" feature missing from the tenant status). It exists
+	// as the baseline leg of the latency-overhead benchmark and for
+	// callers that want the absolute minimum hot path.
+	DisableStages bool
 }
 
 func (o Options) shards() int {
@@ -256,6 +263,13 @@ type request struct {
 	op     string
 	points []grid.Point
 	reply  chan Response
+	// id numbers delta requests service-wide; enq and deq are the
+	// monotonic stage stamps taken at enqueue (Apply) and shard-loop
+	// dequeue (collect). All three stay zero under DisableStages and on
+	// close requests.
+	id  int64
+	enq time.Time
+	deq time.Time
 }
 
 const (
@@ -273,19 +287,78 @@ type Response struct {
 	Delta core.Delta
 	// Batched is how many requests the tenant's batch carried.
 	Batched int
-	Err     error
+	// Stages is the request's per-stage latency attribution (nil when
+	// the service runs with DisableStages).
+	Stages *StageBreakdown
+	Err    error
+}
+
+// StageBreakdown decomposes one request's end-to-end latency into the
+// serving pipeline's stages. The stages are derived from one chain of
+// monotonic stamps (enqueue → dequeue → pass start → pass end → reply
+// build), so they telescope: QueueNS+BatchNS+ComputeNS+PublishNS ==
+// TotalNS exactly, for every request.
+type StageBreakdown struct {
+	// QueueNS is time spent in the shard queue (enqueue to dequeue).
+	QueueNS int64 `json:"queue_ns"`
+	// BatchNS is time from dequeue until the request's engine pass
+	// started: batch-window sitting time plus earlier runs of the batch.
+	BatchNS int64 `json:"batch_ns"`
+	// ComputeNS is the AddFaults/RemoveFaults frontier pass the request
+	// coalesced into (shared verbatim by every request of the run).
+	ComputeNS int64 `json:"compute_ns"`
+	// PublishNS is pass end to reply build: snapshot publish, event
+	// fan-out, and any later runs of the same batch.
+	PublishNS int64 `json:"publish_ns"`
+	// TotalNS is the end-to-end latency as seen from the shard loop
+	// (enqueue to reply build; client wire time comes on top).
+	TotalNS int64 `json:"total_ns"`
 }
 
 // shard is one single-writer loop plus its queue.
 type shard struct {
+	// idx is the shard's 1-based ring position (1-based so it can ride
+	// the omitempty Shard event field).
+	idx  int
 	ch   chan request
 	stop chan struct{}
+}
+
+// stageMetrics caches the attribution metric handles at construction,
+// so the per-request hot path observes through direct pointers and
+// never takes the registry's name-lookup lock.
+type stageMetrics struct {
+	requests                            *obs.Counter
+	queue, batch, compute, publish, tot *obs.Histogram
+	shardDepth                          []*obs.Gauge   // queue backlog after each batch, per shard
+	shardBusy                           []*obs.Counter // cumulative busy ns, per shard
+}
+
+func newStageMetrics(rec *obs.Recorder, shards int) *stageMetrics {
+	m := &stageMetrics{
+		requests: rec.Counter("serve_requests"),
+		queue:    rec.Histogram("serve_stage_queue_ns", obs.NSBuckets),
+		batch:    rec.Histogram("serve_stage_batch_ns", obs.NSBuckets),
+		compute:  rec.Histogram("serve_stage_compute_ns", obs.NSBuckets),
+		publish:  rec.Histogram("serve_stage_publish_ns", obs.NSBuckets),
+		tot:      rec.Histogram("serve_stage_total_ns", obs.NSBuckets),
+	}
+	for i := 1; i <= shards; i++ {
+		m.shardDepth = append(m.shardDepth, rec.Gauge(fmt.Sprintf("serve_shard_depth:%d", i)))
+		m.shardBusy = append(m.shardBusy, rec.Counter(fmt.Sprintf("serve_shard_busy_ns:%d", i)))
+	}
+	return m
 }
 
 // Service is the multi-tenant formation service.
 type Service struct {
 	opts   Options
 	shards []*shard
+	// reqSeq numbers delta requests for serve_request attribution.
+	reqSeq atomic.Int64
+	// stages holds the cached attribution metric handles; nil when the
+	// recorder is absent or DisableStages is set.
+	stages *stageMetrics
 
 	mu      sync.RWMutex
 	tenants map[string]*Tenant
@@ -300,9 +373,12 @@ type Service struct {
 func New(opts Options) *Service {
 	s := &Service{opts: opts, tenants: make(map[string]*Tenant)}
 	n := opts.shards()
+	if opts.Recorder != nil && !opts.DisableStages {
+		s.stages = newStageMetrics(opts.Recorder, n)
+	}
 	s.shards = make([]*shard, n)
 	for i := range s.shards {
-		sh := &shard{ch: make(chan request, opts.queueDepth()), stop: make(chan struct{})}
+		sh := &shard{idx: i + 1, ch: make(chan request, opts.queueDepth()), stop: make(chan struct{})}
 		s.shards[i] = sh
 		s.loops.Add(1)
 		go func() {
@@ -545,9 +621,24 @@ func (s *Service) Apply(id, op string, points []grid.Point) (Response, error) {
 	defer s.inflight.Done()
 
 	reply := make(chan Response, 1)
-	t.shard.ch <- request{t: t, op: op, points: points, reply: reply}
+	r := request{t: t, op: op, points: points, reply: reply}
+	if !s.opts.DisableStages {
+		r.id = s.reqSeq.Add(1)
+		r.enq = time.Now()
+	}
+	t.shard.ch <- r
 	resp := <-reply
 	return resp, resp.Err
+}
+
+// Features lists the serving capabilities clients can negotiate on (in
+// the tenant status of the create response): "stages" means delta
+// responses carry the per-stage latency breakdown.
+func (s *Service) Features() []string {
+	if s.opts.DisableStages {
+		return nil
+	}
+	return []string{"stages"}
 }
 
 // Route answers one route query off the tenant's current snapshot.
@@ -605,14 +696,17 @@ func (s *Service) run(sh *shard) {
 		if batch == nil {
 			return
 		}
-		s.apply(batch)
+		s.apply(sh, batch)
 	}
 }
 
 // collect blocks for the batch's first request, optionally keeps
 // collecting for the batch window, then drains whatever else is queued.
-// It returns nil when the shard is stopped and its queue empty.
+// Every dequeued request gets its deq stage stamp here (unless stages
+// are off). It returns nil when the shard is stopped and its queue
+// empty.
 func (s *Service) collect(sh *shard) []request {
+	stamp := !s.opts.DisableStages
 	var first request
 	select {
 	case first = <-sh.ch:
@@ -623,6 +717,9 @@ func (s *Service) collect(sh *shard) []request {
 			return nil
 		}
 	}
+	if stamp {
+		first.deq = time.Now()
+	}
 	batch := []request{first}
 	if w := s.opts.BatchWindow; w > 0 {
 		timer := time.NewTimer(w)
@@ -630,6 +727,9 @@ func (s *Service) collect(sh *shard) []request {
 		for {
 			select {
 			case r := <-sh.ch:
+				if stamp {
+					r.deq = time.Now()
+				}
 				batch = append(batch, r)
 			case <-timer.C:
 				break window
@@ -642,6 +742,9 @@ func (s *Service) collect(sh *shard) []request {
 	for {
 		select {
 		case r := <-sh.ch:
+			if stamp {
+				r.deq = time.Now()
+			}
 			batch = append(batch, r)
 		default:
 			return batch
@@ -653,7 +756,7 @@ func (s *Service) collect(sh *shard) []request {
 // order, consecutive same-op delta runs per tenant collapse into one
 // engine pass, and each tenant publishes exactly one new snapshot per
 // batch. Every request is answered.
-func (s *Service) apply(batch []request) {
+func (s *Service) apply(sh *shard, batch []request) {
 	byTenant := make(map[*Tenant][]request, 1)
 	order := make([]*Tenant, 0, 1)
 	for _, r := range batch {
@@ -663,15 +766,18 @@ func (s *Service) apply(batch []request) {
 		byTenant[r.t] = append(byTenant[r.t], r)
 	}
 	for _, t := range order {
-		s.applyTenant(t, byTenant[t])
+		s.applyTenant(sh, t, byTenant[t])
 	}
 	if rec := s.opts.Recorder; rec != nil {
 		rec.Histogram("serve_batch_requests", nil).Observe(float64(len(batch)))
 	}
+	if s.stages != nil {
+		s.stages.shardDepth[sh.idx-1].Set(float64(len(sh.ch)))
+	}
 }
 
 // applyTenant runs one tenant's slice of a batch on its session.
-func (s *Service) applyTenant(t *Tenant, reqs []request) {
+func (s *Service) applyTenant(sh *shard, t *Tenant, reqs []request) {
 	if t.deleted.Load() {
 		for _, r := range reqs {
 			r.reply <- Response{Err: fmt.Errorf("%w: %q", ErrTenantNotFound, t.id)}
@@ -679,12 +785,16 @@ func (s *Service) applyTenant(t *Tenant, reqs []request) {
 		return
 	}
 	rec := s.opts.Recorder
+	stages := !s.opts.DisableStages
 	start := time.Now()
 	mutated := false
 	type done struct {
 		reqs  []request
 		delta core.Delta
 		err   error
+		// start and end bracket the run's engine pass; every request of
+		// the run derives its compute stage from them.
+		start, end time.Time
 	}
 	var dones []done
 
@@ -717,20 +827,23 @@ func (s *Service) applyTenant(t *Tenant, reqs []request) {
 				points = append(points, rr.points...)
 			}
 		}
-		var (
-			d   core.Delta
-			err error
-		)
-		if r.op == opAdd {
-			d, err = t.session.AddFaults(points...)
-		} else {
-			d, err = t.session.RemoveFaults(points...)
+		dn := done{reqs: reqs[i:j]}
+		if stages {
+			dn.start = time.Now()
 		}
-		if err == nil {
+		if r.op == opAdd {
+			dn.delta, dn.err = t.session.AddFaults(points...)
+		} else {
+			dn.delta, dn.err = t.session.RemoveFaults(points...)
+		}
+		if stages {
+			dn.end = time.Now()
+		}
+		if dn.err == nil {
 			mutated = true
 			t.seq += uint64(j - i)
 		}
-		dones = append(dones, done{reqs: reqs[i:j], delta: d, err: err})
+		dones = append(dones, dn)
 		i = j
 	}
 	// One snapshot per batch: all of the batch's effects become visible
@@ -767,15 +880,62 @@ func (s *Service) applyTenant(t *Tenant, reqs []request) {
 			}
 			rec.Emit(e)
 		}
+		// The publish stage closes here: one reply-build stamp per run,
+		// shared by its requests, keeps the four stages telescoping to
+		// exactly each request's end-to-end latency.
+		var pubEnd time.Time
+		if stages {
+			pubEnd = time.Now()
+		}
 		for _, r := range dn.reqs {
-			r.reply <- Response{Seq: seq, Delta: dn.delta, Batched: len(reqs), Err: dn.err}
+			resp := Response{Seq: seq, Delta: dn.delta, Batched: len(reqs), Err: dn.err}
+			if stages {
+				b := &StageBreakdown{
+					QueueNS:   r.deq.Sub(r.enq).Nanoseconds(),
+					BatchNS:   dn.start.Sub(r.deq).Nanoseconds(),
+					ComputeNS: dn.end.Sub(dn.start).Nanoseconds(),
+					PublishNS: pubEnd.Sub(dn.end).Nanoseconds(),
+					TotalNS:   pubEnd.Sub(r.enq).Nanoseconds(),
+				}
+				resp.Stages = b
+				if m := s.stages; m != nil {
+					m.requests.Inc()
+					m.queue.Observe(float64(b.QueueNS))
+					m.batch.Observe(float64(b.BatchNS))
+					m.compute.Observe(float64(b.ComputeNS))
+					m.publish.Observe(float64(b.PublishNS))
+					m.tot.Observe(float64(b.TotalNS))
+				}
+				if rec != nil {
+					e := obs.Event{
+						Type: obs.EServeRequest, Tenant: t.id, Req: r.id,
+						Shard: sh.idx, Name: r.op, N: len(r.points),
+						QueueNS: b.QueueNS, BatchNS: b.BatchNS,
+						ComputeNS: b.ComputeNS, PublishNS: b.PublishNS,
+						DurNS: b.TotalNS,
+					}
+					if dn.err != nil {
+						e.Err = dn.err.Error()
+					}
+					rec.Emit(e)
+				}
+			}
+			r.reply <- resp
 		}
 	}
 	if rec != nil && mutated {
 		rec.Counter("serve_deltas").Add(int64(len(reqs)))
 		rec.Counter("serve_batches").Inc()
+		rec.Counter("serve_tenant_requests:" + t.id).Add(int64(len(reqs)))
+		rec.Counter("serve_tenant_busy_ns:" + t.id).Add(dur.Nanoseconds())
 		rec.Histogram("serve_batch_size", nil).Observe(float64(len(reqs)))
 		rec.Histogram("serve_delta_ns", obs.NSBuckets).Observe(float64(dur.Nanoseconds()))
-		rec.Emit(obs.Event{Type: obs.EServeBatch, Tenant: t.id, N: len(reqs), Rounds: int(seq), DurNS: dur.Nanoseconds()})
+		rec.Emit(obs.Event{
+			Type: obs.EServeBatch, Tenant: t.id, N: len(reqs), Rounds: int(seq),
+			Shard: sh.idx, Depth: len(sh.ch), DurNS: dur.Nanoseconds(),
+		})
+	}
+	if s.stages != nil && mutated {
+		s.stages.shardBusy[sh.idx-1].Add(dur.Nanoseconds())
 	}
 }
