@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: build vet test race bench churn-bench parallel-bench bitset-bench bitset-scale-bench bench-check overhead-bench overhead-gate latency-overhead converge-demo serve-demo serve-bench fuzz check
+.PHONY: build vet test race bench churn-bench parallel-bench bitset-bench bitset-scale-bench bench-check overhead-bench overhead-gate latency-overhead converge-demo serve-demo serve-bench route-bench route-gate fuzz check
 
 # serve-demo smoke-tests the live telemetry side-car: it starts a real
 # sweep with -serve, scrapes /healthz, /runz and /metrics while the
@@ -104,6 +104,23 @@ serve-bench:
 	@rm -f .bench-serve-raw.txt
 	@cat BENCH_serve.json
 
+# route-bench measures the routing query layer — the walk-based Detour
+# (idx=off) against the precompiled boundary index (idx=on) on identical
+# pair sets up to n=512 — and records the pairs in BENCH_route.json.
+route-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkRoute$$' -benchmem -timeout 30m . | $(GO) run ./scripts/benchjson > BENCH_route.json
+	@cat BENCH_route.json
+
+# route-gate enforces the indexed router's speedup contract on a fresh
+# measurement: at n=512 the walk-based leg must cost at least 10x the
+# indexed leg (octrace bench speedup), and the fresh run must not have
+# regressed against the committed BENCH_route.json.
+route-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkRoute$$' -benchmem -timeout 30m . | $(GO) run ./scripts/benchjson > .bench-route-fresh.json
+	$(GO) run ./cmd/octrace bench speedup -min 10 -min-n 512 .bench-route-fresh.json
+	$(GO) run ./cmd/octrace bench check -tol 0.25 BENCH_route.json .bench-route-fresh.json
+	@rm -f .bench-route-fresh.json
+
 # overhead-bench measures the counter fabric on/off on the bitset
 # engine at n=512 (the convergence observatory's acceptance workload)
 # and records the pair in BENCH_overhead.json. The off and on legs must
@@ -185,5 +202,6 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzFormation$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzRegionOCP$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzServeDelta$$' -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run '^$$' -fuzz '^FuzzRouteQuery$$' -fuzztime $(FUZZTIME) ./internal/routeidx
 
 check: build vet test race

@@ -22,6 +22,7 @@ import (
 	"ocpmesh/internal/obs/costs"
 	"ocpmesh/internal/partition"
 	"ocpmesh/internal/region"
+	"ocpmesh/internal/routeidx"
 	"ocpmesh/internal/routing"
 	"ocpmesh/internal/safety"
 	"ocpmesh/internal/simnet"
@@ -250,7 +251,8 @@ func BenchmarkRegionExtraction(b *testing.B) {
 }
 
 // BenchmarkDetourRouter measures the online wall-following router against
-// the BFS oracle on the same pairs.
+// the BFS oracle on the same pairs. The detour leg reuses one path
+// buffer across queries (RouteAppend), so its allocs/op stay near zero.
 func BenchmarkDetourRouter(b *testing.B) {
 	topo, faults := paperMachine(b, 60, 8)
 	res := form(b, core.Config{Width: 100, Height: 100}, topo, faults)
@@ -258,19 +260,55 @@ func BenchmarkDetourRouter(b *testing.B) {
 	rng := rand.New(rand.NewSource(6))
 	pairs := routing.SamplePairs(res, 20, rng)
 	b.Run("detour", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf routing.Path
 		for i := 0; i < b.N; i++ {
 			for _, pr := range pairs {
-				_, _ = (routing.Detour{}).Route(g, pr[0], pr[1])
+				buf, _ = (routing.Detour{}).RouteAppend(g, pr[0], pr[1], buf)
 			}
 		}
 	})
 	b.Run("bfs-oracle", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, pr := range pairs {
 				g.ShortestPath(pr[0], pr[1])
 			}
 		}
 	})
+}
+
+// BenchmarkRoute pins the routing query layer's speedup contract: the
+// idx=off legs answer hop-count queries with the walk-based Detour, the
+// idx=on legs with the precompiled boundary index (internal/routeidx),
+// over identical pair sets. `octrace bench speedup` gates the committed
+// BENCH_route.json on off/on >= 10x at n=512 (CI route-bench job). One
+// op is one query, so ns/op is directly comparable across legs.
+func BenchmarkRoute(b *testing.B) {
+	for _, c := range []struct{ n, f int }{{128, 16}, {512, 60}, {512, 200}} {
+		topo := mesh.MustNew(c.n, c.n, mesh.Mesh2D)
+		rng := rand.New(rand.NewSource(8))
+		faults := fault.Uniform{Count: c.f}.Generate(topo, rng)
+		res := form(b, core.Config{Width: c.n, Height: c.n, Engine: core.EngineBitset}, topo, faults)
+		g := routing.NewGraph(res, routing.ModelRegions)
+		pairs := routing.SamplePairs(res, 64, rand.New(rand.NewSource(6)))
+		b.Run(fmt.Sprintf("n=%d/f=%d/idx=off", c.n, c.f), func(b *testing.B) {
+			b.ReportAllocs()
+			var buf routing.Path
+			for i := 0; i < b.N; i++ {
+				pr := pairs[i%len(pairs)]
+				buf, _ = (routing.Detour{}).RouteAppend(g, pr[0], pr[1], buf)
+			}
+		})
+		ix := routeidx.Compile(res, routing.ModelRegions, routeidx.Options{})
+		b.Run(fmt.Sprintf("n=%d/f=%d/idx=on", c.n, c.f), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pr := pairs[i%len(pairs)]
+				_, _ = ix.Hops(pr[0], pr[1])
+			}
+		})
+	}
 }
 
 // BenchmarkX6Wormhole measures the wormhole simulators routing

@@ -62,9 +62,9 @@ func main() {
 
 // op is one planned operation.
 type op struct {
-	kind   string // "delta", "query", "route"
+	kind   string // "delta", "query", "route", "routes"
 	tenant string
-	body   []byte // delta request body
+	body   []byte // delta / batch-route request body
 	path   string // query/route request path suffix
 }
 
@@ -80,6 +80,8 @@ func run(args []string, out io.Writer) error {
 		duration  = fs.Duration("duration", 3*time.Second, "measured load duration")
 		deltaFrac = fs.Float64("delta-frac", 0.4, "fraction of operations that are fault deltas")
 		routeFrac = fs.Float64("route-frac", 0.3, "fraction of operations that are route requests")
+		batchFrac = fs.Float64("routes-frac", 0, "fraction of operations that are batch route requests (POST /routes)")
+		batchSize = fs.Int("routes-batch", 64, "queries per batch route request")
 		points    = fs.Int("points", 3, "fault points per delta")
 		seed      = fs.Int64("seed", 1, "workload random seed")
 		warmup    = fs.Int("warmup", 50, "unrecorded warmup operations per tenant")
@@ -94,8 +96,11 @@ func run(args []string, out io.Writer) error {
 	if *rate <= 0 || *duration <= 0 {
 		return fmt.Errorf("rate and duration must be positive")
 	}
-	if *deltaFrac < 0 || *routeFrac < 0 || *deltaFrac+*routeFrac > 1 {
-		return fmt.Errorf("delta-frac %v + route-frac %v must fit in [0,1]", *deltaFrac, *routeFrac)
+	if *deltaFrac < 0 || *routeFrac < 0 || *batchFrac < 0 || *deltaFrac+*routeFrac+*batchFrac > 1 {
+		return fmt.Errorf("delta-frac %v + route-frac %v + routes-frac %v must fit in [0,1]", *deltaFrac, *routeFrac, *batchFrac)
+	}
+	if *batchSize < 1 || *batchSize > 1<<14 {
+		return fmt.Errorf("routes-batch %d out of range [1, 16384]", *batchSize)
 	}
 
 	base := *addr
@@ -190,6 +195,13 @@ func run(args []string, out io.Writer) error {
 			o.kind = "route"
 			o.path = fmt.Sprintf("/route?src=%d,%d&dst=%d,%d",
 				rng.Intn(*size), rng.Intn(*size), rng.Intn(*size), rng.Intn(*size))
+		case r < *deltaFrac+*routeFrac+*batchFrac:
+			o.kind = "routes"
+			qs := make([][4]int, *batchSize)
+			for j := range qs {
+				qs[j] = [4]int{rng.Intn(*size), rng.Intn(*size), rng.Intn(*size), rng.Intn(*size)}
+			}
+			o.body, _ = json.Marshal(serve.RoutesRequest{Queries: qs})
 		default:
 			o.kind = "query"
 			o.path = "/labels"
@@ -199,9 +211,10 @@ func run(args []string, out io.Writer) error {
 
 	rec := obs.NewRecorder(nil, obs.NewRegistry())
 	hist := map[string]*obs.Histogram{
-		"delta": rec.Histogram("load_delta_ns", obs.NSBuckets),
-		"query": rec.Histogram("load_query_ns", obs.NSBuckets),
-		"route": rec.Histogram("load_route_ns", obs.NSBuckets),
+		"delta":  rec.Histogram("load_delta_ns", obs.NSBuckets),
+		"query":  rec.Histogram("load_query_ns", obs.NSBuckets),
+		"route":  rec.Histogram("load_route_ns", obs.NSBuckets),
+		"routes": rec.Histogram("load_routes_ns", obs.NSBuckets),
 	}
 	// stageHist holds the server-reported delta stage breakdowns, in the
 	// serving pipeline's stage order.
@@ -211,7 +224,7 @@ func run(args []string, out io.Writer) error {
 		stageHist[st] = rec.Histogram("load_stage_"+st+"_ns", obs.NSBuckets)
 	}
 	counts := map[string]*atomic.Int64{
-		"delta": {}, "query": {}, "route": {},
+		"delta": {}, "query": {}, "route": {}, "routes": {},
 	}
 	var errs atomic.Int64
 	var firstErr atomic.Pointer[string]
@@ -223,10 +236,14 @@ func run(args []string, out io.Writer) error {
 			sb   *serve.StageBreakdown
 		)
 		start := time.Now()
-		if o.kind == "delta" {
+		switch o.kind {
+		case "delta":
 			resp, err = client.Post(baseURL+"/api/tenants/"+o.tenant+"/deltas",
 				"application/json", bytes.NewReader(o.body))
-		} else {
+		case "routes":
+			resp, err = client.Post(baseURL+"/api/tenants/"+o.tenant+"/routes",
+				"application/json", bytes.NewReader(o.body))
+		default:
 			resp, err = client.Get(baseURL + "/api/tenants/" + o.tenant + o.path)
 		}
 		if err == nil && o.kind == "delta" && *stages {
@@ -249,7 +266,11 @@ func run(args []string, out io.Writer) error {
 		} else if err == nil {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
+			// Route queries pick random endpoints, some of which land on
+			// faulty nodes: the server's 422 is the correct answer there,
+			// not a load-generator failure.
+			unroutable := o.kind == "route" && resp.StatusCode == http.StatusUnprocessableEntity
+			if resp.StatusCode != http.StatusOK && !unroutable {
 				err = fmt.Errorf("%s %s: HTTP %d", o.kind, o.tenant, resp.StatusCode)
 			}
 		}
@@ -313,7 +334,7 @@ func run(args []string, out io.Writer) error {
 		p50, p99, max time.Duration
 	}
 	var stats []kindStats
-	for _, k := range []string{"delta", "route", "query"} {
+	for _, k := range []string{"delta", "route", "routes", "query"} {
 		n := counts[k].Load()
 		if n == 0 {
 			continue
@@ -328,7 +349,7 @@ func run(args []string, out io.Writer) error {
 		})
 	}
 	if *bench {
-		plural := map[string]string{"delta": "deltas", "route": "routes", "query": "queries"}
+		plural := map[string]string{"delta": "deltas", "route": "routes", "routes": "route_batches", "query": "queries"}
 		for _, s := range stats {
 			nsPerOp := elapsed.Seconds() * 1e9 / float64(s.n)
 			fmt.Fprintf(out, "BenchmarkServe/%s %d %.1f ns/op\n", plural[s.name], s.n, nsPerOp)

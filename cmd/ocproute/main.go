@@ -1,21 +1,27 @@
 // Command ocproute routes one message across a faulty machine and draws
 // the path over the fault-region rendering — a quick way to see the
-// refined fault model's shorter detours.
+// refined fault model's shorter detours. It can also measure batch
+// query throughput of the precompiled routing index against the
+// walk-based router (-qps), and find k node-disjoint paths (-k).
 //
 // Usage:
 //
 //	ocproute -n 20 -f 18 -seed 7 -src 0,10 -dst 19,10
 //	ocproute -router detour -model blocks -src 0,4 -dst 19,4
 //	ocproute -fixture figure1 -src 0,3 -dst 9,3 -router oracle
+//	ocproute -n 512 -f 200 -qps 100000
+//	ocproute -n 20 -f 12 -k 3 -src 0,10 -dst 19,10
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"ocpmesh/internal/core"
 	"ocpmesh/internal/fault"
@@ -24,6 +30,7 @@ import (
 	"ocpmesh/internal/obs"
 	"ocpmesh/internal/obs/costs"
 	"ocpmesh/internal/obs/serve"
+	"ocpmesh/internal/routeidx"
 	"ocpmesh/internal/routing"
 	"ocpmesh/internal/safety"
 	"ocpmesh/internal/status"
@@ -44,10 +51,12 @@ func run(args []string, out io.Writer) (retErr error) {
 		f       = fs.Int("f", 15, "number of random faults")
 		seed    = fs.Int64("seed", 1, "random seed")
 		model   = fs.String("model", "regions", "fault model: blocks, regions or faults")
-		router  = fs.String("router", "adaptive", "router: xy, adaptive, detour, oracle or safety")
+		router  = fs.String("router", "adaptive", "router: xy, adaptive, detour, indexed, oracle or safety")
 		srcStr  = fs.String("src", "", "source node as x,y (default west edge middle)")
 		dstStr  = fs.String("dst", "", "destination node as x,y (default east edge middle)")
 		torus   = fs.Bool("torus", false, "use a 2-D torus")
+		qps     = fs.Int("qps", 0, "measure batch throughput over this many random queries (indexed vs walk-based) instead of routing one message")
+		kPaths  = fs.Int("k", 0, "find k node-disjoint paths instead of a single route")
 
 		tracePath   = fs.String("trace", "", "write an NDJSON event trace to this file")
 		metricsPath = fs.String("metrics", "", "write a JSON metrics snapshot to this file at exit")
@@ -132,6 +141,10 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	g := routing.NewGraph(res, m)
 
+	if *qps > 0 {
+		return measureQPS(out, res, m, *qps, *seed, rec)
+	}
+
 	src, err := parsePoint(*srcStr, grid.Pt(0, topo.Height()/2), topo)
 	if err != nil {
 		return err
@@ -139,6 +152,10 @@ func run(args []string, out io.Writer) (retErr error) {
 	dst, err := parsePoint(*dstStr, grid.Pt(topo.Width()-1, topo.Height()/2), topo)
 	if err != nil {
 		return err
+	}
+
+	if *kPaths > 0 {
+		return disjointPaths(out, res, g, src, dst, *kPaths)
 	}
 
 	var r routing.Router
@@ -149,6 +166,8 @@ func run(args []string, out io.Writer) (retErr error) {
 		r = routing.AdaptiveMinimal{}
 	case "detour":
 		r = routing.Detour{}
+	case "indexed":
+		r = routeidx.Compile(res, m, routeidx.Options{Recorder: rec}).AsRouter()
 	case "oracle":
 		r = routing.Oracle{}
 	case "safety":
@@ -158,7 +177,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		}
 		r = safety.Router{Field: field}
 	default:
-		return fmt.Errorf("unknown router %q (want xy, adaptive, detour, oracle or safety)", *router)
+		return fmt.Errorf("unknown router %q (want xy, adaptive, detour, indexed, oracle or safety)", *router)
 	}
 	r = routing.Instrument(r, rec)
 
@@ -167,6 +186,12 @@ func run(args []string, out io.Writer) (retErr error) {
 	path, rerr := r.Route(g, src, dst)
 	if rerr != nil {
 		fmt.Fprintf(out, "routing failed: %v\n", rerr)
+		if errors.Is(rerr, routing.ErrUnroutable) {
+			fmt.Fprintln(out, "(the endpoint itself is faulty or disabled under this model — pick nodes outside the marked regions below)")
+			fmt.Fprintln(out)
+			fmt.Fprint(out, overlay(res, nil, src, dst))
+			return nil
+		}
 		if oracle, ok := g.ShortestPath(src, dst); ok {
 			fmt.Fprintf(out, "(a path of %d hops exists — the oracle finds it)\n", oracle.Len())
 		} else {
@@ -186,6 +211,95 @@ func run(args []string, out io.Writer) (retErr error) {
 	fmt.Fprintf(out, "delivered in %d hops%s\n\n", path.Len(), minimal)
 	fmt.Fprintln(out, core.RenderLegend()+"   o path   S source   D destination")
 	fmt.Fprint(out, overlay(res, path, src, dst))
+	return nil
+}
+
+// measureQPS compares batch query throughput of the precompiled index
+// against the walk-based Detour over the same random query set.
+func measureQPS(out io.Writer, res *core.Result, m routing.Model, n int, seed int64, rec *obs.Recorder) error {
+	rng := rand.New(rand.NewSource(seed + 1))
+	pairs := routing.SamplePairs(res, n, rng)
+	if len(pairs) == 0 {
+		return fmt.Errorf("no routable node pairs on this machine")
+	}
+	qs := make([]routeidx.Query, len(pairs))
+	for i, pr := range pairs {
+		qs[i] = routeidx.Query{Src: pr[0], Dst: pr[1]}
+	}
+
+	start := time.Now()
+	ix := routeidx.Compile(res, m, routeidx.Options{Recorder: rec})
+	compileDur := time.Since(start)
+
+	start = time.Now()
+	answers := ix.RouteMany(qs, routeidx.BatchOptions{})
+	idxDur := time.Since(start)
+
+	g := routing.NewGraph(res, m)
+	var buf routing.Path
+	delivered := 0
+	start = time.Now()
+	for _, q := range qs {
+		p, err := routing.Detour{}.RouteAppend(g, q.Src, q.Dst, buf)
+		buf = p
+		if err == nil {
+			delivered++
+		}
+	}
+	walkDur := time.Since(start)
+
+	idxDelivered := 0
+	for _, a := range answers {
+		if a.Err == nil {
+			idxDelivered++
+		}
+	}
+	if idxDelivered != delivered {
+		return fmt.Errorf("delivery disagreement: indexed %d, walk-based %d", idxDelivered, delivered)
+	}
+	qpsOf := func(d time.Duration) float64 { return float64(len(qs)) / d.Seconds() }
+	fmt.Fprintf(out, "%v, %d faults, model %v: %d queries, %d delivered\n",
+		res.Topo, res.Faults.Len(), m, len(qs), delivered)
+	fmt.Fprintf(out, "index compile:  %v\n", compileDur)
+	fmt.Fprintf(out, "indexed batch:  %v  (%.0f queries/sec)\n", idxDur, qpsOf(idxDur))
+	fmt.Fprintf(out, "walk-based:     %v  (%.0f queries/sec)\n", walkDur, qpsOf(walkDur))
+	fmt.Fprintf(out, "speedup:        %.1fx\n", float64(walkDur)/float64(idxDur))
+	return nil
+}
+
+// disjointPaths finds k node-disjoint paths and overlays them all.
+func disjointPaths(out io.Writer, res *core.Result, g *routing.Graph, src, dst grid.Point, k int) error {
+	result, err := routing.KDisjointPaths(g, src, dst, k)
+	if err != nil {
+		if errors.Is(err, routing.ErrUnroutable) {
+			fmt.Fprintf(out, "disjoint routing failed: %v\n", err)
+			fmt.Fprintln(out, "(the endpoint itself is faulty or disabled under this model)")
+			return nil
+		}
+		return err
+	}
+	fmt.Fprintf(out, "%d of %d node-disjoint paths, %v -> %v\n",
+		result.Found, result.Requested, src, dst)
+	for i, p := range result.Paths {
+		fmt.Fprintf(out, "  path %d: %d hops\n", i+1, p.Len())
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, core.RenderLegend()+"   1..9 path   S source   D destination")
+	base := overlay(res, nil, src, dst)
+	rows := strings.Split(strings.TrimRight(base, "\n"), "\n")
+	h := res.Topo.Height()
+	for i, p := range result.Paths {
+		ch := byte('1' + i%9)
+		for _, q := range p {
+			if q == src || q == dst {
+				continue
+			}
+			row := []byte(rows[h-1-q.Y])
+			row[q.X] = ch
+			rows[h-1-q.Y] = string(row)
+		}
+	}
+	fmt.Fprint(out, strings.Join(rows, "\n")+"\n")
 	return nil
 }
 

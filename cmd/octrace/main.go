@@ -30,6 +30,13 @@
 //	    BenchmarkServeStages stages=off/on pairs). Exits 1 when any
 //	    pair exceeds it.
 //
+//	octrace bench speedup [-min 10] [-min-n 512] BENCH_route.json
+//	    Enforce the indexed-router speedup contract on a document with
+//	    idx=off/idx=on benchmark pairs (BenchmarkRoute): at problem
+//	    sizes n >= -min-n, the off leg's ns/op must be at least -min
+//	    times the on leg's. Exits 1 on violation, on a document without
+//	    idx pairs, and when no pair reaches -min-n (make route-bench).
+//
 //	octrace bench scaling [-min-n 2048] [-tol 0.10] BENCH_bitset.json
 //	    Enforce the worker-scaling contract on a document with /w=N
 //	    sub-benchmark legs: at problem sizes n >= -min-n, the highest
@@ -65,6 +72,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"strconv"
 	"strings"
 
 	"ocpmesh/internal/obs"
@@ -98,8 +107,11 @@ func run(args []string, out io.Writer) error {
 		if len(args) >= 2 && args[1] == "scaling" {
 			return runBenchScaling(args[2:], out)
 		}
+		if len(args) >= 2 && args[1] == "speedup" {
+			return runBenchSpeedup(args[2:], out)
+		}
 		if len(args) < 2 || args[1] != "check" {
-			return fmt.Errorf("usage: octrace bench check [-tol 0.25] [-each] baseline.json fresh.json | octrace bench overhead [-max 0.05] overhead.json | octrace bench scaling [-min-n 2048] [-tol 0.10] bench.json")
+			return fmt.Errorf("usage: octrace bench check [-tol 0.25] [-each] baseline.json fresh.json | octrace bench overhead [-max 0.05] overhead.json | octrace bench scaling [-min-n 2048] [-tol 0.10] bench.json | octrace bench speedup [-min 10] [-min-n 512] bench.json")
 		}
 		return runBenchCheck(args[2:], out)
 	default:
@@ -347,6 +359,58 @@ func runBenchScaling(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "scaling ok: %d family(ies) at n >= %d within +%.0f%%\n", checked, *minN, *tol*100)
 	return nil
 }
+
+// runBenchSpeedup enforces the indexed-router speedup contract on a
+// document with idx=off/idx=on pairs (BenchmarkRoute → BENCH_route.json,
+// CI route-bench gate): the walk-based off leg must cost at least -min
+// times the precompiled on leg at every problem size n >= -min-n.
+// Smaller pairs are reported but not gated (short paths leave the walk
+// little to lose).
+func runBenchSpeedup(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("octrace bench speedup", flag.ContinueOnError)
+	min := fs.Float64("min", 10, "required off/on speedup factor")
+	minN := fs.Int("min-n", 512, "gate only pairs at /n=N legs at or above this size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: octrace bench speedup [-min 10] [-min-n 512] bench.json")
+	}
+	rep, err := readBenchFile("speedup", fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	pairs := analyze.OverheadPairs(rep)
+	if len(pairs) == 0 {
+		return fmt.Errorf("bench speedup: %s has no idx=off/idx=on pairs — was it produced by BenchmarkRoute (make route-bench)?", fs.Arg(0))
+	}
+	gated, failed := 0, 0
+	for _, p := range pairs {
+		speed := p.OffNS / p.OnNS
+		marker := "  "
+		if m := benchSizeLeg.FindStringSubmatch(p.Name); m != nil {
+			if n, _ := strconv.Atoi(m[1]); n >= *minN {
+				gated++
+				if speed < *min {
+					marker = "!!"
+					failed++
+				}
+			}
+		}
+		fmt.Fprintf(out, "%s %-32s %12.0f -> %12.0f ns/op  (%.1fx)\n",
+			marker, p.Name, p.OffNS, p.OnNS, speed)
+	}
+	if failed > 0 {
+		return fmt.Errorf("bench speedup: %d of %d gated pair(s) below %.0fx in %s", failed, gated, *min, fs.Arg(0))
+	}
+	if gated == 0 {
+		return fmt.Errorf("bench speedup: %s has no idx pair at n >= %d — nothing the contract applies to, which must not pass as ok", fs.Arg(0), *minN)
+	}
+	fmt.Fprintf(out, "speedup ok: %d pair(s) at n >= %d at or above %.0fx\n", gated, *minN, *min)
+	return nil
+}
+
+var benchSizeLeg = regexp.MustCompile(`/n=(\d+)(/|$)`)
 
 // runBenchOverhead enforces an instrumentation acceptance budget:
 // every <key>=on benchmark in the document must stay within -max

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/incremental"
@@ -23,6 +24,12 @@ type Delta = incremental.Delta
 type Session struct {
 	cfg   Config
 	field *incremental.Field
+	// gen counts successfully applied deltas; read atomically, so index
+	// maintainers on other goroutines can cheaply detect staleness.
+	gen atomic.Uint64
+	// onDelta hooks run synchronously on the mutating goroutine after
+	// each successful delta, in registration order.
+	onDelta []func(Delta)
 }
 
 // NewSession computes a full formation for the initial fault list and
@@ -100,8 +107,10 @@ func (s *Session) AddFaults(ps ...grid.Point) (Delta, error) {
 	d, err := s.field.Add(ps...)
 	if err != nil {
 		_ = s.cfg.Recorder.Flush()
+		return d, err
 	}
-	return d, err
+	s.applied(d)
+	return d, nil
 }
 
 // RemoveFaults repairs the given nodes and restabilizes the formation
@@ -111,15 +120,42 @@ func (s *Session) RemoveFaults(ps ...grid.Point) (Delta, error) {
 	d, err := s.field.Remove(ps...)
 	if err != nil {
 		_ = s.cfg.Recorder.Flush()
+		return d, err
 	}
-	return d, err
+	s.applied(d)
+	return d, nil
 }
+
+// applied advances the generation counter and runs the delta hooks
+// after a successfully applied mutation.
+func (s *Session) applied(d Delta) {
+	s.gen.Add(1)
+	for _, fn := range s.onDelta {
+		fn(d)
+	}
+}
+
+// Generation returns the number of deltas successfully applied to the
+// session so far. Safe to read from any goroutine.
+func (s *Session) Generation() uint64 { return s.gen.Load() }
+
+// OnDelta registers fn to run synchronously on the mutating goroutine
+// after each successful AddFaults/RemoveFaults, in registration order.
+// Derived-state maintainers (routeidx.Publish) use it to rebuild
+// incrementally from the delta instead of polling. Registration is not
+// synchronized: register all hooks before sharing the session across
+// goroutines, the way the serving layer registers at tenant creation.
+func (s *Session) OnDelta(fn func(Delta)) { s.onDelta = append(s.onDelta, fn) }
 
 // Result snapshots the current formation as a Result, interchangeable
 // with the output of a from-scratch Form on the same fault set. The
 // fault set and label slices are copied, so the snapshot stays valid
 // across later deltas; the region structures are shared (they are
-// replaced, never mutated, by deltas). RoundsPhase1/RoundsPhase2 report
+// replaced, never mutated, by deltas). Region and block pointers are
+// stable across deltas for components whose label sets did not change —
+// region.UpdateRegions keeps survivor pointers — which is the dirty
+// information internal/routeidx uses for O(changed-regions) incremental
+// index rebuilds. RoundsPhase1/RoundsPhase2 report
 // the initial full formation's rounds — per-delta restabilization
 // rounds are on the Delta values the mutating calls return.
 func (s *Session) Result() *Result {

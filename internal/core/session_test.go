@@ -142,3 +142,76 @@ func TestSessionClose(t *testing.T) {
 		s.Close() // idempotent
 	}
 }
+
+// TestSessionGenerationAndOnDelta pins the delta-hook contract derived
+// state maintainers rely on: Generation counts successful deltas only,
+// OnDelta hooks fire synchronously in registration order with the
+// applied delta, and neither fires for no-op validation errors.
+func TestSessionGenerationAndOnDelta(t *testing.T) {
+	s, err := NewSession(Config{Width: 10, Height: 10}, []grid.Point{grid.Pt(2, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Generation() != 0 {
+		t.Fatalf("fresh generation %d", s.Generation())
+	}
+	var order []string
+	var seen []Delta
+	s.OnDelta(func(d Delta) { order = append(order, "a"); seen = append(seen, d) })
+	s.OnDelta(func(Delta) { order = append(order, "b") })
+
+	if _, err := s.AddFaults(grid.Pt(5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Generation() != 1 || len(seen) != 1 {
+		t.Fatalf("after add: generation %d, hooks %d", s.Generation(), len(seen))
+	}
+	if _, err := s.RemoveFaults(grid.Pt(5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Generation() != 2 {
+		t.Fatalf("after remove: generation %d", s.Generation())
+	}
+	if len(order) != 4 || order[0] != "a" || order[1] != "b" || order[2] != "a" || order[3] != "b" {
+		t.Fatalf("hook order %v", order)
+	}
+}
+
+// TestSessionRegionPointerStability pins the Result() sharing contract
+// routeidx builds on: a delta far away from an existing region leaves
+// that region's pointer identical across snapshots, while a delta
+// touching it replaces the pointer.
+func TestSessionRegionPointerStability(t *testing.T) {
+	s, err := NewSession(Config{Width: 30, Height: 30}, []grid.Point{grid.Pt(5, 5), grid.Pt(6, 6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	before := s.Result()
+	if len(before.Regions) != 1 {
+		t.Fatalf("fixture expectation broken: %d regions", len(before.Regions))
+	}
+	if _, err := s.AddFaults(grid.Pt(25, 25)); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Result()
+	kept := false
+	for _, r := range after.Regions {
+		if r == before.Regions[0] {
+			kept = true
+		}
+	}
+	if !kept {
+		t.Fatal("distant delta replaced an untouched region's pointer")
+	}
+	if _, err := s.AddFaults(grid.Pt(7, 5)); err != nil {
+		t.Fatal(err)
+	}
+	final := s.Result()
+	for _, r := range final.Regions {
+		if r == before.Regions[0] {
+			t.Fatal("delta adjacent to the region kept a stale pointer")
+		}
+	}
+}

@@ -111,6 +111,14 @@ const (
 	// serve_request event; octrace latency pins this. Err is set when the
 	// engine pass failed.
 	EServeRequest = "serve_request"
+	// ERouteIndex is one routing-index (re)build (internal/routeidx):
+	// Tenant is set when the build serves a tenant snapshot, N is the
+	// obstacle-region count, Changed the regions compiled this build,
+	// Frontier the regions reused pointer-identical from the previous
+	// index, DurNS the build wall-clock time. Changed + Frontier == N,
+	// and steady-state deltas keep Changed proportional to the
+	// perturbation — the incremental invalidation contract.
+	ERouteIndex = "route_index"
 	// EInvariantViolation reports a failed paper-invariant monitor
 	// (core/monitor.go, simnet frontier): Name is the monitor
 	// ("rounds_bound", "phase_monotone", "frontier_shrink"), Phase the

@@ -1,0 +1,71 @@
+package routeidx
+
+import (
+	"math/rand"
+	"testing"
+
+	"ocpmesh/internal/core"
+	"ocpmesh/internal/fault"
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/routing"
+	"ocpmesh/internal/status"
+)
+
+// FuzzRouteQuery fuzzes the indexed router against the walk-based
+// Detour on random machines, fault sets and endpoint pairs: on success
+// the indexed path must validate (allowed nodes only, adjacent steps,
+// right endpoints) and must not exceed the walk-based router's hops —
+// in fact the differential below requires the stronger property the
+// index is built to: the exact same path. Any reported input is a real
+// divergence between the compiled index and the algorithm it simulates.
+func FuzzRouteQuery(f *testing.F) {
+	f.Add(uint8(12), uint8(12), false, int64(1), uint8(8), uint8(0), uint8(0), uint8(11), uint8(11))
+	f.Add(uint8(10), uint8(14), true, int64(2), uint8(12), uint8(9), uint8(0), uint8(1), uint8(13))
+	f.Add(uint8(16), uint8(8), false, int64(3), uint8(20), uint8(15), uint8(7), uint8(0), uint8(3))
+	f.Add(uint8(9), uint8(9), true, int64(4), uint8(30), uint8(4), uint8(4), uint8(5), uint8(5))
+	f.Fuzz(func(t *testing.T, w, h uint8, torus bool, seed int64, nf, sx, sy, dx, dy uint8) {
+		width := 3 + int(w)%22  // 3..24
+		height := 3 + int(h)%22 // 3..24
+		kind := mesh.Mesh2D
+		if torus {
+			kind = mesh.Torus2D
+		}
+		topo, err := mesh.New(width, height, kind)
+		if err != nil {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		faults := fault.Uniform{Count: int(nf) % (width * height / 2)}.Generate(topo, rng)
+		res, err := core.FormOn(core.Config{Width: width, Height: height, Kind: kind, Safety: status.Def2b}, topo, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := grid.Pt(int(sx)%width, int(sy)%height)
+		dst := grid.Pt(int(dx)%width, int(dy)%height)
+
+		for _, model := range []routing.Model{routing.ModelRegions, routing.ModelBlocks, routing.ModelFaultsOnly} {
+			g := routing.NewGraph(res, model)
+			ix := Compile(res, model, Options{})
+			want, werr := routing.Detour{}.Route(g, src, dst)
+			got, gerr := ix.Route(src, dst)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("%s %v->%v: detour err=%v, indexed err=%v", model, src, dst, werr, gerr)
+			}
+			if gerr != nil {
+				continue
+			}
+			if err := got.Validate(res, model, src, dst); err != nil {
+				t.Fatalf("%s %v->%v: indexed path invalid: %v", model, src, dst, err)
+			}
+			if got.Len() > want.Len() {
+				t.Fatalf("%s %v->%v: indexed %d hops > detour %d hops", model, src, dst, got.Len(), want.Len())
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s %v->%v: paths diverge at step %d", model, src, dst, i)
+				}
+			}
+		}
+	})
+}

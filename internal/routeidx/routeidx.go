@@ -1,0 +1,399 @@
+// Package routeidx compiles a formation result into an immutable,
+// lock-free routing index so that a source→destination route query
+// becomes a few binary searches plus segment stitching instead of the
+// step-by-step walk internal/routing.Detour performs.
+//
+// The index has three layers, all derived from the OCP fault regions the
+// formation produces:
+//
+//   - Per-row and per-column interval tables over the whole machine: for
+//     every row (column) the sorted, disjoint spans of forbidden cells,
+//     each span pointing back at the region that owns it. A greedy
+//     dimension-order run of any length costs one binary search to find
+//     the first blocking cell.
+//   - Per-region boundary rings: every fault region's wall-following
+//     contour, precomputed as cycles in (cell, heading) state space by
+//     running Detour's exact right-hand automaton on an idealized map
+//     that contains only this region's cells and the mesh borders. The
+//     turning cells of each ring are kept as a sorted corner array, and
+//     because rings are cyclic arrays, the clockwise vs counterclockwise
+//     detour cost between any two wall states is plain modular index
+//     arithmetic (DetourCosts).
+//   - A position map from wall-entry state to ring offset, so a blocked
+//     greedy run continues by replaying the precomputed contour instead
+//     of probing four neighbors per hop.
+//
+// The indexed router is hop-identical to Detour by construction, not by
+// tuning: the real map's forbidden set is a superset of each idealized
+// map's, so every direction the idealized automaton rejected is rejected
+// for real too, and each precomputed step needs only an O(1) "is the
+// next ring cell still allowed" check. Whenever that check fails (a
+// second region crowds the contour, or a wall-entry state fell outside
+// every precomputed cycle), the router falls back to running the
+// automaton inline for that episode — still exact, just not accelerated.
+//
+// Indexes are immutable once built and are published with snapshots
+// (atomic.Pointer, same discipline as internal/serve). Rebuild reuses
+// the per-region compilation of every region whose *region.Region
+// pointer survived the delta — region.UpdateRegions keeps survivor
+// pointers, and a region's compilation depends only on its own cells —
+// so steady-state delta cost is O(changed regions) plus reassembling the
+// interval tables of the rows and columns those regions touch.
+package routeidx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ocpmesh/internal/core"
+	"ocpmesh/internal/grid"
+	"ocpmesh/internal/mesh"
+	"ocpmesh/internal/obs"
+	"ocpmesh/internal/region"
+	"ocpmesh/internal/routing"
+)
+
+// Options parameterizes index compilation.
+type Options struct {
+	// MaxHops bounds each simulated walk; 0 means 4 x machine size,
+	// matching routing.Detour's default.
+	MaxHops int
+	// Recorder receives route_index build events and metrics. Nil means
+	// observability off.
+	Recorder *obs.Recorder
+	// Tenant labels build events when the index serves a tenant.
+	Tenant string
+}
+
+// Stats describes the last (re)build of an index.
+type Stats struct {
+	// Regions is the obstacle count, Compiled how many were compiled
+	// from scratch by the last build, Reused how many were carried over
+	// pointer-identical from the previous index.
+	Regions, Compiled, Reused int
+}
+
+// span is one maximal run of forbidden cells in a row (x interval) or
+// column (y interval), pointing at the owning region's compilation.
+// Row/column tables reference regions by pointer, not list index, so an
+// unchanged row's span slice survives region-list renumbering across
+// incremental rebuilds.
+type span struct {
+	lo, hi int32
+	reg    *regionIdx
+}
+
+// Index is an immutable routing index over one formation result. All
+// methods are safe for concurrent use; queries take no locks.
+type Index struct {
+	res     *core.Result
+	topo    *mesh.Topology
+	model   routing.Model
+	opt     Options
+	maxHops int
+	w, h    int
+	torus   bool
+	allow   func(grid.Point) bool
+	regs    []*regionIdx
+	srcs    []*region.Region // parallel to regs; nil for synthetic fault components
+	rows    [][]span         // rows[y]: forbidden x spans, sorted by lo
+	cols    [][]span         // cols[x]: forbidden y spans, sorted by lo
+	stats   Stats
+}
+
+// Compile builds the index for res under the given fault model.
+func Compile(res *core.Result, model routing.Model, opt Options) *Index {
+	return build(nil, res, model, opt)
+}
+
+// Rebuild compiles an index for a new result incrementally: regions
+// whose *region.Region pointer is shared with the previous result —
+// i.e. whose label sets did not change across the delta — keep their
+// compiled form. res must come from the same session (same topology) as
+// the previous index's result. Under ModelFaultsOnly obstacles are
+// synthesized fault components with no stable pointers, so Rebuild
+// degrades to a full recompile.
+func (ix *Index) Rebuild(res *core.Result) *Index {
+	return build(ix, res, ix.model, ix.opt)
+}
+
+// Result returns the formation result the index was compiled for.
+func (ix *Index) Result() *core.Result { return ix.res }
+
+// Model returns the fault model the index routes under.
+func (ix *Index) Model() routing.Model { return ix.model }
+
+// Stats returns the compile/reuse accounting of the last build.
+func (ix *Index) Stats() Stats { return ix.stats }
+
+func build(prev *Index, res *core.Result, model routing.Model, opt Options) *Index {
+	start := time.Now()
+	topo := res.Topo
+	maxHops := opt.MaxHops
+	if maxHops == 0 {
+		maxHops = 4 * topo.Size()
+	}
+	ix := &Index{
+		res: res, topo: topo, model: model, opt: opt, maxHops: maxHops,
+		w: topo.Width(), h: topo.Height(), torus: topo.Kind() == mesh.Torus2D,
+	}
+	ix.allow = allowFunc(res, model)
+
+	obstacles, srcs := obstaclesOf(res, model)
+	var prevByRegion map[*region.Region]*regionIdx
+	if prev != nil && len(prev.srcs) > 0 {
+		prevByRegion = make(map[*region.Region]*regionIdx, len(prev.srcs))
+		for i, src := range prev.srcs {
+			if src != nil {
+				prevByRegion[src] = prev.regs[i]
+			}
+		}
+	}
+	carried := make(map[*regionIdx]bool, len(obstacles))
+	ix.stats.Regions = len(obstacles)
+	for i, cells := range obstacles {
+		var rp *regionIdx
+		if src := srcs[i]; src != nil && prevByRegion[src] != nil {
+			rp = prevByRegion[src]
+			carried[rp] = true
+			ix.stats.Reused++
+		} else {
+			rp = compileRegion(topo, cells)
+			ix.stats.Compiled++
+		}
+		ix.regs = append(ix.regs, rp)
+		ix.srcs = append(ix.srcs, srcs[i])
+	}
+	ix.buildTables(prev, carried)
+
+	if rec := opt.Recorder; rec != nil {
+		dur := time.Since(start).Nanoseconds()
+		rec.Emit(obs.Event{
+			Type: obs.ERouteIndex, Tenant: opt.Tenant, N: ix.stats.Regions,
+			Changed: ix.stats.Compiled, Frontier: ix.stats.Reused, DurNS: dur,
+		})
+		rec.Counter("route_index_builds").Inc()
+		rec.Counter("route_index_regions_compiled").Add(int64(ix.stats.Compiled))
+		rec.Counter("route_index_regions_reused").Add(int64(ix.stats.Reused))
+		rec.Histogram("route_index_build_ns", obs.NSBuckets).Observe(float64(dur))
+	}
+	return ix
+}
+
+// buildTables assembles the global row/column interval tables. On an
+// incremental build only the rows and columns touched by a changed
+// region — compiled this round, or present before and gone now — are
+// reassembled; every other row's span slice is shared with the previous
+// index, which is what keeps steady-state delta cost O(changed regions).
+func (ix *Index) buildTables(prev *Index, carried map[*regionIdx]bool) {
+	dirtyRows := make([]bool, ix.h)
+	dirtyCols := make([]bool, ix.w)
+	ix.rows = make([][]span, ix.h)
+	ix.cols = make([][]span, ix.w)
+	if prev == nil || prev.w != ix.w || prev.h != ix.h {
+		for y := range dirtyRows {
+			dirtyRows[y] = true
+		}
+		for x := range dirtyCols {
+			dirtyCols[x] = true
+		}
+	} else {
+		copy(ix.rows, prev.rows)
+		copy(ix.cols, prev.cols)
+		mark := func(rp *regionIdx) {
+			for y := rp.bounds.MinY; y <= rp.bounds.MaxY; y++ {
+				dirtyRows[y] = true
+			}
+			for x := rp.bounds.MinX; x <= rp.bounds.MaxX; x++ {
+				dirtyCols[x] = true
+			}
+		}
+		for _, rp := range ix.regs {
+			if !carried[rp] {
+				mark(rp)
+			}
+		}
+		for _, rp := range prev.regs {
+			if !carried[rp] {
+				mark(rp)
+			}
+		}
+		for y, dirty := range dirtyRows {
+			if dirty {
+				ix.rows[y] = nil
+			}
+		}
+		for x, dirty := range dirtyCols {
+			if dirty {
+				ix.cols[x] = nil
+			}
+		}
+	}
+	for _, rp := range ix.regs {
+		for i, runs := range rp.rowRuns {
+			y := rp.bounds.MinY + i
+			if !dirtyRows[y] {
+				continue
+			}
+			for _, r := range runs {
+				ix.rows[y] = append(ix.rows[y], span{lo: r.lo, hi: r.hi, reg: rp})
+			}
+		}
+		for i, runs := range rp.colRuns {
+			x := rp.bounds.MinX + i
+			if !dirtyCols[x] {
+				continue
+			}
+			for _, r := range runs {
+				ix.cols[x] = append(ix.cols[x], span{lo: r.lo, hi: r.hi, reg: rp})
+			}
+		}
+	}
+	for y, dirty := range dirtyRows {
+		if dirty {
+			sortSpans(ix.rows[y])
+		}
+	}
+	for x, dirty := range dirtyCols {
+		if dirty {
+			sortSpans(ix.cols[x])
+		}
+	}
+}
+
+func sortSpans(s []span) {
+	sort.Slice(s, func(i, j int) bool { return s[i].lo < s[j].lo })
+}
+
+// obstaclesOf partitions the forbidden cells of res under model into the
+// connected obstacles the index compiles. For ModelRegions and
+// ModelBlocks these are the formation's own region structures, whose
+// pointers are stable across deltas for unchanged components; for
+// ModelFaultsOnly the obstacles are 8-connected fault components
+// synthesized here, with no stable source pointers.
+func obstaclesOf(res *core.Result, model routing.Model) ([]*grid.PointSet, []*region.Region) {
+	var regs []*region.Region
+	switch model {
+	case routing.ModelRegions:
+		regs = res.Regions
+	case routing.ModelBlocks:
+		regs = res.Blocks
+	default:
+		comps := conn8Components(res.Topo, res.Faults)
+		return comps, make([]*region.Region, len(comps))
+	}
+	sets := make([]*grid.PointSet, len(regs))
+	srcs := make([]*region.Region, len(regs))
+	for i, r := range regs {
+		sets[i] = r.Nodes
+		srcs[i] = r
+	}
+	return sets, srcs
+}
+
+// conn8Components splits the fault set into 8-connected components
+// (wrap-aware on tori), in deterministic order.
+func conn8Components(topo *mesh.Topology, faults *grid.PointSet) []*grid.PointSet {
+	pts := faults.Points()
+	grid.SortPoints(pts)
+	seen := make(map[grid.Point]bool, len(pts))
+	var comps []*grid.PointSet
+	for _, p := range pts {
+		if seen[p] {
+			continue
+		}
+		comp := grid.NewPointSet()
+		queue := []grid.Point{p}
+		seen[p] = true
+		for len(queue) > 0 {
+			q := queue[0]
+			queue = queue[1:]
+			comp.Add(q)
+			for dx := -1; dx <= 1; dx++ {
+				for dy := -1; dy <= 1; dy++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					n := topo.Wrap(grid.Pt(q.X+dx, q.Y+dy))
+					if topo.Contains(n) && faults.Has(n) && !seen[n] {
+						seen[n] = true
+						queue = append(queue, n)
+					}
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// allowFunc returns the model's allowed-predicate with the plane lookup
+// inlined for the hot models; semantics are identical to
+// routing.Model.Allowed.
+func allowFunc(res *core.Result, model routing.Model) func(grid.Point) bool {
+	w, h := res.Topo.Width(), res.Topo.Height()
+	switch model {
+	case routing.ModelRegions:
+		plane := res.Enabled
+		return func(p grid.Point) bool {
+			return p.X >= 0 && p.X < w && p.Y >= 0 && p.Y < h && plane[p.Y*w+p.X]
+		}
+	case routing.ModelBlocks:
+		plane := res.Unsafe
+		return func(p grid.Point) bool {
+			return p.X >= 0 && p.X < w && p.Y >= 0 && p.Y < h && !plane[p.Y*w+p.X]
+		}
+	default:
+		return func(p grid.Point) bool { return model.Allowed(res, p) }
+	}
+}
+
+// Fingerprint serializes the index's complete content deterministically:
+// regions in obstacle order with their interval runs, corner arrays and
+// boundary rings, then the global row/column tables with spans naming
+// regions by obstacle position. The incremental differential tests pin
+// Rebuild output against a from-scratch Compile with string equality, so
+// pointer sharing can never hide content drift.
+func (ix *Index) Fingerprint() string {
+	regNo := make(map[*regionIdx]int, len(ix.regs))
+	for i, rp := range ix.regs {
+		regNo[rp] = i
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "model=%s maxHops=%d w=%d h=%d torus=%v regions=%d\n",
+		ix.model, ix.maxHops, ix.w, ix.h, ix.torus, len(ix.regs))
+	for i, rp := range ix.regs {
+		fmt.Fprintf(&b, "region %d bounds=(%d,%d)-(%d,%d) size=%d\n",
+			i, rp.bounds.MinX, rp.bounds.MinY, rp.bounds.MaxX, rp.bounds.MaxY, rp.size)
+		for y, runs := range rp.rowRuns {
+			for _, r := range runs {
+				fmt.Fprintf(&b, " row %d: [%d,%d]\n", rp.bounds.MinY+y, r.lo, r.hi)
+			}
+		}
+		for x, runs := range rp.colRuns {
+			for _, r := range runs {
+				fmt.Fprintf(&b, " col %d: [%d,%d]\n", rp.bounds.MinX+x, r.lo, r.hi)
+			}
+		}
+		fmt.Fprintf(&b, " corners %v\n", rp.corners)
+		for ri, ring := range rp.rings {
+			fmt.Fprintf(&b, " ring %d:", ri)
+			for _, s := range ring {
+				fmt.Fprintf(&b, " %v%s", s.p, s.h)
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	dumpTable := func(name string, tab [][]span) {
+		for i, spans := range tab {
+			for _, s := range spans {
+				fmt.Fprintf(&b, "%s %d: [%d,%d] reg=%d\n", name, i, s.lo, s.hi, regNo[s.reg])
+			}
+		}
+	}
+	dumpTable("rows", ix.rows)
+	dumpTable("cols", ix.cols)
+	return b.String()
+}

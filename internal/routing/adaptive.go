@@ -29,8 +29,8 @@ func (AdaptiveMinimal) Name() string { return "adaptive-minimal" }
 
 // Route implements Router.
 func (AdaptiveMinimal) Route(g *Graph, src, dst grid.Point) (Path, error) {
-	if !g.Allowed(src) || !g.Allowed(dst) {
-		return nil, fmt.Errorf("routing: adaptive: endpoint not allowed")
+	if err := g.CheckEndpoints(src, dst); err != nil {
+		return nil, err
 	}
 	topo := g.res.Topo
 	path := Path{src}

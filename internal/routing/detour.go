@@ -29,10 +29,23 @@ type Detour struct {
 // Name implements Router.
 func (Detour) Name() string { return "detour" }
 
-// Route implements Router.
+// Route implements Router. It allocates a fresh path per query; batch
+// callers should use RouteAppend with a reused buffer.
 func (d Detour) Route(g *Graph, src, dst grid.Point) (Path, error) {
-	if !g.Allowed(src) || !g.Allowed(dst) {
-		return nil, fmt.Errorf("routing: detour: endpoint not allowed")
+	path, err := d.RouteAppend(g, src, dst, nil)
+	if err != nil {
+		return nil, err
+	}
+	return path, nil
+}
+
+// RouteAppend routes src to dst appending into buf[:0], so a caller
+// issuing many queries reuses one allocation. On error the returned
+// slice still owns the (partially written) buffer — pass it back in on
+// the next call to keep the capacity.
+func (d Detour) RouteAppend(g *Graph, src, dst grid.Point, buf Path) (Path, error) {
+	if err := g.CheckEndpoints(src, dst); err != nil {
+		return buf, err
 	}
 	topo := g.res.Topo
 	maxHops := d.MaxHops
@@ -40,7 +53,7 @@ func (d Detour) Route(g *Graph, src, dst grid.Point) (Path, error) {
 		maxHops = 4 * topo.Size()
 	}
 
-	path := Path{src}
+	path := append(buf[:0], src)
 	cur := src
 	// Wall-following state: in wall mode we keep the obstacle on our
 	// right hand and remember how close to dst we were when we hit it;
@@ -60,7 +73,7 @@ func (d Detour) Route(g *Graph, src, dst grid.Point) (Path, error) {
 			// Blocked: enter wall mode heading "left" of the blocked
 			// direction so the obstacle starts on our right.
 			wall = true
-			heading = turnLeft(dir)
+			heading = TurnLeft(dir)
 			hitDist = topo.Dist(cur, dst)
 		}
 
@@ -80,7 +93,7 @@ func (d Detour) Route(g *Graph, src, dst grid.Point) (Path, error) {
 		// Right-hand rule: prefer turning right, then straight, then
 		// left, then back.
 		moved := false
-		for _, dir := range []mesh.Direction{turnRight(heading), heading, turnLeft(heading), heading.Opposite()} {
+		for _, dir := range [4]mesh.Direction{TurnRight(heading), heading, TurnLeft(heading), heading.Opposite()} {
 			if next, ok := topo.NeighborIn(cur, dir); ok && g.Allowed(next) {
 				heading = dir
 				path = append(path, next)
@@ -90,18 +103,20 @@ func (d Detour) Route(g *Graph, src, dst grid.Point) (Path, error) {
 			}
 		}
 		if !moved {
-			return nil, fmt.Errorf("routing: detour: stuck at %v (isolated node)", cur)
+			return path, fmt.Errorf("routing: detour: stuck at %v (isolated node)", cur)
 		}
 	}
 	if cur != dst {
-		return nil, fmt.Errorf("routing: detour: hop budget %d exhausted between %v and %v", maxHops, src, dst)
+		return path, fmt.Errorf("routing: detour: hop budget %d exhausted between %v and %v", maxHops, src, dst)
 	}
 	return path, nil
 }
 
-// turnRight returns the direction 90 degrees clockwise of d (in the
-// paper's coordinates: north -> east -> south -> west).
-func turnRight(d mesh.Direction) mesh.Direction {
+// TurnRight returns the direction 90 degrees clockwise of d (in the
+// paper's coordinates: north -> east -> south -> west). Exported so the
+// precompiled index router (internal/routeidx) can replay the exact
+// wall-following automaton.
+func TurnRight(d mesh.Direction) mesh.Direction {
 	switch d {
 	case mesh.North:
 		return mesh.East
@@ -114,8 +129,8 @@ func turnRight(d mesh.Direction) mesh.Direction {
 	}
 }
 
-// turnLeft returns the direction 90 degrees counterclockwise of d.
-func turnLeft(d mesh.Direction) mesh.Direction {
+// TurnLeft returns the direction 90 degrees counterclockwise of d.
+func TurnLeft(d mesh.Direction) mesh.Direction {
 	switch d {
 	case mesh.North:
 		return mesh.West

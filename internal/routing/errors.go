@@ -1,0 +1,47 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"ocpmesh/internal/grid"
+)
+
+// ErrUnroutable marks route queries whose endpoints cannot carry
+// messages under the active fault model — the source or destination is
+// faulty, unsafe, or inside a disabled region. It is a client error, not
+// a router failure: callers (the serve HTTP layer maps it to 422, the
+// CLIs to a hint) should distinguish it from "the router could not
+// deliver between two valid endpoints".
+var ErrUnroutable = errors.New("unroutable endpoint")
+
+// UnroutableError reports which endpoint of a route query is forbidden
+// and under which model. It unwraps to ErrUnroutable so callers can
+// classify with errors.Is without depending on the concrete type.
+type UnroutableError struct {
+	// Role is "source" or "destination".
+	Role  string
+	Point grid.Point
+	Model Model
+}
+
+// Error implements error.
+func (e *UnroutableError) Error() string {
+	return fmt.Sprintf("routing: %s %v is forbidden under the %s fault model: %v", e.Role, e.Point, e.Model, ErrUnroutable)
+}
+
+// Unwrap makes errors.Is(err, ErrUnroutable) true.
+func (e *UnroutableError) Unwrap() error { return ErrUnroutable }
+
+// CheckEndpoints returns a typed *UnroutableError when src or dst is
+// forbidden under g's model, nil otherwise. The online routers front-load
+// this check so every router reports endpoint problems uniformly.
+func (g *Graph) CheckEndpoints(src, dst grid.Point) error {
+	if !g.Allowed(src) {
+		return &UnroutableError{Role: "source", Point: src, Model: g.model}
+	}
+	if !g.Allowed(dst) {
+		return &UnroutableError{Role: "destination", Point: dst, Model: g.model}
+	}
+	return nil
+}

@@ -122,6 +122,14 @@ func (g *Graph) Allowed(p grid.Point) bool { return g.model.Allowed(g.res, p) }
 // Topo returns the underlying machine topology.
 func (g *Graph) Topo() *mesh.Topology { return g.res.Topo }
 
+// Result returns the formation result the graph views. Index-backed
+// routers use it to check that graph and index describe the same
+// snapshot.
+func (g *Graph) Result() *core.Result { return g.res }
+
+// Model returns the fault model the graph routes under.
+func (g *Graph) Model() Model { return g.model }
+
 // Neighbors returns the allowed machine neighbors of p.
 func (g *Graph) Neighbors(p grid.Point) []grid.Point {
 	var out []grid.Point

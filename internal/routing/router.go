@@ -28,8 +28,8 @@ func (XY) Name() string { return "xy" }
 
 // Route implements Router.
 func (XY) Route(g *Graph, src, dst grid.Point) (Path, error) {
-	if !g.Allowed(src) || !g.Allowed(dst) {
-		return nil, fmt.Errorf("routing: xy: endpoint not allowed")
+	if err := g.CheckEndpoints(src, dst); err != nil {
+		return nil, err
 	}
 	topo := g.res.Topo
 	path := Path{src}
@@ -50,6 +50,14 @@ func (XY) Route(g *Graph, src, dst grid.Point) (Path, error) {
 		cur = next
 	}
 	return path, nil
+}
+
+// DirToward returns the dimension-order direction of travel from cur
+// toward dst — the greedy decision Detour and XY take each hop —
+// exported so the precompiled index router (internal/routeidx) can
+// reproduce it exactly. ok is false when cur == dst.
+func DirToward(topo *mesh.Topology, cur, dst grid.Point) (mesh.Direction, bool) {
+	return xyNextDir(topo, cur, dst)
 }
 
 // xyNextDir returns the dimension-order direction of travel from cur

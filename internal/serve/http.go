@@ -16,6 +16,8 @@ import (
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/obs"
 	"ocpmesh/internal/region"
+	"ocpmesh/internal/routeidx"
+	"ocpmesh/internal/routing"
 )
 
 // maxBodyBytes bounds every request body the API decodes.
@@ -24,6 +26,9 @@ const maxBodyBytes = 8 << 20
 // maxDeltaPoints bounds one delta request; larger fault storms should
 // arrive as several requests (the shard loop coalesces them anyway).
 const maxDeltaPoints = 1 << 16
+
+// maxRouteQueries bounds one batch route request.
+const maxRouteQueries = 1 << 14
 
 // Server is the formation service's HTTP front: the JSON/SSE tenant API
 // under /api/, /healthz, and — when a side-car handler is attached —
@@ -55,6 +60,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/tenants/{id}/labels", s.labels)
 	mux.HandleFunc("GET /api/tenants/{id}/regions", s.regions)
 	mux.HandleFunc("GET /api/tenants/{id}/route", s.route)
+	mux.HandleFunc("POST /api/tenants/{id}/routes", s.routes)
+	mux.HandleFunc("GET /api/tenants/{id}/disjoint", s.disjoint)
 	mux.HandleFunc("GET /api/tenants/{id}/snapshot", s.snapshot)
 	mux.HandleFunc("POST /api/tenants/{id}/restore", s.restore)
 	mux.HandleFunc("GET /api/tenants/{id}/events", s.events)
@@ -119,6 +126,8 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 		"GET    /api/tenants/{id}/labels          packed label planes at a sequence\n"+
 		"GET    /api/tenants/{id}/regions         faulty blocks and disabled regions\n"+
 		"GET    /api/tenants/{id}/route           ?src=x,y&dst=x,y&model=&router=\n"+
+		"POST   /api/tenants/{id}/routes          batch route queries {queries, model, router, paths}\n"+
+		"GET    /api/tenants/{id}/disjoint        ?src=x,y&dst=x,y&k=&model=\n"+
 		"GET    /api/tenants/{id}/snapshot        serialized tenant state\n"+
 		"POST   /api/tenants/{id}/restore         recreate tenant from a snapshot\n"+
 		"GET    /api/tenants/{id}/events          SSE stream of formation events\n"+
@@ -149,6 +158,12 @@ func writeErr(w http.ResponseWriter, err error) {
 		code = http.StatusConflict
 	case errors.Is(err, ErrTooLarge):
 		code = http.StatusRequestEntityTooLarge
+	case errors.Is(err, routing.ErrUnroutable):
+		// The query itself is malformed for this formation: an endpoint
+		// sits inside faulty/disabled territory, so no router could ever
+		// deliver. Distinct from OK=false (routable endpoints the router
+		// failed to connect).
+		code = http.StatusUnprocessableEntity
 	case errors.Is(err, ErrBadDelta):
 		code = http.StatusBadRequest
 	case errors.Is(err, ErrClosed):
@@ -486,7 +501,7 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	s.observeQuery("route", func() {
 		path, snap, rerr := t.Route(src, dst, q.Get("model"), q.Get("router"))
 		if rerr != nil {
-			if errors.Is(rerr, ErrBadDelta) {
+			if errors.Is(rerr, ErrBadDelta) || errors.Is(rerr, routing.ErrUnroutable) {
 				writeErr(w, rerr)
 				return
 			}
@@ -498,6 +513,128 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 			hops[i] = [2]int{p.X, p.Y}
 		}
 		writeJSON(w, http.StatusOK, RouteResponse{Seq: snap.Seq, OK: true, Hops: path.Len(), Path: hops})
+	})
+}
+
+// RoutesRequest is the body of POST /api/tenants/{id}/routes: a batch
+// of route queries answered off one consistent snapshot. Queries are
+// [sx, sy, dx, dy] quadruples; Router is "indexed" (default) or
+// "detour"; Paths asks for full hop lists instead of hop counts only.
+type RoutesRequest struct {
+	Queries [][4]int `json:"queries"`
+	Model   string   `json:"model,omitempty"`
+	Router  string   `json:"router,omitempty"`
+	Paths   bool     `json:"paths,omitempty"`
+}
+
+// RouteAnswer is one element of RoutesResponse.Answers, in query order.
+// Unroutable marks per-query endpoint rejections (the batch analogue of
+// the single-route 422).
+type RouteAnswer struct {
+	OK         bool     `json:"ok"`
+	Hops       int      `json:"hops,omitempty"`
+	Path       [][2]int `json:"path,omitempty"`
+	Reason     string   `json:"reason,omitempty"`
+	Unroutable bool     `json:"unroutable,omitempty"`
+}
+
+// RoutesResponse is the body of POST /api/tenants/{id}/routes.
+type RoutesResponse struct {
+	Seq     uint64        `json:"seq"`
+	Answers []RouteAnswer `json:"answers"`
+}
+
+func (s *Server) routes(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenant(w, r)
+	if !ok {
+		return
+	}
+	var req RoutesRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(req.Queries) > maxRouteQueries {
+		writeErr(w, fmt.Errorf("%w: %d queries exceeds the limit of %d", ErrBadDelta, len(req.Queries), maxRouteQueries))
+		return
+	}
+	qs := make([]routeidx.Query, len(req.Queries))
+	for i, q := range req.Queries {
+		qs[i] = routeidx.Query{Src: grid.Pt(q[0], q[1]), Dst: grid.Pt(q[2], q[3])}
+	}
+	s.observeQuery("routes", func() {
+		answers, snap, err := t.RouteMany(qs, req.Model, req.Router, req.Paths)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		resp := RoutesResponse{Seq: snap.Seq, Answers: make([]RouteAnswer, len(answers))}
+		for i, a := range answers {
+			if a.Err != nil {
+				resp.Answers[i] = RouteAnswer{Reason: a.Err.Error(), Unroutable: errors.Is(a.Err, routing.ErrUnroutable)}
+				continue
+			}
+			ra := RouteAnswer{OK: true, Hops: a.Hops}
+			if req.Paths {
+				ra.Path = make([][2]int, len(a.Path))
+				for j, p := range a.Path {
+					ra.Path[j] = [2]int{p.X, p.Y}
+				}
+			}
+			resp.Answers[i] = ra
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+}
+
+// DisjointResponse is the body of GET /api/tenants/{id}/disjoint.
+// Found may be less than Requested when the formation's vertex cuts
+// between the endpoints are smaller than k.
+type DisjointResponse struct {
+	Seq       uint64     `json:"seq"`
+	Requested int        `json:"requested"`
+	Found     int        `json:"found"`
+	Paths     [][][2]int `json:"paths"`
+}
+
+func (s *Server) disjoint(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenant(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	src, err := parsePoint(q.Get("src"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	dst, err := parsePoint(q.Get("dst"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	k := 2
+	if kq := q.Get("k"); kq != "" {
+		if k, err = strconv.Atoi(kq); err != nil {
+			writeErr(w, fmt.Errorf("%w: k %q: %v", ErrBadDelta, kq, err))
+			return
+		}
+	}
+	s.observeQuery("disjoint", func() {
+		out, snap, derr := t.DisjointPaths(src, dst, k, q.Get("model"))
+		if derr != nil {
+			writeErr(w, derr)
+			return
+		}
+		resp := DisjointResponse{Seq: snap.Seq, Requested: out.Requested, Found: out.Found, Paths: make([][][2]int, len(out.Paths))}
+		for i, p := range out.Paths {
+			hops := make([][2]int, len(p))
+			for j, pt := range p {
+				hops[j] = [2]int{pt.X, pt.Y}
+			}
+			resp.Paths[i] = hops
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 }
 

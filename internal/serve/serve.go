@@ -44,6 +44,7 @@ import (
 	"ocpmesh/internal/core"
 	"ocpmesh/internal/grid"
 	"ocpmesh/internal/obs"
+	"ocpmesh/internal/routeidx"
 	"ocpmesh/internal/routing"
 )
 
@@ -151,6 +152,11 @@ type Snapshot struct {
 	// Res is the formation result, interchangeable with a from-scratch
 	// core.Form on the tenant's current fault set.
 	Res *core.Result
+	// Routes is the precompiled routing index over Res under the
+	// regions fault model (internal/routeidx). Immutable like Res, and
+	// rebuilt incrementally at publication: only regions whose label
+	// sets changed across the batch are recompiled.
+	Routes *routeidx.Index
 }
 
 // Tenant is one served mesh: a core.Session owned by a shard loop, the
@@ -516,15 +522,27 @@ func (s *Service) Restore(id string, snap *TenantSnapshot) (*Tenant, error) {
 	}
 	t := s.adopt(id, snap.Config, cfg, session)
 	t.seq = snap.Seq
-	t.snap.Store(&Snapshot{Seq: snap.Seq, Res: session.Result()})
+	res := session.Result()
+	t.snap.Store(&Snapshot{Seq: snap.Seq, Res: res, Routes: s.buildRoutes(t.snap.Load(), res, id)})
 	return t, nil
+}
+
+// buildRoutes compiles the routing index published with a snapshot,
+// rebuilding incrementally from the previous snapshot's index when one
+// exists (unchanged regions keep their compiled form).
+func (s *Service) buildRoutes(prev *Snapshot, res *core.Result, tenant string) *routeidx.Index {
+	if prev != nil && prev.Routes != nil {
+		return prev.Routes.Rebuild(res)
+	}
+	return routeidx.Compile(res, routing.ModelRegions, routeidx.Options{Recorder: s.opts.Recorder, Tenant: tenant})
 }
 
 // adopt wires a freshly built session into the registry. Caller holds
 // s.mu.
 func (s *Service) adopt(id string, tcfg TenantConfig, cfg core.Config, session *core.Session) *Tenant {
 	t := &Tenant{id: id, cfg: cfg, tcfg: tcfg, svc: s, shard: s.shardFor(id), session: session}
-	t.snap.Store(&Snapshot{Seq: 0, Res: session.Result()})
+	res := session.Result()
+	t.snap.Store(&Snapshot{Seq: 0, Res: res, Routes: s.buildRoutes(nil, res, id)})
 	s.tenants[id] = t
 	if rec := s.opts.Recorder; rec != nil {
 		rec.Counter("serve_tenants_created").Inc()
@@ -642,8 +660,10 @@ func (s *Service) Features() []string {
 }
 
 // Route answers one route query off the tenant's current snapshot.
-// router is "xy", "detour" or "bfs" (the shortest-path oracle); model
-// is a routing fault model name ("blocks", "regions", "faults-only").
+// router is "indexed" (the precompiled boundary index), "xy", "detour"
+// or "bfs" (the shortest-path oracle); model is a routing fault model
+// name ("blocks", "regions", "faults-only"). Forbidden endpoints fail
+// with routing.ErrUnroutable for every router.
 func (t *Tenant) Route(src, dst grid.Point, modelName, routerName string) (routing.Path, *Snapshot, error) {
 	snap := t.Snapshot()
 	model, err := ParseModel(modelName)
@@ -651,6 +671,9 @@ func (t *Tenant) Route(src, dst grid.Point, modelName, routerName string) (routi
 		return nil, snap, err
 	}
 	g := routing.NewGraph(snap.Res, model)
+	if err := g.CheckEndpoints(src, dst); err != nil {
+		return nil, snap, err
+	}
 	var (
 		path routing.Path
 		ok   bool
@@ -658,6 +681,11 @@ func (t *Tenant) Route(src, dst grid.Point, modelName, routerName string) (routi
 	switch routerName {
 	case "", "detour":
 		path, err = routing.Detour{}.Route(g, src, dst)
+	case "indexed":
+		if model != routing.ModelRegions {
+			return nil, snap, fmt.Errorf("%w: the indexed router serves the regions model only (got %q)", ErrBadDelta, modelName)
+		}
+		path, err = snap.Routes.Route(src, dst)
 	case "xy":
 		path, err = routing.XY{}.Route(g, src, dst)
 	case "bfs":
@@ -665,12 +693,68 @@ func (t *Tenant) Route(src, dst grid.Point, modelName, routerName string) (routi
 			err = fmt.Errorf("routing: bfs: no path %v -> %v", src, dst)
 		}
 	default:
-		return nil, snap, fmt.Errorf("%w: unknown router %q (want xy, detour, or bfs)", ErrBadDelta, routerName)
+		return nil, snap, fmt.Errorf("%w: unknown router %q (want xy, detour, indexed, or bfs)", ErrBadDelta, routerName)
 	}
 	if err != nil {
 		return nil, snap, err
 	}
 	return path, snap, nil
+}
+
+// RouteMany answers a batch of route queries off one consistent
+// snapshot. router is "indexed" (default: binary searches over the
+// precompiled boundary index) or "detour" (the walk-based reference,
+// sharing one scratch buffer across the batch); the indexed router
+// serves the regions model only. Per-query failures land in each
+// Answer's Err, so a batch never fails halfway.
+func (t *Tenant) RouteMany(qs []routeidx.Query, modelName, routerName string, paths bool) ([]routeidx.Answer, *Snapshot, error) {
+	snap := t.Snapshot()
+	model, err := ParseModel(modelName)
+	if err != nil {
+		return nil, snap, err
+	}
+	switch routerName {
+	case "", "indexed":
+		if model != routing.ModelRegions {
+			return nil, snap, fmt.Errorf("%w: the indexed router serves the regions model only (got %q)", ErrBadDelta, modelName)
+		}
+		return snap.Routes.RouteMany(qs, routeidx.BatchOptions{Paths: paths}), snap, nil
+	case "detour":
+		g := routing.NewGraph(snap.Res, model)
+		answers := make([]routeidx.Answer, len(qs))
+		var buf routing.Path
+		for i, q := range qs {
+			p, rerr := routing.Detour{}.RouteAppend(g, q.Src, q.Dst, buf)
+			buf = p
+			if rerr != nil {
+				answers[i] = routeidx.Answer{Err: rerr}
+				continue
+			}
+			answers[i] = routeidx.Answer{Hops: p.Len()}
+			if paths {
+				answers[i].Path = append(routing.Path(nil), p...)
+			}
+		}
+		return answers, snap, nil
+	default:
+		return nil, snap, fmt.Errorf("%w: unknown batch router %q (want indexed or detour)", ErrBadDelta, routerName)
+	}
+}
+
+// DisjointPaths answers a k-node-disjoint path query off the tenant's
+// current snapshot. k is capped at 8 to bound the flow computation; a
+// fault-free mesh interior supports at most 4 anyway.
+func (t *Tenant) DisjointPaths(src, dst grid.Point, k int, modelName string) (routing.DisjointResult, *Snapshot, error) {
+	snap := t.Snapshot()
+	model, err := ParseModel(modelName)
+	if err != nil {
+		return routing.DisjointResult{}, snap, err
+	}
+	if k < 1 || k > 8 {
+		return routing.DisjointResult{}, snap, fmt.Errorf("%w: k must be in [1, 8], got %d", ErrBadDelta, k)
+	}
+	out, err := routing.KDisjointPaths(routing.NewGraph(snap.Res, model), src, dst, k)
+	return out, snap, err
 }
 
 // ParseModel maps a fault-model name onto routing.Model; empty selects
@@ -850,7 +934,8 @@ func (s *Service) applyTenant(sh *shard, t *Tenant, reqs []request) {
 	// atomically at the new sequence number.
 	seq := t.seq
 	if mutated {
-		t.snap.Store(&Snapshot{Seq: seq, Res: t.session.Result()})
+		res := t.session.Result()
+		t.snap.Store(&Snapshot{Seq: seq, Res: res, Routes: s.buildRoutes(t.snap.Load(), res, t.id)})
 	}
 	dur := time.Since(start)
 	for _, dn := range dones {
